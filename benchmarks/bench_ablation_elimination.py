@@ -1,0 +1,75 @@
+"""Ablation: dynamic path elimination on/off/eager.
+
+Separates GAP's two features (Section 4.3): with data-structure
+switching held on, compare
+
+* ``pp`` — the baseline (for context);
+* ``gap-noelim`` — no grammar knowledge at all: the baseline's path
+  enumeration plus runtime data-structure switching (paths shrink only
+  by convergence);
+* ``gap-nonspec`` — the paper's three elimination scenarios;
+* ``gap-eager`` — additionally check every start and end tag.
+
+Expectation: elimination is what collapses the starting path count and
+the per-token path load; the eager variant buys little extra on these
+grammars (the paper's three scenarios already reach one path quickly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import generate_document, make_engine, run_experiment
+from repro.bench.reporting import format_table
+from repro.datasets import dataset_by_name, generate_query_set
+
+from conftest import N_CORES, emit
+
+SCALE = 10.0
+VERSIONS = ("pp", "gap-noelim", "gap-nonspec", "gap-eager")
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    ds = dataset_by_name("dblp")
+    queries = generate_query_set(ds, 20)
+    runs = run_experiment(ds, queries, versions=VERSIONS, scale=SCALE, n_cores=N_CORES)
+    rows = []
+    for v in VERSIONS:
+        c = runs[v].result.stats.counters
+        rows.append([
+            v,
+            runs[v].speedup,
+            runs[v].avg_starting_paths,
+            c.avg_tree_paths,
+            c.tree_path_steps,
+            c.paths_eliminated,
+            c.stack_tokens,
+        ])
+    return rows
+
+
+def test_ablation_path_elimination(ablation, benchmark):
+    table = format_table(
+        ["version", "speedup", "start paths", "avg live paths", "path steps",
+         "eliminated", "stack tokens"],
+        ablation,
+        title="Ablation — dynamic path elimination (DBLP, 20 queries, 20 cores)",
+    )
+    emit("ablation_elimination", table)
+
+    by_v = {row[0]: row for row in ablation}
+    # elimination collapses the starting path count and the path load
+    assert by_v["gap-nonspec"][2] < by_v["gap-noelim"][2] / 3
+    assert by_v["gap-nonspec"][4] < by_v["gap-noelim"][4]
+    assert by_v["gap-nonspec"][1] > by_v["gap-noelim"][1]
+    # switching alone already helps over the plain baseline
+    assert by_v["gap-noelim"][1] >= by_v["pp"][1]
+    # eager checking never increases live paths
+    assert by_v["gap-eager"][3] <= by_v["gap-nonspec"][3] * 1.01
+
+    ds = dataset_by_name("dblp")
+    queries = generate_query_set(ds, 20)
+    text = generate_document(ds.name, SCALE, 0)
+    engine = make_engine("gap-noelim", queries, ds, N_CORES)
+    benchmark(lambda: engine.run(text, n_chunks=N_CORES))

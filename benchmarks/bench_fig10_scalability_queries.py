@@ -1,0 +1,63 @@
+"""Figure 10: speedup vs number of queries — PP, GAP-NonSpec, GAP-Spec(40%).
+
+Same sweep as Figure 2 plus the speculative variant: "PP-Transducer
+shows a sharp decrease as the number of queries increases ... the two
+GAP versions show no degradation at all up to at least 200 queries."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import generate_document, make_engine, run_experiment
+from repro.bench.reporting import format_series
+from repro.datasets import dataset_by_name, generate_query_set
+
+from conftest import N_CORES, emit
+
+SCALE = 15.0
+QUERY_COUNTS = (1, 10, 25, 50, 100, 150, 190)
+VERSIONS = ("pp", "gap-nonspec", "gap-spec40")
+
+
+@pytest.fixture(scope="module")
+def fig10_series():
+    ds = dataset_by_name("dblp")
+    series: dict[str, list[float]] = {v: [] for v in VERSIONS}
+    for n in QUERY_COUNTS:
+        queries = generate_query_set(ds, n)
+        runs = run_experiment(ds, queries, versions=VERSIONS, scale=SCALE, n_cores=N_CORES)
+        for v in VERSIONS:
+            series[v].append(runs[v].speedup)
+    return series
+
+
+def test_fig10_scalability_over_queries(fig10_series, benchmark):
+    table = format_series(
+        "queries",
+        list(QUERY_COUNTS),
+        {
+            "PP-Transducer": fig10_series["pp"],
+            "GAP-NonSpec": fig10_series["gap-nonspec"],
+            "GAP-Spec(40%)": fig10_series["gap-spec40"],
+        },
+        title="Figure 10 — scalability over number of queries (20 simulated cores)",
+    )
+    emit("fig10_scalability_queries", table)
+
+    gap = fig10_series["gap-nonspec"]
+    spec = fig10_series["gap-spec40"]
+    pp = fig10_series["pp"]
+    # both GAP versions sustain their speedup; PP collapses
+    assert min(gap) > 0.6 * max(gap)
+    assert min(spec) > 0.5 * max(spec)
+    assert pp[-1] < pp[0] / 3
+    # the speculative version tracks the non-speculative one closely
+    for g, s in zip(gap, spec):
+        assert s >= 0.5 * g
+
+    ds = dataset_by_name("dblp")
+    queries = generate_query_set(ds, 50)
+    text = generate_document(ds.name, SCALE, 0)
+    engine = make_engine("gap-spec40", queries, ds, N_CORES)
+    benchmark(lambda: engine.run(text, n_chunks=N_CORES))

@@ -1,0 +1,62 @@
+"""Figure 8 (right): multi-query speedup (20/40/80 queries), 20 cores.
+
+Twelve query groups — 20, 40 and 80 concurrent queries on the NASA,
+Lineitem, DBLP and XMark datasets — across the five versions, plus the
+geometric mean.
+
+Paper reference points: GAP-NonSpec ≈ 15.1× (flat across group sizes),
+PP-Transducer drops to ≈ 6.7× overall and degrades as the group grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import VERSIONS, geomean, generate_document, make_engine, run_experiment
+from repro.bench.reporting import format_table
+from repro.datasets import dataset_by_name, generate_query_set
+
+from conftest import N_CORES, emit
+
+SCALE = 10.0
+GROUP_DATASETS = ("nasa", "lineitem", "dblp", "xmark")
+GROUP_SIZES = (20, 40, 80)
+
+
+@pytest.fixture(scope="module")
+def fig8_right():
+    rows = []
+    per_version: dict[str, list[float]] = {v: [] for v in VERSIONS}
+    for size in GROUP_SIZES:
+        for name in GROUP_DATASETS:
+            ds = dataset_by_name(name)
+            queries = generate_query_set(ds, size)
+            runs = run_experiment(ds, queries, versions=VERSIONS, scale=SCALE, n_cores=N_CORES)
+            rows.append([f"{name[:2].upper()} ({size})"] + [runs[v].speedup for v in VERSIONS])
+            for v in VERSIONS:
+                per_version[v].append(runs[v].speedup)
+    rows.append(["geomean"] + [geomean(per_version[v]) for v in VERSIONS])
+    return rows
+
+
+def test_fig8_multi_query_speedups(fig8_right, benchmark):
+    table = format_table(
+        ["group", *VERSIONS],
+        fig8_right,
+        title="Figure 8 (right) — multi-query speedup on 20 simulated cores",
+    )
+    emit("fig8_multi_query", table)
+
+    geo = {v: fig8_right[-1][1 + i] for i, v in enumerate(VERSIONS)}
+    # the paper's headline: the PP/GAP gap widens for multi-query work
+    assert geo["gap-nonspec"] > 2 * geo["pp"]
+    assert geo["gap-spec80"] >= geo["gap-spec40"] * 0.95
+    # PP degrades as the group size grows (first vs last NASA group)
+    pp_by_group = {row[0]: row[1] for row in fig8_right[:-1]}
+    assert pp_by_group["NA (80)"] < pp_by_group["NA (20)"]
+
+    ds = dataset_by_name("dblp")
+    queries = generate_query_set(ds, 20)
+    text = generate_document(ds.name, SCALE, 0)
+    engine = make_engine("gap-nonspec", queries, ds, N_CORES)
+    benchmark(lambda: engine.run(text, n_chunks=N_CORES))

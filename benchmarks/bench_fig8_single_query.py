@@ -1,0 +1,71 @@
+"""Figure 8 (left): single-query speedup, five versions, 20 cores.
+
+Regenerates the per-query speedup bars for every Table-4 query plus
+the geometric mean, for PP-Transducer, GAP-NonSpec and the three
+GAP-Spec grammar fractions.
+
+Paper reference points (20-core Xeon, C implementation):
+PP-Transducer geomean ≈ 11.6×, GAP-NonSpec ≈ 15.0×, GAP-Spec(20%)
+≈ 13.2×; GAP-NonSpec wins on every query and speculative versions
+order by grammar fraction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import VERSIONS, geomean, generate_document, run_experiment
+from repro.datasets import TABLE4, dataset_by_name
+from repro.bench.reporting import format_table
+
+from conftest import N_CORES, emit
+
+SCALE = 30.0
+
+
+@pytest.fixture(scope="module")
+def fig8_left():
+    rows = []
+    per_version: dict[str, list[float]] = {v: [] for v in VERSIONS}
+    for t in TABLE4:
+        ds = dataset_by_name(t.dataset)
+        runs = run_experiment(
+            ds, [t.query], versions=VERSIONS, scale=SCALE, n_cores=N_CORES
+        )
+        row = [t.qid] + [runs[v].speedup for v in VERSIONS]
+        rows.append(row)
+        for v in VERSIONS:
+            per_version[v].append(runs[v].speedup)
+    rows.append(["geomean"] + [geomean(per_version[v]) for v in VERSIONS])
+    return rows
+
+
+def test_fig8_single_query_speedups(fig8_left, benchmark):
+    table = format_table(
+        ["query", *VERSIONS],
+        fig8_left,
+        title="Figure 8 (left) — single-query speedup on 20 simulated cores",
+    )
+    emit("fig8_single_query", table)
+
+    by_query = {row[0]: row[1:] for row in fig8_left}
+    pp, nonspec, s20, s40, s80 = by_query["geomean"]
+    # paper shape: GAP-NonSpec beats PP on average and speculative
+    # versions improve with grammar fraction
+    assert nonspec > pp
+    assert s80 >= s40 >= s20 * 0.9  # allow sampling noise at 20 %
+    assert nonspec >= s80 * 0.99
+    # every query: GAP-NonSpec at least matches PP
+    for qid, speeds in by_query.items():
+        if qid == "geomean":
+            continue
+        assert speeds[1] >= speeds[0] * 0.95, qid
+
+    # timed kernel: GAP-NonSpec on the first NASA query
+    t = TABLE4[0]
+    ds = dataset_by_name(t.dataset)
+    text = generate_document(ds.name, SCALE, 0)
+    from repro.bench import make_engine
+
+    engine = make_engine("gap-nonspec", [t.query], ds, N_CORES)
+    benchmark(lambda: engine.run(text, n_chunks=N_CORES))

@@ -1,0 +1,85 @@
+"""Figure 9: speedup vs number of cores (2..20), three versions.
+
+"All three versions show good scalability — the speedup linearly
+increases up to at least 20 cores.  Meanwhile ... as the number of
+cores increases the performance gap among these three versions will
+become even larger."
+
+One NASA 20-query workload, executed with n_chunks == n_cores for each
+core count (the paper's configuration); the simulated cluster then
+prices each run at its own core count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import generate_document, make_engine, run_version
+from repro.bench.reporting import format_series
+from repro.core.engine import SequentialEngine
+from repro.datasets import dataset_by_name, generate_query_set
+
+from conftest import emit
+
+SCALE = 15.0
+CORE_COUNTS = (2, 4, 8, 12, 16, 20)
+VERSIONS = ("pp", "gap-nonspec", "gap-spec40")
+
+
+def _running_max(values):
+    out, m = [], float("-inf")
+    for v in values:
+        m = max(m, v)
+        out.append(m)
+    return out
+
+
+@pytest.fixture(scope="module")
+def fig9_series():
+    ds = dataset_by_name("nasa")
+    queries = generate_query_set(ds, 20)
+    text = generate_document(ds.name, SCALE, 0)
+    reference = SequentialEngine(queries).run(text)
+    series: dict[str, list[float]] = {v: [] for v in VERSIONS}
+    for cores in CORE_COUNTS:
+        for v in VERSIONS:
+            run = run_version(v, ds, queries, text, reference, n_cores=cores)
+            series[v].append(run.speedup)
+    return series
+
+
+def test_fig9_scalability_over_cores(fig9_series, benchmark):
+    table = format_series(
+        "cores",
+        list(CORE_COUNTS),
+        {
+            "PP-Transducer": fig9_series["pp"],
+            "GAP-NonSpec": fig9_series["gap-nonspec"],
+            "GAP-Spec(40%)": fig9_series["gap-spec40"],
+        },
+        title="Figure 9 — scalability over number of cores",
+    )
+    emit("fig9_scalability_cores", table)
+
+    for v in ("pp", "gap-nonspec"):
+        s = fig9_series[v]
+        # monotone scaling for the deterministic versions
+        assert all(b > a for a, b in zip(s, s[1:])), v
+    # GAP-NonSpec scales near-linearly
+    gap = fig9_series["gap-nonspec"]
+    assert gap[-1] > 4 * gap[0]
+    # the speculative version tracks it but is "less predictable"
+    # (paper, Section 6): chunk boundaries can land on misspeculating
+    # contexts at some core counts — require growth, tolerate dips
+    spec = fig9_series["gap-spec40"]
+    assert max(spec) > 4 * spec[0]
+    assert all(x >= 0.4 * m for x, m in zip(spec, _running_max(spec)))
+    # the gap between versions widens with core count
+    gaps = [g - p for g, p in zip(fig9_series["gap-nonspec"], fig9_series["pp"])]
+    assert gaps[-1] > gaps[0]
+
+    ds = dataset_by_name("nasa")
+    queries = generate_query_set(ds, 20)
+    text = generate_document(ds.name, SCALE, 0)
+    engine = make_engine("gap-nonspec", queries, ds, 20)
+    benchmark(lambda: engine.run(text, n_chunks=20))

@@ -1,0 +1,82 @@
+"""Motivation benchmark: pre-parsing (DOM) vs on-the-fly querying.
+
+Section 2.1 motivates the on-the-fly strategy: "parsing the
+semi-structured data requires a large memory footprint due to the
+construction of DOM tree ... At last, it needs to traverse the data
+again after the parsing."  This driver quantifies both points on this
+reproduction's substrate: the DOM tree's memory footprint versus the
+transducer's (stack depth × machine word), and their single-thread
+runtimes.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.bench import generate_document
+from repro.bench.reporting import format_table
+from repro.core.engine import SequentialEngine
+from repro.datasets import dataset_by_name
+from repro.xmlstream import lex
+from repro.xpath import build_document, evaluate_offsets
+
+from conftest import emit
+
+SCALE = 8.0
+QUERY = {"dblp": "/dp/ar/au", "nasa": "/ds/d/tb/ts/tl/tit"}
+
+
+def tree_footprint(doc) -> int:
+    """Rough recursive size of the DOM tree in bytes."""
+    total = 0
+    for el in doc.all_elements():
+        total += sys.getsizeof(el)
+        total += sum(sys.getsizeof(p) for p in el.text_parts)
+        total += sys.getsizeof(el.children)
+    return total
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    rows = []
+    for name, query in QUERY.items():
+        ds = dataset_by_name(name)
+        text = generate_document(ds.name, SCALE, 0)
+        doc = build_document(lex(text))
+        engine = SequentialEngine([query])
+        res = engine.run(text)
+        assert evaluate_offsets(doc, query) == res.matches[query]
+        _tags, dmax, _ = ds.stats(text)
+        dom_bytes = tree_footprint(doc)
+        # the streaming transducer's state: the stack of ints, bounded
+        # by the maximum document depth
+        stream_bytes = dmax * 28  # CPython small-int object upper bound
+        rows.append([
+            name,
+            len(text) // 1024,
+            dom_bytes // 1024,
+            stream_bytes,
+            round(dom_bytes / max(1, stream_bytes)),
+        ])
+    return rows
+
+
+def test_preparse_memory_footprint(comparison, benchmark):
+    table = format_table(
+        ["dataset", "doc KiB", "DOM KiB", "stream bytes", "DOM/stream"],
+        comparison,
+        title="Section 2.1 — pre-parse (DOM) vs on-the-fly memory footprint",
+    )
+    emit("preparse_baseline", table)
+
+    for _name, doc_kib, dom_kib, _stream, ratio in comparison:
+        # the DOM costs the same order as the document itself...
+        assert dom_kib > doc_kib / 4
+        # ...while the streaming state is orders of magnitude smaller
+        assert ratio > 1000
+
+    ds = dataset_by_name("dblp")
+    text = generate_document(ds.name, SCALE, 0)
+    benchmark(lambda: build_document(lex(text)))

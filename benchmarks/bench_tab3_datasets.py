@@ -1,0 +1,59 @@
+"""Table 3: dataset statistics — #tags, d_max, d_avg.
+
+The synthetic corpora must reproduce the structural statistics of the
+originals (UW repository + XMark): maximum depth exactly (stochastic
+recursion for XMark) and average depth approximately; #tags scales
+with the replication factor, as in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.datasets import ALL_DATASETS
+
+from conftest import emit
+
+SCALE = 4.0
+
+#: (d_max, d_avg) from the paper's Table 3
+PAPER = {
+    "lineitem": (3, 2.94),
+    "dblp": (6, 2.9),
+    "swissprot": (5, 3.55),
+    "nasa": (8, 5.58),
+    "protein": (7, 5.15),
+    "xmark": (13, 5.55),
+}
+
+
+@pytest.fixture(scope="module")
+def table3():
+    rows = []
+    for name in ("lineitem", "swissprot", "nasa", "protein", "dblp", "xmark"):
+        ds = ALL_DATASETS[name]
+        xml = ds.generate(scale=SCALE, seed=0)
+        tags, dmax, davg = ds.stats(xml)
+        p_dmax, p_davg = PAPER[name]
+        rows.append([name, len(xml) // 1024, tags, dmax, p_dmax, round(davg, 2), p_davg])
+    return rows
+
+
+def test_tab3_dataset_statistics(table3, benchmark):
+    table = format_table(
+        ["dataset", "KiB", "#tags", "dmax", "paper dmax", "davg", "paper davg"],
+        table3,
+        title="Table 3 — XML dataset statistics (scale {:.0f})".format(SCALE),
+    )
+    emit("tab3_datasets", table)
+
+    for name, _kib, _tags, dmax, p_dmax, davg, p_davg in table3:
+        if name == "xmark":
+            assert p_dmax - 3 <= dmax <= p_dmax
+        else:
+            assert dmax == p_dmax, name
+        assert abs(davg - p_davg) / p_davg < 0.25, name
+
+    ds = ALL_DATASETS["dblp"]
+    benchmark(lambda: ds.generate(scale=1.0, seed=0))

@@ -1,0 +1,87 @@
+"""Table 5: average number of starting execution paths.
+
+The profiling table behind the speedups: how many execution paths a
+chunk begins with, for single queries and for 80-query groups, across
+the five versions.  The paper reports (geomeans) 9.2 vs 1.4 for single
+queries and 188 vs 2.1 at 80 queries (PP vs GAP-NonSpec) — a gap that
+"quickly increases up to hundreds of times".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import VERSIONS, geomean, generate_document, make_engine, run_experiment
+from repro.bench.reporting import format_table
+from repro.datasets import TABLE4, dataset_by_name, generate_query_set
+
+from conftest import N_CORES, emit
+
+SCALE_SINGLE = 10.0
+SCALE_MULTI = 6.0
+SINGLE_SETS = {"nasa": "NS", "lineitem": "LI", "dblp": "DP", "xmark": "XM"}
+
+
+@pytest.fixture(scope="module")
+def table5():
+    rows: list[list[object]] = []
+    single_geo: dict[str, list[float]] = {v: [] for v in VERSIONS}
+    multi_geo: dict[str, list[float]] = {v: [] for v in VERSIONS}
+
+    # single-query block: per dataset, average over its Table-4 queries
+    for name, label in SINGLE_SETS.items():
+        ds = dataset_by_name(name)
+        per_version = {v: [] for v in VERSIONS}
+        for t in (t for t in TABLE4 if t.dataset == name):
+            runs = run_experiment(
+                ds, [t.query], versions=VERSIONS, scale=SCALE_SINGLE, n_cores=N_CORES
+            )
+            for v in VERSIONS:
+                per_version[v].append(runs[v].avg_starting_paths)
+        row = [f"single {label}"] + [
+            sum(per_version[v]) / len(per_version[v]) for v in VERSIONS
+        ]
+        rows.append(row)
+        for v in VERSIONS:
+            single_geo[v].append(row[1 + VERSIONS.index(v)])
+    rows.append(["single geomean"] + [geomean(single_geo[v]) for v in VERSIONS])
+
+    # 80-query block
+    for name, label in SINGLE_SETS.items():
+        ds = dataset_by_name(name)
+        queries = generate_query_set(ds, 80)
+        runs = run_experiment(ds, queries, versions=VERSIONS, scale=SCALE_MULTI, n_cores=N_CORES)
+        row = [f"80q {label}"] + [runs[v].avg_starting_paths for v in VERSIONS]
+        rows.append(row)
+        for v in VERSIONS:
+            multi_geo[v].append(row[1 + VERSIONS.index(v)])
+    rows.append(["80q geomean"] + [geomean(multi_geo[v]) for v in VERSIONS])
+    return rows
+
+
+def test_tab5_starting_paths(table5, benchmark):
+    table = format_table(
+        ["workload", *VERSIONS],
+        table5,
+        title="Table 5 — average number of starting execution paths",
+    )
+    emit("tab5_starting_paths", table)
+
+    by_label = {row[0]: dict(zip(VERSIONS, row[1:])) for row in table5}
+    single = by_label["single geomean"]
+    multi = by_label["80q geomean"]
+    # Table 5's story: PP ≫ GAP-NonSpec, and the ratio explodes with
+    # the query count
+    assert single["pp"] > 3 * single["gap-nonspec"]
+    assert multi["pp"] > 20 * multi["gap-nonspec"]
+    assert multi["pp"] / multi["gap-nonspec"] > single["pp"] / single["gap-nonspec"]
+    # speculative versions sit between the baseline and GAP-NonSpec
+    for block in (single, multi):
+        assert block["gap-nonspec"] <= block["gap-spec80"] * 1.5
+        assert block["gap-spec20"] <= block["pp"]
+
+    ds = dataset_by_name("dblp")
+    queries = generate_query_set(ds, 80)
+    text = generate_document(ds.name, SCALE_MULTI, 0)
+    engine = make_engine("gap-nonspec", queries, ds, N_CORES)
+    benchmark(lambda: engine.run(text, n_chunks=N_CORES))

@@ -1,0 +1,69 @@
+"""Microbenchmarks: raw throughput of the pipeline's stages.
+
+Not a paper artifact — engineering numbers for the substrates, so
+regressions in the hot loops show up in `--benchmark-compare` runs:
+
+* lexer MB/s over a DBLP corpus;
+* sequential PDT tokens/s (the speedup baseline's inner loop);
+* GAP chunk runner (single-path stack mode) vs PP chunk runner
+  (multi-path tree mode) on the same chunk — the per-token cost gap
+  that runtime data-structure switching exploits, measured in real
+  wall-clock rather than the cost model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import generate_document
+from repro.core import GapPolicy, infer_feasible_paths
+from repro.datasets import dataset_by_name
+from repro.grammar import build_syntax_tree
+from repro.transducer import BaselinePolicy, ChunkRunner, run_sequential
+from repro.xmlstream import lex, lex_range
+from repro.xpath import build_automaton, parse_xpath
+
+SCALE = 20.0
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    ds = dataset_by_name("dblp")
+    text = generate_document(ds.name, SCALE, 0)
+    automaton = build_automaton([(0, parse_xpath("/dp/ar/au"))])
+    table = infer_feasible_paths(automaton, build_syntax_tree(ds.grammar))
+    return text, automaton, table
+
+
+def test_lexer_throughput(corpus, benchmark):
+    text, _a, _t = corpus
+    n_tokens = benchmark(lambda: sum(1 for _ in lex(text)))
+    mb = len(text) / 1e6
+    print(f"\nlexer: {mb / benchmark.stats['mean']:.1f} MB/s, {n_tokens} tokens")
+
+
+def test_sequential_pdt_throughput(corpus, benchmark):
+    text, automaton, _t = corpus
+    tokens = list(lex(text))
+    benchmark(lambda: run_sequential(automaton, tokens))
+    print(f"\nsequential PDT: {len(tokens) / benchmark.stats['mean'] / 1e6:.2f} Mtokens/s")
+
+
+def test_gap_chunk_runner_stack_mode(corpus, benchmark):
+    text, automaton, table = corpus
+    runner = ChunkRunner(automaton, GapPolicy(automaton, table))
+    begin = len(text) // 2
+    begin = text.index("<", begin)
+    benchmark(lambda: runner.run_chunk(lex_range(text, begin, len(text)), 1, begin, len(text)))
+
+
+def test_pp_chunk_runner_tree_mode(corpus, benchmark):
+    text, automaton, _t = corpus
+    runner = ChunkRunner(automaton, BaselinePolicy(automaton))
+    begin = len(text) // 2
+    begin = text.index("<", begin)
+    result = benchmark(
+        lambda: runner.run_chunk(lex_range(text, begin, len(text)), 1, begin, len(text))
+    )
+    # sanity: the baseline really ran multi-path
+    assert result.counters.tree_tokens > 0

@@ -1,0 +1,40 @@
+"""Shared infrastructure for the benchmark drivers.
+
+Every ``bench_*.py`` module regenerates one artifact of the paper's
+evaluation (DESIGN.md §4).  Conventions:
+
+* experiment computation happens once per module in a session-scoped
+  fixture; the pytest-benchmark hook then times a representative
+  kernel, so ``pytest benchmarks/ --benchmark-only`` both regenerates
+  the numbers and reports runtimes;
+* each driver prints its table/series (visible with ``-s``) *and*
+  writes it to ``benchmarks/results/<artifact>.txt`` so the output
+  survives pytest's capture;
+* scales are chosen so the whole suite completes in minutes on one
+  core while keeping documents large enough that fixed per-chunk costs
+  are marginal (the paper's regime).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: the paper's machine: 20 cores
+N_CORES = 20
+
+
+def emit(artifact: str, text: str) -> None:
+    """Print a regenerated table and persist it under results/."""
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{artifact}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def n_cores() -> int:
+    return N_CORES

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""JSON querying: a tweet-firehose slice through the same engines.
+
+Run::
+
+    python examples/json_tweets.py
+
+The paper opens with Twitter "producing tweets in semi-structured
+format at a rate of 600 million per day" and names JSON alongside XML
+throughout.  This example queries a synthetic tweet batch (JSON) with
+the identical GAP machinery: the tokenizer maps JSON onto the
+transducers' token vocabulary, a JSON Schema lowers onto the same
+grammar model, and all engines — including speculative GAP learning
+from yesterday's batch — agree byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro import GapEngine, PPTransducerEngine, SequentialEngine
+from repro.jsonstream import json_schema_to_grammar, json_value_at, tokenize_json
+
+SCHEMA = {
+    "type": "object",
+    "properties": {
+        "statuses": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "properties": {
+                    "id": {"type": "integer"},
+                    "text": {"type": "string"},
+                    "user": {
+                        "type": "object",
+                        "properties": {
+                            "screen_name": {"type": "string"},
+                            "verified": {"type": "boolean"},
+                        },
+                    },
+                    "entities": {
+                        "type": "object",
+                        "properties": {
+                            "hashtags": {"type": "array", "items": {"type": "string"}},
+                            "urls": {"type": "array", "items": {"type": "string"}},
+                        },
+                    },
+                },
+            },
+        }
+    },
+}
+
+QUERIES = [
+    "/json/statuses/id",                      # all tweet ids
+    "//hashtags",                             # every hashtag anywhere
+    "/json/statuses[entities/urls]/id",       # tweets that link out
+    "//user[verified]/screen_name",           # verified authors
+]
+
+
+def make_batch(day: int, n: int) -> str:
+    rng = random.Random(day)
+    statuses = []
+    for i in range(n):
+        tweet = {
+            "id": day * 1_000_000 + i,
+            "text": f"post {i} of day {day}",
+            "user": {"screen_name": f"user{rng.randrange(40)}"},
+        }
+        if rng.random() < 0.25:
+            tweet["user"]["verified"] = True
+        entities = {}
+        if rng.random() < 0.6:
+            entities["hashtags"] = [f"tag{rng.randrange(10)}" for _ in range(rng.randint(1, 3))]
+        if rng.random() < 0.3:
+            entities["urls"] = [f"http://x/{i}"]
+        if entities:
+            tweet["entities"] = entities
+        statuses.append(tweet)
+    return json.dumps({"statuses": statuses})
+
+
+def main() -> None:
+    batch = make_batch(day=1, n=400)
+    tokens = tokenize_json(batch)
+    print(f"tweet batch: {len(batch) / 1024:.0f} KiB JSON → {len(tokens)} tokens\n")
+
+    grammar = json_schema_to_grammar(SCHEMA)
+    seq = SequentialEngine(QUERIES).run_tokens(tokens)
+    pp = PPTransducerEngine(QUERIES).run_tokens(tokens, n_chunks=12)
+    gap = GapEngine(QUERIES, grammar=grammar).run_tokens(tokens, n_chunks=12)
+    assert seq.offsets_by_id == pp.offsets_by_id == gap.offsets_by_id
+    print("engines agree (sequential = PP-Transducer = GAP with JSON Schema)\n")
+
+    for q in QUERIES:
+        offsets = gap.matches[q]
+        sample = json_value_at(batch, offsets[0]) if offsets else "-"
+        print(f"  {q:34s} {len(offsets):4d} matches   first: {sample[:40]}")
+
+    print(
+        f"\nGAP starting paths/chunk: {gap.stats.avg_starting_paths:.1f} "
+        f"vs PP {pp.stats.avg_starting_paths:.1f} — the grammar advantage "
+        "carries over to JSON unchanged"
+    )
+
+    # speculative mode: learn yesterday's structure, query today's batch
+    spec = GapEngine(QUERIES)
+    spec.learn_tokens(tokenize_json(make_batch(day=0, n=60)))
+    res = spec.run_tokens(tokens, n_chunks=12)
+    assert res.offsets_by_id == seq.offsets_by_id
+    print(
+        f"speculative GAP (schema learned from yesterday's batch): "
+        f"identical results, accuracy {res.stats.speculation_accuracy:.0%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

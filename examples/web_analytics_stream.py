@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Web-analytics scenario: repeated feeds from the same source.
+
+Run::
+
+    python examples/web_analytics_stream.py
+
+The paper's introduction motivates GAP with web analytics: services
+ingest semi-structured feeds from the same source "repetitively ...
+they are all defined by the same hidden grammar" (Section 5.1).  This
+example plays a stream-processing service:
+
+* day 0 arrives with *no grammar*; the engine runs fully degraded
+  (enumerating paths like the PP-Transducer baseline) but still
+  answers correctly, and learns the structure as it goes;
+* subsequent days run speculatively on the learned grammar — watch the
+  starting-path counts collapse and stay low;
+* a schema drift on day 3 (the provider adds a new element) triggers
+  degraded lookups/misspeculation exactly once, is absorbed by
+  validation + selective reprocessing, and is *learned* for day 4.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import GapEngine, SequentialEngine
+
+QUERIES = [
+    "/feed/entry/id",
+    "/feed/entry[author]/title",
+    "//entry//link",
+]
+
+
+def make_feed(day: int, n_entries: int, with_geo: bool) -> str:
+    """Synthesise one day's feed (same hidden grammar every day)."""
+    rng = random.Random(day)
+    parts = ["<feed>"]
+    for i in range(n_entries):
+        parts.append("<entry>")
+        parts.append(f"<id>day{day}-{i}</id>")
+        if rng.random() < 0.7:
+            parts.append(f"<author>user{rng.randrange(50)}</author>")
+        parts.append(f"<title>post {i} of day {day}</title>")
+        if rng.random() < 0.5:
+            parts.append(f"<content><link>http://x/{i}</link> body text</content>")
+        if with_geo and rng.random() < 0.4:
+            # the provider ships a new element starting on day 3
+            parts.append(f"<geo><lat>{rng.random():.3f}</lat></geo>")
+        parts.append("</entry>")
+    parts.append(f"<id>feed-day-{day}</id></feed>")
+    return "".join(parts)
+
+
+def main() -> None:
+    engine = GapEngine(QUERIES, n_chunks=8)  # speculative: no grammar
+    oracle = SequentialEngine(QUERIES)
+
+    print(f"{'day':>4} {'entries':>8} {'paths/chunk':>12} {'degraded':>9} "
+          f"{'missp':>6} {'reproc':>7} {'matches':>8}")
+    for day in range(6):
+        feed = make_feed(day, n_entries=120 + 30 * day, with_geo=day >= 3)
+
+        result = engine.run(feed)
+        expected = oracle.run(feed)
+        assert result.matches == expected.matches, "speculation must never be wrong"
+
+        s = result.stats
+        print(
+            f"{day:>4} {120 + 30 * day:>8} {s.avg_starting_paths:>12.2f} "
+            f"{s.counters.degraded_lookups:>9} {s.counters.misspeculations:>6} "
+            f"{s.reprocessing_cost:>7.2%} {result.total_matches:>8}"
+        )
+
+        # the service learns from what it just processed
+        engine.learn(feed)
+
+    print(
+        "\nday 0 ran with an empty grammar (fully degraded, baseline-like);"
+        "\nday 1+ exploit the learned grammar; day 3's schema drift (new"
+        "\n<geo> element) degrades a few lookups once and is absorbed."
+    )
+
+
+if __name__ == "__main__":
+    main()

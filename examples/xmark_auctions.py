@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Recursive data: XMark-style auction listings with reverse axes.
+
+Run::
+
+    python examples/xmark_auctions.py
+
+XMark's recursive description markup (nested list items, keyword/bold
+nesting) is the stress case for grammar-aware parallelization: the
+static syntax tree has cycles, and feasible-path inference must unfold
+them soundly.  This example runs the paper's XM-style queries —
+including the ``ancestor::`` rewrite (XM3) and a ``parent::``
+predicate (XM1) — and inspects the inference products: the static
+syntax tree, its cycles, and the feasible path table's set sizes.
+"""
+
+from __future__ import annotations
+
+from repro import GapEngine, SequentialEngine, build_syntax_tree, infer_feasible_paths
+from repro.datasets import XMARK
+
+QUERIES = [
+    "/s/r/*/item[parent::af]/name",  # XM1: African items, via parent::
+    "//k/ancestor::li/t/k",          # XM3: keywords in listitems with keywords
+    "//li//k",                       # all keywords under list items
+    "//item[d]/name",                # items with descriptions
+]
+
+
+def main() -> None:
+    xml = XMARK.generate(scale=15, seed=3)
+    tags, dmax, davg = XMARK.stats(xml)
+    print(f"auction site: {len(xml) / 1024:.0f} KiB, d_max={dmax} (recursion!), d_avg={davg:.2f}\n")
+
+    # -- the grammar machinery on a recursive DTD -------------------------
+    tree = build_syntax_tree(XMARK.grammar)
+    print(f"static syntax tree: {len(tree)} nodes, {tree.n_cycles()} cycle back-edges")
+    for node in tree.nodes():
+        if node.cycle:
+            targets = ", ".join(c.tag for c in node.cycle)
+            print(f"  recursion: {node.path()} -> {targets}")
+
+    engine = GapEngine(QUERIES, grammar=XMARK.grammar, n_chunks=12)
+    table = engine.table
+    print(
+        f"feasible path table: {len(table)} entries, largest set "
+        f"{table.max_set_size()} of {engine.automaton.n_states} states\n"
+    )
+
+    # -- querying ----------------------------------------------------------
+    seq = SequentialEngine(QUERIES).run(xml)
+    gap = engine.run(xml)
+    assert gap.matches == seq.matches
+
+    for q in QUERIES:
+        print(f"  {q:32s} {len(gap.matches[q]):5d} matches")
+
+    s = gap.stats
+    print(
+        f"\nparallel phase: {s.n_chunks} chunks, "
+        f"{s.avg_starting_paths:.1f} starting paths/chunk, "
+        f"{s.divergences} divergences, {s.switches} data-structure switches"
+    )
+    print(
+        "recursion keeps some feasible sets >1 (deep nesting can park the\n"
+        "automaton in several states), yet elimination still prunes to a\n"
+        "handful — the paper's Section 4.2 cycle-handling at work."
+    )
+
+
+if __name__ == "__main__":
+    main()

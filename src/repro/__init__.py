@@ -1,0 +1,60 @@
+"""repro — Grammar-aware Parallelization for Scalable XPath Querying.
+
+A from-scratch Python reproduction of GAP (Jiang & Zhao, PPoPP 2017):
+streaming XPath evaluation with pushdown transducers, the
+PP-Transducer parallel baseline (Ogden et al., VLDB 2013), and the
+grammar-aware parallelization scheme — feasible-path inference from
+DTDs, dynamic path elimination, runtime data-structure switching, and
+speculative execution from learned partial grammars.
+
+Quick start::
+
+    from repro import GapEngine
+
+    engine = GapEngine(["/dblp/article/author"], grammar=dtd_text)
+    result = engine.run(xml_text, n_chunks=8)
+    print(result.matches)
+
+See :mod:`repro.core.engine` for the full engine API, and the
+``examples/`` directory of the repository for runnable scenarios.
+"""
+
+from .core.engine import (
+    EngineError,
+    GapEngine,
+    PPTransducerEngine,
+    QueryResult,
+    SequentialEngine,
+    element_at,
+    query,
+)
+from .core.inference import FeasibleTable, infer_feasible_paths
+from .core.speculative import GrammarLearner
+from .grammar.dtd_parser import parse_dtd
+from .grammar.xsd_parser import parse_xsd
+from .grammar.model import Grammar
+from .grammar.sampling import sample_partial_grammar
+from .grammar.syntax_tree import build_syntax_tree
+from .xpath.parser import parse_xpath
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EngineError",
+    "FeasibleTable",
+    "GapEngine",
+    "Grammar",
+    "GrammarLearner",
+    "PPTransducerEngine",
+    "QueryResult",
+    "SequentialEngine",
+    "__version__",
+    "build_syntax_tree",
+    "element_at",
+    "infer_feasible_paths",
+    "parse_dtd",
+    "parse_xsd",
+    "parse_xpath",
+    "query",
+    "sample_partial_grammar",
+]

@@ -1,0 +1,196 @@
+"""Benchmark harness — shared machinery for every table/figure driver.
+
+Each ``benchmarks/bench_*.py`` file regenerates one artifact of the
+paper's evaluation (see DESIGN.md §4).  They all follow one pattern,
+implemented here:
+
+1. generate the dataset document (cached per ``(dataset, scale, seed)``);
+2. run the sequential engine — its matches are the correctness
+   reference and its counters the speedup denominator;
+3. run one or more *versions* (Table 2 of the paper: PP-Transducer,
+   GAP-NonSpec, GAP-Spec(20/40/80%), plus this reproduction's ablation
+   variants) with ``n_chunks == n_cores``;
+4. assert the matches are identical to the sequential run (a benchmark
+   that returns wrong answers measures nothing);
+5. convert the measured work counters into an N-core speedup with the
+   :class:`~repro.parallel.simcluster.SimulatedCluster`.
+
+Version names understood by :func:`make_engine` / :func:`run_version`:
+
+=================  =====================================================
+``seq``            sequential pushdown transducer
+``pp``             PP-Transducer (the paper's baseline)
+``gap-nonspec``    GAP, complete grammar (non-speculative)
+``gap-spec20/40/80``  speculative GAP with an X% sampled grammar
+``gap-learned``    speculative GAP with a grammar learned from a prior
+                   document (Algorithm 3)
+``gap-noswitch``   ablation: elimination on, data-structure switching off
+``gap-noelim``     ablation: switching on, elimination off
+``gap-eager``      ablation: eliminate at every tag, not just the
+                   paper's three scenarios
+=================  =====================================================
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..core.engine import GapEngine, PPTransducerEngine, QueryResult, SequentialEngine
+from ..datasets.base import Dataset
+from ..datasets.xpathmark import dataset_by_name
+from ..grammar.sampling import sample_partial_grammar
+from ..parallel.cost_model import CostModel, DEFAULT_COST_MODEL
+from ..parallel.simcluster import SimReport, SimulatedCluster
+from ..transducer.policies import ELIMINATE_ALWAYS, ELIMINATE_NEVER
+
+__all__ = [
+    "VERSIONS",
+    "VersionRun",
+    "generate_document",
+    "make_engine",
+    "run_version",
+    "run_experiment",
+    "geomean",
+]
+
+#: the paper's Table-2 version set
+VERSIONS = ("pp", "gap-nonspec", "gap-spec20", "gap-spec40", "gap-spec80")
+
+
+@dataclass(slots=True)
+class VersionRun:
+    """Outcome of one version on one workload."""
+
+    version: str
+    speedup: float
+    report: SimReport
+    result: QueryResult
+
+    @property
+    def avg_starting_paths(self) -> float:
+        return self.result.stats.avg_starting_paths
+
+    @property
+    def speculation_accuracy(self) -> float:
+        return self.result.stats.speculation_accuracy
+
+    @property
+    def reprocessing_cost(self) -> float:
+        return self.result.stats.reprocessing_cost
+
+
+@lru_cache(maxsize=16)
+def generate_document(dataset_name: str, scale: float = 1.0, seed: int = 0) -> str:
+    """Cached dataset generation (documents are deterministic)."""
+    return dataset_by_name(dataset_name).generate(scale=scale, seed=seed)
+
+
+def make_engine(
+    version: str,
+    queries: tuple[str, ...] | list[str],
+    dataset: Dataset,
+    n_chunks: int,
+    spec_seed: int = 0,
+    learn_from: str | None = None,
+):
+    """Construct the engine for a version name (see module docstring)."""
+    queries = list(queries)
+    if version == "seq":
+        return SequentialEngine(queries)
+    if version == "pp":
+        return PPTransducerEngine(queries, n_chunks=n_chunks)
+    if version == "gap-nonspec":
+        return GapEngine(queries, grammar=dataset.grammar, n_chunks=n_chunks)
+    if version.startswith("gap-spec"):
+        fraction = int(version[len("gap-spec") :]) / 100.0
+        partial = sample_partial_grammar(dataset.grammar, fraction, seed=spec_seed)
+        return GapEngine(queries, grammar=partial, n_chunks=n_chunks)
+    if version == "gap-learned":
+        engine = GapEngine(queries, n_chunks=n_chunks)
+        if learn_from is not None:
+            engine.learn(learn_from)
+        return engine
+    if version == "gap-noswitch":
+        return GapEngine(
+            queries, grammar=dataset.grammar, n_chunks=n_chunks, switch_to_stack=False
+        )
+    if version == "gap-noelim":
+        return GapEngine(
+            queries, grammar=dataset.grammar, n_chunks=n_chunks, eliminate=ELIMINATE_NEVER
+        )
+    if version == "gap-eager":
+        return GapEngine(
+            queries, grammar=dataset.grammar, n_chunks=n_chunks, eliminate=ELIMINATE_ALWAYS
+        )
+    raise ValueError(f"unknown version {version!r}")
+
+
+def run_version(
+    version: str,
+    dataset: Dataset,
+    queries: list[str] | tuple[str, ...],
+    text: str,
+    reference: QueryResult,
+    n_cores: int = 20,
+    cost_model: CostModel | None = None,
+    spec_seed: int = 0,
+    learn_from: str | None = None,
+) -> VersionRun:
+    """Run one version and compute its simulated N-core speedup.
+
+    ``reference`` must be the sequential run over the same ``text`` and
+    ``queries`` — matches are asserted equal and its counters form the
+    speedup denominator.
+    """
+    engine = make_engine(version, queries, dataset, n_cores, spec_seed, learn_from)
+    result = engine.run(text) if version == "seq" else engine.run(text, n_chunks=n_cores)
+    if result.offsets_by_id != reference.offsets_by_id:
+        raise AssertionError(
+            f"version {version} returned different matches than the sequential "
+            f"engine on {dataset.name} — benchmark aborted"
+        )
+    cluster = SimulatedCluster(n_cores, cost_model or DEFAULT_COST_MODEL)
+    report = cluster.schedule(
+        result.stats.chunk_counters,
+        reference.stats.counters,
+        run_totals=result.stats.counters,
+    )
+    return VersionRun(version=version, speedup=report.speedup, report=report, result=result)
+
+
+def run_experiment(
+    dataset: Dataset,
+    queries: list[str] | tuple[str, ...],
+    versions: tuple[str, ...] = VERSIONS,
+    scale: float = 1.0,
+    seed: int = 0,
+    n_cores: int = 20,
+    cost_model: CostModel | None = None,
+    spec_seed: int = 0,
+) -> dict[str, VersionRun]:
+    """Run a workload through several versions; returns version → run."""
+    text = generate_document(dataset.name, scale, seed)
+    reference = SequentialEngine(list(queries)).run(text)
+    out: dict[str, VersionRun] = {}
+    for version in versions:
+        out[version] = run_version(
+            version,
+            dataset,
+            queries,
+            text,
+            reference,
+            n_cores=n_cores,
+            cost_model=cost_model,
+            spec_seed=spec_seed,
+        )
+    return out
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean (the paper's aggregate for Figure 8 / Table 5)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return statistics.geometric_mean(vals)

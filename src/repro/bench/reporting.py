@@ -1,0 +1,78 @@
+"""Plain-text reporting helpers for the benchmark drivers.
+
+The benchmarks print the same rows/series the paper's tables and
+figures report, as aligned ASCII tables — one table per artifact —
+so `pytest benchmarks/ --benchmark-only -s` output can be compared
+against the paper side by side (EXPERIMENTS.md records both).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "print_table", "format_series", "print_series", "banner"]
+
+
+def banner(title: str) -> str:
+    line = "=" * max(len(title), 8)
+    return f"\n{line}\n{title}\n{line}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned table; floats get 2 decimals, None prints '-'."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out: list[str] = []
+    if title:
+        out.append(banner(title))
+    out.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        out.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(out)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> None:
+    print(format_table(headers, rows, title))
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Render figure data: one x column plus one column per series."""
+    headers = [x_label, *series.keys()]
+    rows = [[x, *(series[name][i] for name in series)] for i, x in enumerate(xs)]
+    return format_table(headers, rows, title)
+
+
+def print_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+) -> None:
+    print(format_series(x_label, xs, series, title))
+
+
+def _fmt(v: object) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        if v != 0 and abs(v) < 0.01:
+            return f"{v:.5f}"
+        return f"{v:.2f}"
+    return str(v)

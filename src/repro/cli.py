@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Four commands mirror the library's workflow:
+
+``query``
+    Run XPath queries over an XML *or JSON* file (sniffed by content)
+    with any engine; print matches (offsets, optionally decoded values)
+    and execution stats.  For JSON, ``--grammar`` takes a JSON Schema
+    and queries address members under ``/json/…``.
+
+``inspect``
+    Show what GAP precomputes for a grammar + query set: the grammar's
+    elements, the static syntax tree (size, cycles), the merged query
+    automaton, and the feasible path table's set sizes.
+
+``generate``
+    Emit one of the synthetic benchmark datasets, deterministic in
+    ``(scale, seed)`` — handy for trying the engines on something
+    bigger than a toy snippet.
+
+``speedup``
+    Run a workload through the sequential engine, the PP-Transducer
+    and GAP, and report the simulated N-core speedups (the benchmark
+    harness in miniature).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.engine import GapEngine, PPTransducerEngine, SequentialEngine, element_at
+from .core.inference import infer_feasible_paths
+from .datasets import ALL_DATASETS, dataset_by_name, generate_query_set
+from .grammar import build_syntax_tree, is_xsd, parse_dtd, parse_xsd
+from .parallel import SimulatedCluster
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (OSError, ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GAP: grammar-aware parallel XPath querying (PPoPP'17 reproduction)",
+    )
+    sub = parser.add_subparsers(required=True, metavar="command")
+
+    q = sub.add_parser("query", help="run XPath queries over an XML file")
+    q.add_argument("file", help="XML document (use '-' for stdin)")
+    q.add_argument("-q", "--query", action="append", required=True, dest="queries",
+                   help="XPath query (repeatable)")
+    q.add_argument("-g", "--grammar", help="DTD or XSD file (default: the document's inline DTD, if any)")
+    q.add_argument("-e", "--engine", choices=("gap", "pp", "seq"), default="gap")
+    q.add_argument("-n", "--chunks", type=int, default=8, help="parallel chunks (default 8)")
+    q.add_argument("--learn", action="append", default=[], metavar="FILE",
+                   help="prior document(s) to learn a partial grammar from (speculative mode)")
+    q.add_argument("--text", action="store_true", help="decode matched elements' text")
+    q.add_argument("--stats", action="store_true", help="print execution statistics")
+    q.set_defaults(func=_cmd_query)
+
+    i = sub.add_parser("inspect", help="show grammar/automaton/feasible-table info")
+    i.add_argument("grammar", help="DTD or XSD file, or an XML document with an inline DTD")
+    i.add_argument("-q", "--query", action="append", default=[], dest="queries",
+                   help="query to compile against the grammar (repeatable)")
+    i.set_defaults(func=_cmd_inspect)
+
+    g = sub.add_parser("generate", help="emit a synthetic benchmark dataset")
+    g.add_argument("dataset", choices=sorted(ALL_DATASETS))
+    g.add_argument("-s", "--scale", type=float, default=1.0)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("-o", "--output", help="output file (default stdout)")
+    g.set_defaults(func=_cmd_generate)
+
+    s = sub.add_parser("speedup", help="compare engines on a dataset workload")
+    s.add_argument("dataset", choices=sorted(ALL_DATASETS))
+    s.add_argument("-Q", "--n-queries", type=int, default=10)
+    s.add_argument("-s", "--scale", type=float, default=10.0)
+    s.add_argument("-c", "--cores", type=int, default=20)
+    s.set_defaults(func=_cmd_speedup)
+    return parser
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, encoding="utf-8") as fh:
+        return fh.read()
+
+
+def _load_grammar(text: str):
+    if text.lstrip()[:1] == "{":
+        from .jsonstream import json_schema_to_grammar
+
+        return json_schema_to_grammar(text)
+    return parse_xsd(text) if is_xsd(text) else parse_dtd(text)
+
+
+def _looks_like_json(text: str) -> bool:
+    return text.lstrip()[:1] in ("{", "[")
+
+
+# ---------------------------------------------------------------------------
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    content = _read(args.file)
+    as_json = _looks_like_json(content)
+    tokens = None
+    if as_json:
+        from .jsonstream import tokenize_json
+
+        tokens = tokenize_json(content)
+
+    def execute(engine):
+        if tokens is not None:
+            return engine.run_tokens(tokens) if args.engine == "seq" else engine.run_tokens(
+                tokens, n_chunks=args.chunks
+            )
+        return engine.run(content) if args.engine == "seq" else engine.run(
+            content, n_chunks=args.chunks
+        )
+
+    if args.engine == "seq":
+        result = execute(SequentialEngine(args.queries))
+    elif args.engine == "pp":
+        result = execute(PPTransducerEngine(args.queries, n_chunks=args.chunks))
+    else:
+        grammar = None
+        if args.grammar:
+            grammar = _load_grammar(_read(args.grammar))
+        elif not as_json and "<!DOCTYPE" in content[:65536] and not args.learn:
+            grammar = parse_dtd(content)
+        engine = GapEngine(args.queries, grammar=grammar, n_chunks=args.chunks)
+        for prior in args.learn:
+            prior_text = _read(prior)
+            if _looks_like_json(prior_text):
+                from .jsonstream import tokenize_json
+
+                engine.learn_tokens(tokenize_json(prior_text))
+            else:
+                engine.learn(prior_text)
+        result = execute(engine)
+        print(f"# engine: gap ({engine.mode})")
+
+    for query, offsets in result.matches.items():
+        print(f"{query}: {len(offsets)} match(es)")
+        for offset in offsets:
+            if args.text and as_json:
+                from .jsonstream import json_value_at
+
+                print(f"  @{offset} {json_value_at(content, offset)!r}")
+            elif args.text:
+                tag, text = element_at(content, offset)
+                print(f"  @{offset} <{tag}> {text!r}")
+            else:
+                print(f"  @{offset}")
+    if args.stats:
+        print("# stats")
+        for key, value in result.stats.summary().items():
+            print(f"  {key}: {value:g}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    grammar = _load_grammar(_read(args.grammar))
+    print(f"grammar: root <{grammar.root}>, {len(grammar)} element declarations, "
+          f"{'complete' if grammar.is_complete() else 'PARTIAL'}")
+    tree = build_syntax_tree(grammar)
+    print(f"static syntax tree: {len(tree)} nodes, {tree.n_cycles()} cycles, "
+          f"max depth {tree.max_depth()}")
+    for node in tree.nodes():
+        if node.cycle:
+            print(f"  recursion: {node.path()} -> {', '.join(c.tag for c in node.cycle)}")
+    if not args.queries:
+        return 0
+
+    from .xpath import build_automaton, compile_queries
+
+    compiled, registry = compile_queries(list(args.queries))
+    automaton = build_automaton(registry.automaton_inputs())
+    print(f"queries: {len(compiled)}; forward sub-queries: {len(registry.subqueries)}")
+    for cq in compiled:
+        print(f"  {cq.source}  (#sub={cq.n_sub})")
+    print(f"automaton: {automaton.n_states} states over {len(automaton.alphabet)} tags")
+    table = infer_feasible_paths(automaton, tree)
+    print(f"feasible path table: {len(table)} entries, largest set "
+          f"{table.max_set_size()} / {automaton.n_states} states")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    ds = dataset_by_name(args.dataset)
+    xml = ds.generate(scale=args.scale, seed=args.seed)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(xml)
+        tags, dmax, davg = ds.stats(xml)
+        print(f"wrote {args.output}: {len(xml)} bytes, {tags} tags, "
+              f"d_max={dmax}, d_avg={davg:.2f}")
+    else:
+        sys.stdout.write(xml)
+    return 0
+
+
+def _cmd_speedup(args: argparse.Namespace) -> int:
+    ds = dataset_by_name(args.dataset)
+    queries = generate_query_set(ds, args.n_queries)
+    xml = ds.generate(scale=args.scale, seed=0)
+    print(f"{args.dataset}: {len(xml) // 1024} KiB, {args.n_queries} queries, "
+          f"{args.cores} simulated cores")
+
+    seq = SequentialEngine(queries).run(xml)
+    cluster = SimulatedCluster(args.cores)
+    for name, engine in (
+        ("pp", PPTransducerEngine(queries, n_chunks=args.cores)),
+        ("gap", GapEngine(queries, grammar=ds.grammar, n_chunks=args.cores)),
+    ):
+        res = engine.run(xml)
+        if res.offsets_by_id != seq.offsets_by_id:
+            raise RuntimeError(f"{name} results diverged from sequential")
+        report = cluster.schedule(
+            res.stats.chunk_counters, seq.stats.counters, run_totals=res.stats.counters
+        )
+        print(f"  {name:4s} speedup {report.speedup:6.2f}x  "
+              f"(starting paths {res.stats.avg_starting_paths:6.1f}, "
+              f"efficiency {report.efficiency:4.0%})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

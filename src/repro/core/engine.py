@@ -1,0 +1,474 @@
+"""Public query engines — the library's main entry points.
+
+Three engines share one interface (compile queries once, ``run`` over
+any number of documents):
+
+* :class:`SequentialEngine` — the single-threaded PDT, the speedup
+  baseline;
+* :class:`PPTransducerEngine` — the PP-Transducer (Ogden et al.,
+  VLDB'13) parallel baseline;
+* :class:`GapEngine` — the paper's contribution, in non-speculative or
+  speculative mode.
+
+Typical use::
+
+    from repro import GapEngine
+
+    engine = GapEngine(["/dblp/article/author", "//inproceedings//title"],
+                       grammar=dtd_text)          # non-speculative
+    result = engine.run(xml_text, n_chunks=20)
+    result.matches["/dblp/article/author"]        # list of byte offsets
+
+    engine = GapEngine(["/feed/entry/id"])        # no grammar: speculative
+    engine.learn(yesterdays_feed)                 # Algorithm 3
+    result = engine.run(todays_feed, n_chunks=20)
+
+Matches are byte offsets of the matched elements' start tags;
+:func:`element_at` turns an offset back into tag name and text content
+when the caller wants values rather than positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..grammar.dtd_parser import parse_dtd
+from ..grammar.model import Grammar
+from ..grammar.xsd_parser import is_xsd, parse_xsd
+from ..grammar.syntax_tree import StaticSyntaxTree, build_syntax_tree
+from ..parallel.backend import Backend
+from ..transducer.pipeline import (
+    ParallelPipeline,
+    ParallelRunResult,
+    run_sequential_pipeline,
+)
+from ..transducer.policies import BaselinePolicy, ELIMINATE_PAPER
+from ..xpath.automaton import build_automaton
+from ..xpath.filtering import apply_filters
+from ..xpath.rewrite import compile_queries
+from ..xmlstream.incremental import IncrementalLexer
+from ..xmlstream.lexer import lex_range
+from .gap_transducer import GapPolicy
+from .inference import FeasibleTable, infer_feasible_paths
+from .speculative import GrammarLearner, empty_speculative_table
+from .stats import RunStats
+
+__all__ = [
+    "EngineError",
+    "QueryResult",
+    "SequentialEngine",
+    "PPTransducerEngine",
+    "GapEngine",
+    "query",
+    "element_at",
+]
+
+
+class EngineError(RuntimeError):
+    """Raised for engine misconfiguration (wrong mode / missing grammar)."""
+
+
+@dataclass(slots=True)
+class QueryResult:
+    """Results of one run: per-query match offsets plus run statistics."""
+
+    queries: list[str]
+    offsets_by_id: dict[int, list[int]]
+    stats: RunStats
+
+    @property
+    def matches(self) -> dict[str, list[int]]:
+        """Query string → sorted start-tag offsets of its matches."""
+        return {q: self.offsets_by_id.get(i, []) for i, q in enumerate(self.queries)}
+
+    def count(self, query: str | int) -> int:
+        """Number of matches of one query (by string or id)."""
+        if isinstance(query, int):
+            return len(self.offsets_by_id.get(query, []))
+        return len(self.offsets_by_id.get(self.queries.index(query), []))
+
+    @property
+    def total_matches(self) -> int:
+        return sum(len(v) for v in self.offsets_by_id.values())
+
+    def iter_matches(self, text: str, max_text: int = 200):
+        """Yield ``(query, offset, tag, content)`` for every match.
+
+        ``text`` must be the document the result came from; elements
+        are decoded lazily with :func:`element_at`.
+        """
+        for qid, query in enumerate(self.queries):
+            for offset in self.offsets_by_id.get(qid, []):
+                tag, content = element_at(text, offset, max_text)
+                yield query, offset, tag, content
+
+
+class _EngineBase:
+    """Shared query compilation and result assembly.
+
+    ``minimize`` swaps the merged DFA for its minimal equivalent — an
+    extension knob (the paper's systems share the unminimised
+    construction); see :func:`repro.xpath.automaton.minimize_automaton`.
+    """
+
+    def __init__(
+        self,
+        queries: list[str],
+        backend: Backend | None = None,
+        minimize: bool = False,
+    ) -> None:
+        if not queries:
+            raise EngineError("at least one query is required")
+        self.queries = [str(q) for q in queries]
+        self.compiled, self.registry = compile_queries(self.queries)
+        self.automaton = build_automaton(self.registry.automaton_inputs(), minimize=minimize)
+        self.anchor_sids = self.registry.anchor_sids()
+        self.backend = backend
+
+    @property
+    def has_value_predicates(self) -> bool:
+        """True when any query compares element text (``[a = 'x']``)."""
+        from ..xpath.rewrite import Term
+
+        def walk(expr) -> bool:
+            if isinstance(expr, Term):
+                return expr.literal is not None
+            parts = getattr(expr, "parts", None)
+            if parts is not None:
+                return any(walk(p) for p in parts)
+            part = getattr(expr, "part", None)
+            return walk(part) if part is not None else False
+
+        return any(
+            walk(spec.expr)
+            for cq in self.compiled
+            for alt in cq.alternatives
+            for spec in alt.anchors
+        )
+
+    @property
+    def n_subqueries(self) -> int:
+        """Total forward sub-queries merged into the automaton."""
+        return len(self.registry.subqueries)
+
+    def _result(self, run: ParallelRunResult, decoder=None) -> QueryResult:
+        offsets = apply_filters(self.compiled, run.events, self.anchor_sids, decoder)
+        stats = RunStats(counters=run.counters, chunk_counters=run.chunk_counters)
+        return QueryResult(queries=self.queries, offsets_by_id=offsets, stats=stats)
+
+    @staticmethod
+    def _text_decoder(text: str):
+        """Offset → element text, for value predicates over XML text."""
+        return lambda offset: element_at(text, offset)[1]
+
+    @staticmethod
+    def _token_decoder(tokens: list):
+        """Offset → element text, for value predicates over token lists."""
+        from bisect import bisect_left
+
+        offsets = [t.offset for t in tokens]
+
+        def decode(offset: int) -> str:
+            i = bisect_left(offsets, offset)
+            while i < len(tokens) and not (tokens[i].is_start and tokens[i].offset == offset):
+                i += 1
+            if i >= len(tokens):
+                raise ValueError(f"no element starts at offset {offset}")
+            depth = 0
+            parts: list[str] = []
+            for tok in tokens[i:]:
+                if tok.is_start:
+                    depth += 1
+                elif tok.is_end:
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif depth == 1:
+                    parts.append(tok.name)
+            return "".join(parts)
+
+        return decode
+
+
+class SequentialEngine(_EngineBase):
+    """Single-threaded on-the-fly evaluation (the speedup baseline)."""
+
+    def run(self, text: str) -> QueryResult:
+        return self._result(
+            run_sequential_pipeline(text, self.automaton, self.anchor_sids),
+            decoder=self._text_decoder(text),
+        )
+
+    def run_tokens(self, tokens: list) -> QueryResult:
+        """Evaluate over a pre-tokenised stream (e.g. JSON tokens)."""
+        from ..transducer.counters import WorkCounters
+        from ..transducer.machine import run_sequential
+        from ..transducer.pipeline import ParallelRunResult
+
+        counters = WorkCounters(chunks=1, starting_paths=1)
+        if tokens:
+            counters.bytes_lexed = tokens[-1].offset + 1 - tokens[0].offset
+        res = run_sequential(self.automaton, tokens, self.anchor_sids, counters=counters)
+        run = ParallelRunResult(
+            events=res.events, final_state=res.state,
+            counters=counters, chunk_counters=[counters],
+        )
+        return self._result(run, decoder=self._token_decoder(tokens))
+
+    def run_stream(self, pieces) -> QueryResult:
+        """Single-pass evaluation over a document arriving in pieces.
+
+        ``pieces`` is any iterable of text fragments (file blocks,
+        network reads).  Memory stays bounded by the document depth
+        plus the largest single token plus the match list — the
+        paper's "constant memory requirement" stream-processing mode.
+        Match offsets are identical to a batch :meth:`run`.
+
+        Exception: queries with *value predicates* need the matched
+        candidates' text after the pass ends, so for those the stream
+        is buffered (memory ∝ document size, like :meth:`run`).
+        """
+        from ..transducer.counters import WorkCounters
+        from ..transducer.machine import run_sequential
+        from ..transducer.pipeline import ParallelRunResult
+
+        lexer = IncrementalLexer()
+        counters = WorkCounters(chunks=1, starting_paths=1)
+        buffer: list[str] | None = [] if self.has_value_predicates else None
+
+        def tokens():
+            for piece in pieces:
+                counters.bytes_lexed += len(piece)
+                if buffer is not None:
+                    buffer.append(piece)
+                yield from lexer.feed(piece)
+            yield from lexer.close()
+
+        res = run_sequential(self.automaton, tokens(), self.anchor_sids, counters=counters)
+        run = ParallelRunResult(
+            events=res.events,
+            final_state=res.state,
+            counters=counters,
+            chunk_counters=[counters],
+        )
+        decoder = self._text_decoder("".join(buffer)) if buffer is not None else None
+        return self._result(run, decoder=decoder)
+
+
+class PPTransducerEngine(_EngineBase):
+    """The PP-Transducer baseline: enumerate-all-paths parallelism."""
+
+    def __init__(
+        self,
+        queries: list[str],
+        n_chunks: int = 4,
+        backend: Backend | None = None,
+        minimize: bool = False,
+    ) -> None:
+        super().__init__(queries, backend, minimize=minimize)
+        self.n_chunks = n_chunks
+        self.policy = BaselinePolicy(self.automaton)
+        self._pipeline = ParallelPipeline(self.automaton, self.policy, self.anchor_sids, backend)
+
+    def run(self, text: str, n_chunks: int | None = None) -> QueryResult:
+        return self._result(
+            self._pipeline.run(text, n_chunks or self.n_chunks),
+            decoder=self._text_decoder(text),
+        )
+
+    def run_tokens(self, tokens: list, n_chunks: int | None = None) -> QueryResult:
+        """Parallel evaluation over a pre-tokenised stream (e.g. JSON)."""
+        return self._result(
+            self._pipeline.run_tokens(tokens, n_chunks or self.n_chunks),
+            decoder=self._token_decoder(tokens),
+        )
+
+
+class GapEngine(_EngineBase):
+    """Grammar-aware parallel engine (the paper's contribution).
+
+    Parameters
+    ----------
+    queries:
+        XPath strings (the supported fragment, see :mod:`repro.xpath`).
+    grammar:
+        One of
+
+        * DTD text (or a whole document with a DOCTYPE), or XML Schema
+          text (detected and parsed by :mod:`repro.grammar.xsd_parser`);
+        * a :class:`~repro.grammar.model.Grammar`;
+        * a :class:`~repro.grammar.syntax_tree.StaticSyntaxTree`;
+        * ``None`` — no pre-defined grammar: speculative mode; feed
+          prior inputs through :meth:`learn`.
+    mode:
+        ``"auto"`` (default): non-speculative iff the grammar is
+        complete.  ``"nonspec"`` insists on a complete grammar (raises
+        otherwise).  ``"spec"`` forces speculation even with a complete
+        grammar (useful for experiments).
+    n_chunks:
+        Default split width (the paper's worker count), overridable per
+        run.
+    eliminate / switch_to_stack:
+        Ablation knobs for the two GAP features (defaults follow the
+        paper).
+    """
+
+    def __init__(
+        self,
+        queries: list[str],
+        grammar: str | Grammar | StaticSyntaxTree | None = None,
+        mode: str = "auto",
+        n_chunks: int = 4,
+        eliminate: str = ELIMINATE_PAPER,
+        switch_to_stack: bool = True,
+        backend: Backend | None = None,
+        minimize: bool = False,
+    ) -> None:
+        super().__init__(queries, backend, minimize=minimize)
+        if mode not in ("auto", "nonspec", "spec"):
+            raise EngineError(f"unknown mode {mode!r} (expected auto/nonspec/spec)")
+        self.n_chunks = n_chunks
+        self.eliminate = eliminate
+        self.switch_to_stack = switch_to_stack
+        self.learner = GrammarLearner()
+        self._table: FeasibleTable | None = None
+
+        tree, complete = self._resolve_grammar(grammar)
+        if mode == "nonspec" and not complete:
+            raise EngineError(
+                "non-speculative mode requires a complete grammar "
+                "(missing declarations: partial or absent grammar supplied)"
+            )
+        if mode == "spec":
+            complete = False
+        self._tree = tree
+        self._complete = complete and tree is not None
+
+    @staticmethod
+    def _resolve_grammar(
+        grammar: str | Grammar | StaticSyntaxTree | None,
+    ) -> tuple[StaticSyntaxTree | None, bool]:
+        if grammar is None:
+            return None, False
+        if isinstance(grammar, str):
+            grammar = parse_xsd(grammar) if is_xsd(grammar) else parse_dtd(grammar)
+        if isinstance(grammar, Grammar):
+            return build_syntax_tree(grammar), grammar.is_complete()
+        if isinstance(grammar, StaticSyntaxTree):
+            # a bare tree's provenance is unknown; treat as complete —
+            # callers passing extracted trees should use GrammarLearner
+            return grammar, True
+        raise EngineError(f"unsupported grammar object {type(grammar).__name__}")
+
+    # -- speculative-mode learning ---------------------------------------
+
+    def learn(self, xml_text: str) -> None:
+        """Extract partial grammar from a prior input (Algorithm 3)."""
+        if self._complete:
+            raise EngineError("learning is only meaningful without a complete grammar")
+        self.learner.observe(xml_text)
+        self._table = None  # invalidate
+
+    @property
+    def mode(self) -> str:
+        return "nonspec" if self._complete else "spec"
+
+    @property
+    def table(self) -> FeasibleTable:
+        """The feasible path table (built lazily, cached)."""
+        if self._table is None:
+            if self._tree is not None:
+                self._table = infer_feasible_paths(
+                    self.automaton, self._tree, complete=self._complete
+                )
+            elif self.learner.tree is not None:
+                self._table = self.learner.table(self.automaton)
+            else:
+                self._table = empty_speculative_table()
+        return self._table
+
+    # -- execution --------------------------------------------------------
+
+    def _pipeline(self) -> ParallelPipeline:
+        policy = GapPolicy(
+            self.automaton,
+            self.table,
+            eliminate=self.eliminate,
+            switch_to_stack=self.switch_to_stack,
+        )
+        return ParallelPipeline(self.automaton, policy, self.anchor_sids, self.backend)
+
+    def run(
+        self, text: str, n_chunks: int | None = None, learn: bool = False
+    ) -> QueryResult:
+        """Query ``text``; with ``learn=True`` also extend the learned grammar.
+
+        ``learn`` implements the paper's *online* grammar extraction
+        (Section 6: the extractor "can be enabled either online (for
+        streaming data) or offline"): the document just queried feeds
+        Algorithm 3, so the *next* run speculates from a better table.
+        Only meaningful in speculative mode.
+        """
+        result = self._result(
+            self._pipeline().run(text, n_chunks or self.n_chunks),
+            decoder=self._text_decoder(text),
+        )
+        if learn:
+            self.learn(text)
+        return result
+
+    def run_tokens(
+        self, tokens: list, n_chunks: int | None = None, learn: bool = False
+    ) -> QueryResult:
+        """Parallel GAP evaluation over a pre-tokenised stream (e.g. JSON)."""
+        result = self._result(
+            self._pipeline().run_tokens(tokens, n_chunks or self.n_chunks),
+            decoder=self._token_decoder(tokens),
+        )
+        if learn:
+            self.learn_tokens(tokens)
+        return result
+
+    def learn_tokens(self, tokens: list) -> None:
+        """Speculative-mode learning from a pre-tokenised prior input."""
+        if self._complete:
+            raise EngineError("learning is only meaningful without a complete grammar")
+        self.learner.observe_tokens(tokens)
+        self._table = None
+
+
+def query(
+    text: str,
+    queries: list[str],
+    grammar: str | Grammar | None = None,
+    n_chunks: int = 4,
+) -> dict[str, list[int]]:
+    """One-shot convenience: run queries over a document, return matches."""
+    engine = GapEngine(queries, grammar=grammar, n_chunks=n_chunks)
+    return engine.run(text).matches
+
+
+def element_at(text: str, offset: int, max_text: int = 200) -> tuple[str, str]:
+    """Decode the element at a match offset into ``(tag, text content)``.
+
+    Re-lexes from the offset; text content is the concatenated direct
+    character data, truncated to ``max_text`` characters.
+    """
+    tokens = lex_range(text, offset, len(text))
+    first = next(tokens, None)
+    if first is None or not first.is_start:
+        raise ValueError(f"no element starts at byte {offset}")
+    depth = 1
+    parts: list[str] = []
+    for tok in tokens:
+        if tok.is_start:
+            depth += 1
+        elif tok.is_end:
+            depth -= 1
+            if depth == 0:
+                break
+        elif depth == 1:
+            parts.append(tok.name)
+            if sum(len(p) for p in parts) >= max_text:
+                break
+    return first.name, "".join(parts)[:max_text]

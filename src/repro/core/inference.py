@@ -1,0 +1,169 @@
+"""Feasible-path inference — symbolic execution of the PDT (Alg. 2).
+
+Given the query automaton and a static syntax tree, infer for every
+input symbol the set of automaton states the transducer can be in right
+before reading it (Definition 2 of the paper).  The result is the
+*feasible path table* (Table 1) that powers every GAP elimination
+scenario.
+
+The paper formulates this as a guided unfolding of the syntax tree's
+cycles (Algorithm 2).  We compute the identical information as a
+**dataflow fixpoint** over ``(syntax-tree node, state)`` pairs, which
+is easier to prove correct:
+
+* ``entry[n]`` — states possible immediately before ``<n.tag>`` when
+  the element instance corresponds to node ``n``;
+* reading the start tag maps it forward:
+  ``inside[n] = { δ(s, n.tag) : s ∈ entry[n] }``;
+* because children are balanced sub-trees (pushes and pops cancel),
+  the state immediately before *any* child's start tag — regardless of
+  sibling order or repetition — equals ``inside[n]``; hence
+  ``entry[c] ⊇ inside[n]`` for every child ``c`` and, for a recursion
+  back-pointer ``n ⟳ a``, ``entry[a] ⊇ inside[n]``;
+* likewise the state right before ``</n.tag>`` equals ``inside[n]``
+  and the state right after it equals the popped value ``entry[n]``.
+
+Sets grow monotonically in a finite lattice, so the worklist iteration
+terminates; because every propagation mirrors a real transition of the
+PDT on some valid document, the fixpoint is exactly the set of
+Definition-2 feasible states (see ``tests/test_inference.py`` for the
+running-example pin, including the deep-recursion states the paper's
+Figure 7 walkthrough stops short of — its unfolding prunes transitions
+into the unrelated-tag state, which *are* reachable on documents that
+recurse more deeply than the figure's example input; completeness
+matters for non-speculative soundness, so we keep them).
+
+The same routine applied to a *partial* syntax tree (extracted from
+data, Algorithm 3) yields the possibly-incomplete table speculative
+GAP runs on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..grammar.syntax_tree import StaticSyntaxTree, SyntaxNode
+from ..xpath.automaton import QueryAutomaton
+from ..xmlstream.tokens import Token, TokenKind
+
+__all__ = ["FeasibleTable", "infer_feasible_paths"]
+
+
+@dataclass(slots=True)
+class FeasibleTable:
+    """The feasible path table: input symbol → feasible starting states.
+
+    ``complete`` distinguishes a table inferred from a complete grammar
+    (non-speculative mode: a missing tag is *provably infeasible*, so
+    lookups return the empty set) from one inferred from a partial
+    grammar (speculative mode: a missing tag means *unknown*, lookups
+    return ``None`` and the transducer degrades to full enumeration for
+    that decision).
+    """
+
+    before_start: dict[str, frozenset[int]] = field(default_factory=dict)
+    before_end: dict[str, frozenset[int]] = field(default_factory=dict)
+    text_states: frozenset[int] = frozenset()
+    complete: bool = True
+
+    _EMPTY = frozenset()
+
+    def lookup_start(self, tag: str) -> frozenset[int] | None:
+        """States feasible immediately before ``<tag>``.
+
+        Also the possible values popped by ``</tag>`` — the popped
+        value is whatever was pushed at the matching start tag.
+        """
+        got = self.before_start.get(tag)
+        if got is None:
+            return self._EMPTY if self.complete else None
+        return got
+
+    def lookup_end(self, tag: str) -> frozenset[int] | None:
+        """States feasible immediately before ``</tag>``."""
+        got = self.before_end.get(tag)
+        if got is None:
+            return self._EMPTY if self.complete else None
+        return got
+
+    def lookup_text(self) -> frozenset[int] | None:
+        """States feasible immediately before a text token.
+
+        For a partial grammar the observed PCDATA contexts are a lower
+        bound, never exhaustive — so speculative tables answer
+        "unknown" rather than risk needless misspeculation on the very
+        common case of a chunk starting inside text.
+        """
+        if not self.complete:
+            return None
+        return self.text_states
+
+    def start_states(self, token: Token) -> frozenset[int] | None:
+        """Scenario-1 lookup: feasible states for a chunk's first token."""
+        if token.kind == TokenKind.START:
+            return self.lookup_start(token.name)
+        if token.kind == TokenKind.END:
+            return self.lookup_end(token.name)
+        return self.lookup_text()
+
+    def max_set_size(self) -> int:
+        sizes = [len(v) for v in self.before_start.values()]
+        sizes += [len(v) for v in self.before_end.values()]
+        return max(sizes, default=0)
+
+    def __len__(self) -> int:
+        return len(self.before_start) + len(self.before_end)
+
+
+def infer_feasible_paths(
+    automaton: QueryAutomaton,
+    tree: StaticSyntaxTree,
+    complete: bool = True,
+) -> FeasibleTable:
+    """Symbolically execute ``automaton`` over ``tree`` (see module doc).
+
+    ``complete`` should be ``True`` iff the tree came from a complete
+    grammar (Algorithm 1 on a full DTD) — it controls how table misses
+    are interpreted, not how inference runs.
+    """
+    entry: dict[SyntaxNode, set[int]] = {tree.root: {automaton.initial}}
+    inside: dict[SyntaxNode, set[int]] = {}
+    worklist: deque[SyntaxNode] = deque([tree.root])
+    queued: set[SyntaxNode] = {tree.root}
+
+    while worklist:
+        node = worklist.popleft()
+        queued.discard(node)
+        states = entry[node]
+        new_inside = {automaton.step(s, node.tag) for s in states}
+        have = inside.setdefault(node, set())
+        added = new_inside - have
+        if not added and have:
+            # nothing new flowed in since the last visit
+            continue
+        have |= added
+        targets: list[SyntaxNode] = list(node.children)
+        targets.extend(node.cycle)
+        for child in targets:
+            child_entry = entry.setdefault(child, set())
+            before = len(child_entry)
+            child_entry |= have
+            if len(child_entry) != before and child not in queued:
+                worklist.append(child)
+                queued.add(child)
+
+    table = FeasibleTable(complete=complete)
+    before_start: dict[str, set[int]] = {}
+    before_end: dict[str, set[int]] = {}
+    text_states: set[int] = set()
+    for node, states in entry.items():
+        before_start.setdefault(node.tag, set()).update(states)
+    for node, states in inside.items():
+        before_end.setdefault(node.tag, set()).update(states)
+        if node.pcdata:
+            text_states |= states
+    table.before_start = {t: frozenset(s) for t, s in before_start.items()}
+    table.before_end = {t: frozenset(s) for t, s in before_end.items()}
+    table.text_states = frozenset(text_states)
+    return table

@@ -1,0 +1,33 @@
+"""Benchmark datasets: synthesised UW-repository corpora and XMark.
+
+See DESIGN.md §2 for the simulation rationale: the original corpora
+are unavailable offline, so seeded grammar-driven generators reproduce
+their structure (tag vocabulary, nesting depths, recursion) and the
+Table-4 query workloads run against them unchanged.
+"""
+
+from .base import Dataset
+from .generators import DocumentGenerator, GenerationError, document_stats, min_depths
+from .uw import DBLP, LINEITEM, NASA, PROTEIN, SWISSPROT, UW_DATASETS
+from .xmark import XMARK
+from .xpathmark import ALL_DATASETS, TABLE4, Table4Query, dataset_by_name, generate_query_set
+
+__all__ = [
+    "ALL_DATASETS",
+    "DBLP",
+    "Dataset",
+    "DocumentGenerator",
+    "GenerationError",
+    "LINEITEM",
+    "NASA",
+    "PROTEIN",
+    "SWISSPROT",
+    "TABLE4",
+    "Table4Query",
+    "UW_DATASETS",
+    "XMARK",
+    "dataset_by_name",
+    "document_stats",
+    "generate_query_set",
+    "min_depths",
+]

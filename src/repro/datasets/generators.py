@@ -1,0 +1,292 @@
+"""Grammar-driven XML document generation.
+
+The paper evaluates on UW XML repository datasets and XMark.  Neither
+corpus ships with this reproduction (no network, and the originals are
+hundreds of MB), so each benchmark dataset is *synthesised* from a DTD
+modeled on the original's published structure (see
+:mod:`repro.datasets.uw` / :mod:`repro.datasets.xmark` and DESIGN.md
+§2).  This module provides the shared machinery: a deterministic,
+seeded generator that walks a grammar's content models and emits a
+*conforming* document — conformance is what the non-speculative
+soundness argument rests on, and the test suite validates every
+generated corpus with :class:`repro.xmlstream.validate.Validator`.
+
+Generation walks content models recursively:
+
+* ``Seq`` emits every part in order;
+* ``Choice`` picks a part uniformly (among parts whose minimum
+  completion depth fits the remaining depth budget);
+* ``Repeat`` draws a count from a per-child configurable range, or a
+  geometric distribution for recursion-carrying children (so deep
+  nesting exists but decays, like XMark's parlist/listitem);
+* ``#PCDATA`` emits text from a pluggable factory.
+
+Termination is guaranteed by *minimum completion depths* computed as a
+fixpoint: when the depth budget runs low the generator takes the
+cheapest alternatives; grammars in which the root cannot derive any
+finite document are rejected up front.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from ..grammar.model import (
+    AnyContent,
+    Choice,
+    ContentModel,
+    Empty,
+    Grammar,
+    GrammarError,
+    Name,
+    PCData,
+    Repeat,
+    Seq,
+    UNBOUNDED,
+)
+
+__all__ = ["GenerationError", "DocumentGenerator", "min_depths", "document_stats"]
+
+#: effectively-infinite depth for elements that cannot finish
+_INF = 10**9
+
+_WORDS = (
+    "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+    "hotel", "india", "juliet", "kilo", "lima", "mike", "november",
+)
+
+
+class GenerationError(GrammarError):
+    """Raised when a grammar cannot generate any finite document."""
+
+
+def min_depths(grammar: Grammar) -> dict[str, int]:
+    """Minimum element-tree depth needed to complete each element.
+
+    A pure-#PCDATA element has depth 1; an element whose cheapest
+    content requires a child ``c`` has depth ``1 + depth(c)``.
+    Undeclared elements (partial grammars) count as depth 1 — they are
+    emitted as empty elements.
+    """
+    depth: dict[str, int] = {name: _INF for name in grammar.elements}
+
+    def model_depth(m: ContentModel) -> int:
+        if isinstance(m, (PCData, Empty)):
+            return 0
+        if isinstance(m, AnyContent):
+            return 0  # ANY may legally be left empty of elements? No — but text suffices
+        if isinstance(m, Name):
+            return depth.get(m.name, 1)
+        if isinstance(m, Seq):
+            total = 0
+            for p in m.parts:
+                d = model_depth(p)
+                if d >= _INF:
+                    return _INF
+                total = max(total, d)
+            return total
+        if isinstance(m, Choice):
+            return min((model_depth(p) for p in m.parts), default=0)
+        if isinstance(m, Repeat):
+            if m.lo == 0:
+                return 0
+            return model_depth(m.part)
+        raise TypeError(f"unknown model node {m!r}")  # pragma: no cover
+
+    changed = True
+    while changed:
+        changed = False
+        for name, decl in grammar.elements.items():
+            d = 1 + model_depth(decl.model)
+            if d < depth[name]:
+                depth[name] = d
+                changed = True
+    return depth
+
+
+class DocumentGenerator:
+    """Deterministic conforming-document generator for one grammar.
+
+    Parameters
+    ----------
+    grammar:
+        The (complete) grammar to generate from.
+    seed:
+        RNG seed; equal seeds give byte-identical documents.
+    max_depth:
+        Soft depth budget: repetitions of recursion-carrying children
+        stop, and choices prefer shallow branches, once exceeded.
+        Mandatory structure may still exceed it by the grammar's
+        minimum depths.
+    repeat_range:
+        Default ``(lo, hi)`` for ``*``/``+`` repetition counts.
+    repeat_overrides:
+        Child-element name → ``(lo, hi)`` overriding the default (e.g.
+        ``{"T": (50_000, 50_000)}`` to control the record count).
+    geometric:
+        Child names drawn geometrically (``geometric_p`` per extra
+        repetition) instead of uniformly — used for recursive children
+        so depth decays naturally.
+    text_factory:
+        ``f(element_name, rng) -> str`` for #PCDATA content.
+    """
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        seed: int = 0,
+        max_depth: int = 12,
+        repeat_range: tuple[int, int] = (1, 3),
+        repeat_overrides: dict[str, tuple[int, int]] | None = None,
+        geometric: frozenset[str] | set[str] = frozenset(),
+        geometric_p: float = 0.5,
+        text_factory: Callable[[str, random.Random], str] | None = None,
+    ) -> None:
+        self.grammar = grammar
+        self.seed = seed
+        self.max_depth = max_depth
+        self.repeat_range = repeat_range
+        self.repeat_overrides = dict(repeat_overrides or {})
+        self.geometric = frozenset(geometric)
+        self.geometric_p = geometric_p
+        self.text_factory = text_factory or _default_text
+        self._min_depth = min_depths(grammar)
+        root_depth = self._min_depth.get(grammar.root, _INF)
+        if root_depth >= _INF:
+            raise GenerationError(
+                f"grammar root {grammar.root!r} cannot derive a finite document"
+            )
+
+    # ------------------------------------------------------------------
+
+    def generate(self, include_prolog: bool = True) -> str:
+        """Generate one document (optionally with XML prolog + DOCTYPE)."""
+        rng = random.Random(self.seed)
+        out: list[str] = []
+        if include_prolog:
+            out.append('<?xml version="1.0" encoding="UTF-8"?>\n')
+            out.append(self.grammar.to_dtd())
+            out.append("\n")
+        self._emit_element(self.grammar.root, 1, rng, out)
+        return "".join(out)
+
+    # ------------------------------------------------------------------
+
+    def _emit_element(self, name: str, depth: int, rng: random.Random, out: list[str]) -> None:
+        decl = self.grammar.elements.get(name)
+        if decl is None or isinstance(decl.model, Empty):
+            out.append(f"<{name}/>")
+            return
+        out.append(f"<{name}>")
+        if isinstance(decl.model, AnyContent):
+            out.append(_escape(self.text_factory(name, rng)))
+        else:
+            self._emit_model(decl.model, depth, rng, out, name)
+        out.append(f"</{name}>")
+
+    def _emit_model(
+        self, m: ContentModel, depth: int, rng: random.Random, out: list[str], parent: str
+    ) -> None:
+        if isinstance(m, PCData):
+            out.append(_escape(self.text_factory(parent, rng)))
+            return
+        if isinstance(m, Empty):
+            return
+        if isinstance(m, Name):
+            self._emit_element(m.name, depth + 1, rng, out)
+            return
+        if isinstance(m, Seq):
+            for p in m.parts:
+                self._emit_model(p, depth, rng, out, parent)
+            return
+        if isinstance(m, Choice):
+            budget = self.max_depth - depth
+            viable = [p for p in m.parts if self._model_min_depth(p) <= budget]
+            pick = rng.choice(viable if viable else [self._cheapest(m.parts)])
+            self._emit_model(pick, depth, rng, out, parent)
+            return
+        if isinstance(m, Repeat):
+            count = self._repeat_count(m, depth, rng)
+            for _ in range(count):
+                self._emit_model(m.part, depth, rng, out, parent)
+            return
+        raise TypeError(f"unknown model node {m!r}")  # pragma: no cover
+
+    def _repeat_count(self, m: Repeat, depth: int, rng: random.Random) -> int:
+        part_depth = self._model_min_depth(m.part)
+        over_budget = depth + part_depth > self.max_depth
+        if over_budget:
+            return m.lo  # mandatory repetitions only
+        override = None
+        if isinstance(m.part, Name):
+            override = self.repeat_overrides.get(m.part.name)
+            if m.part.name in self.geometric:
+                count = 0
+                limit = m.hi if m.hi != UNBOUNDED else 1 << 30
+                while count < limit and rng.random() < self.geometric_p:
+                    count += 1
+                return max(m.lo, count)
+        if override is None and m.hi != UNBOUNDED:
+            # bounded cardinality (x? or plain x): honour the model's own
+            # range, so optional parts are genuinely optional (~50%)
+            return rng.randint(m.lo, m.hi)
+        lo, hi = override if override is not None else self.repeat_range
+        lo = max(lo, m.lo)
+        if m.hi != UNBOUNDED:
+            hi = min(hi, m.hi)
+        hi = max(hi, lo)
+        return rng.randint(lo, hi)
+
+    def _model_min_depth(self, m: ContentModel) -> int:
+        if isinstance(m, Name):
+            return self._min_depth.get(m.name, 1)
+        if isinstance(m, (PCData, Empty, AnyContent)):
+            return 0
+        if isinstance(m, Seq):
+            worst = 0
+            for p in m.parts:
+                worst = max(worst, self._model_min_depth(p))
+            return worst
+        if isinstance(m, Choice):
+            return min(self._model_min_depth(p) for p in m.parts)
+        if isinstance(m, Repeat):
+            return 0 if m.lo == 0 else self._model_min_depth(m.part)
+        raise TypeError(f"unknown model node {m!r}")  # pragma: no cover
+
+    def _cheapest(self, parts: tuple[ContentModel, ...]) -> ContentModel:
+        return min(parts, key=self._model_min_depth)
+
+
+def document_stats(tokens) -> tuple[int, int, float]:
+    """Table-3 statistics of a token stream: ``(#tags, d_max, d_avg)``.
+
+    ``#tags`` counts start and end tags (each element contributes two,
+    matching the scale of the paper's Table 3); depths are element
+    depths with the root at depth 1, averaged over elements.
+    """
+    n_tags = 0
+    depth = 0
+    d_max = 0
+    d_total = 0
+    n_elems = 0
+    for tok in tokens:
+        if tok.is_start:
+            n_tags += 1
+            depth += 1
+            n_elems += 1
+            d_total += depth
+            if depth > d_max:
+                d_max = depth
+        elif tok.is_end:
+            n_tags += 1
+            depth -= 1
+    return n_tags, d_max, (d_total / n_elems if n_elems else 0.0)
+
+
+def _default_text(name: str, rng: random.Random) -> str:
+    return f"{rng.choice(_WORDS)} {rng.choice(_WORDS)} {rng.randrange(100000)}"
+
+
+def _escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;")

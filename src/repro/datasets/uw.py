@@ -1,0 +1,253 @@
+"""UW XML repository datasets, synthesised (see DESIGN.md §2).
+
+The paper's corpus comes from the University of Washington XML data
+repository: Lineitem (TPC-H), DBLP, SwissProt, NASA ADC, and the
+Georgetown Protein Sequence Database, replicated to 600 MB–6 GB.  The
+originals are unavailable offline, so each dataset here is a seeded
+synthetic equivalent whose DTD mirrors the original's *structure* —
+tag vocabulary (abbreviated exactly as in the paper's Table 4
+queries), maximum nesting depth d_max, and approximate average depth
+d_avg per Table 3.  The workload-relevant properties the paper's
+results depend on — path shapes, selectivity of the Table-4 queries,
+recursion (none in these five; XMark carries it) — are preserved.
+
+Table 3 targets:
+
+============  =====  ======
+dataset       d_max  d_avg
+============  =====  ======
+Lineitem      3      2.94
+DBLP          6      2.9
+SwissProt     5      3.55
+NASA          8      5.58
+Protein       7      5.15
+============  =====  ======
+"""
+
+from __future__ import annotations
+
+import random
+
+from .base import Dataset
+
+__all__ = ["LINEITEM", "DBLP", "SWISSPROT", "NASA", "PROTEIN", "UW_DATASETS"]
+
+
+def _id_text(name: str, rng: random.Random) -> str:
+    return f"{name}-{rng.randrange(1_000_000)}"
+
+
+# ---------------------------------------------------------------------------
+# Lineitem — TPC-H lineitem table dump: one flat row element per record.
+# Nearly every element sits at depth 3 (root/row/field), hence d_avg 2.94.
+# ---------------------------------------------------------------------------
+
+LINEITEM = Dataset(
+    name="lineitem",
+    dtd="""<!DOCTYPE table [
+  <!ELEMENT table (T*)>
+  <!ELEMENT T (OK, PK, SK, LN, QT, EP, DS, TX, RF, LS, SD, CD, RD, SI, SM, CM)>
+  <!ELEMENT OK (#PCDATA)> <!ELEMENT PK (#PCDATA)> <!ELEMENT SK (#PCDATA)>
+  <!ELEMENT LN (#PCDATA)> <!ELEMENT QT (#PCDATA)> <!ELEMENT EP (#PCDATA)>
+  <!ELEMENT DS (#PCDATA)> <!ELEMENT TX (#PCDATA)> <!ELEMENT RF (#PCDATA)>
+  <!ELEMENT LS (#PCDATA)> <!ELEMENT SD (#PCDATA)> <!ELEMENT CD (#PCDATA)>
+  <!ELEMENT RD (#PCDATA)> <!ELEMENT SI (#PCDATA)> <!ELEMENT SM (#PCDATA)>
+  <!ELEMENT CM (#PCDATA)>
+]>""",
+    queries={
+        "LI1": "/table/T/EP",
+        "LI2": "//T/DS",
+        "LI3": "/table/T[RF]/TX",
+    },
+    expected_dmax=3,
+    expected_davg=2.94,
+    record_element="T",
+    records_per_scale=120,
+    text_factory=_id_text,
+)
+
+
+# ---------------------------------------------------------------------------
+# DBLP — bibliography records under one root.  The paper's queries use
+# dp (dblp), ar (article), au (author), tit (title), jn (journal),
+# ed (editor), yr (year), mt (mastersthesis), pt (phdthesis).  Titles
+# carry occasional markup (i / sub / sup) giving d_max 6.
+# ---------------------------------------------------------------------------
+
+DBLP = Dataset(
+    name="dblp",
+    dtd="""<!DOCTYPE dp [
+  <!ELEMENT dp (ar*, ip*, mt*, pt*, ed*, au*)>
+  <!ELEMENT ar (au*, tit?, jn?, yr?)>
+  <!ELEMENT ip (au*, tit?, bt?, yr?)>
+  <!ELEMENT mt (au?, tit?, yr?, sch?)>
+  <!ELEMENT pt (au?, tit?, yr?, sch?)>
+  <!ELEMENT tit (#PCDATA | i | sub)*>
+  <!ELEMENT i (#PCDATA | sub)*>
+  <!ELEMENT sub (#PCDATA | sup)*>
+  <!ELEMENT sup (#PCDATA)>
+  <!ELEMENT au (#PCDATA)> <!ELEMENT jn (#PCDATA)> <!ELEMENT yr (#PCDATA)>
+  <!ELEMENT ed (#PCDATA)> <!ELEMENT bt (#PCDATA)> <!ELEMENT sch (#PCDATA)>
+]>""",
+    queries={
+        "DP1": "/dp/ar/au",
+        "DP2": "//dp//ed",
+        "DP3": (
+            "/dp[mt/au or mt/tit or mt/yr or mt/sch or pt/au or pt/tit or pt/yr or pt/sch"
+            " or ar/au or ar/tit or ar/jn or ar/yr or ip/au or ip/tit or ip/bt or ip/yr"
+            " or ed or au or ar/tit/i or ip/tit/i]/au"
+        ),
+        "DP4": "/dp/ar[tit]/jn",
+    },
+    expected_dmax=6,
+    expected_davg=2.9,
+    record_element="ar",
+    records_per_scale=60,
+    repeat_range=(0, 2),
+    repeat_overrides={
+        "ip": (0, 1),
+        "mt": (0, 1),
+        "pt": (0, 1),
+        "ed": (2, 5),
+        "au": (1, 3),
+        "i": (0, 1),
+        "sub": (0, 1),
+        "sup": (0, 1),
+    },
+    max_depth=6,
+    text_factory=_id_text,
+)
+
+
+# ---------------------------------------------------------------------------
+# SwissProt — protein annotations: entries with references and feature
+# tables.  d_max 5, d_avg 3.55.
+# ---------------------------------------------------------------------------
+
+SWISSPROT = Dataset(
+    name="swissprot",
+    dtd="""<!DOCTYPE sp [
+  <!ELEMENT sp (e*)>
+  <!ELEMENT e (pn?, og?, rf*, ft*, kw*)>
+  <!ELEMENT pn (#PCDATA)>
+  <!ELEMENT og (sn?, cn?, lin?)>
+  <!ELEMENT sn (#PCDATA)> <!ELEMENT cn (#PCDATA)>
+  <!ELEMENT lin (tx+)>
+  <!ELEMENT tx (#PCDATA)>
+  <!ELEMENT rf (ra*, rt?, rl?)>
+  <!ELEMENT ra (#PCDATA)> <!ELEMENT rt (#PCDATA)> <!ELEMENT rl (#PCDATA)>
+  <!ELEMENT ft (nm?, ds?, fr?)>
+  <!ELEMENT nm (#PCDATA)> <!ELEMENT ds (#PCDATA)> <!ELEMENT fr (#PCDATA)>
+  <!ELEMENT kw (#PCDATA)>
+]>""",
+    queries={
+        "SP1": "/sp/e/rf/ra",
+        "SP2": "//e[og]/pn",
+        "SP3": "/sp/e/ft[nm and ds]/fr",
+    },
+    expected_dmax=5,
+    expected_davg=3.55,
+    record_element="e",
+    records_per_scale=70,
+    repeat_range=(1, 2),
+    repeat_overrides={"rf": (1, 3), "ft": (1, 4), "kw": (0, 3), "ra": (1, 4), "tx": (2, 5)},
+    max_depth=5,
+    text_factory=_id_text,
+)
+
+
+# ---------------------------------------------------------------------------
+# NASA — astronomical datasets (ADC).  Deep reference/author chains:
+# ds/d/r/s/o/au/ln reaches depth 7 and tables ds/d/tb/ts/tl/tit depth 6;
+# the history chain hi/ing/cr/au/ln reaches d_max 8.
+# ---------------------------------------------------------------------------
+
+NASA = Dataset(
+    name="nasa",
+    dtd="""<!DOCTYPE ds [
+  <!ELEMENT ds (d*)>
+  <!ELEMENT d (tit?, al?, an?, na?, kw*, tb?, r*, hi?)>
+  <!ELEMENT tit (#PCDATA)> <!ELEMENT al (#PCDATA)> <!ELEMENT an (#PCDATA)>
+  <!ELEMENT na (#PCDATA)> <!ELEMENT kw (#PCDATA)>
+  <!ELEMENT tb (ts+)>
+  <!ELEMENT ts (tl+)>
+  <!ELEMENT tl (tit?, f*)>
+  <!ELEMENT f (#PCDATA)>
+  <!ELEMENT r (s*)>
+  <!ELEMENT s (o?, yr?)>
+  <!ELEMENT o (au*, ti?)>
+  <!ELEMENT au (ln?, fn?)>
+  <!ELEMENT ln (#PCDATA)> <!ELEMENT fn (#PCDATA)>
+  <!ELEMENT ti (#PCDATA)> <!ELEMENT yr (#PCDATA)>
+  <!ELEMENT hi (ing?)>
+  <!ELEMENT ing (rev?)>
+  <!ELEMENT rev (cr?)>
+  <!ELEMENT cr (au*, dt?)>
+  <!ELEMENT dt (#PCDATA)>
+]>""",
+    queries={
+        "NS1": "/ds/d/tb/ts/tl/tit",
+        "NS2": "//ds/d/tit",
+        "NS3": "/ds/d[descendant::tit or descendant::na or descendant::kw]/an",
+        "NS4": "/ds/d[tit and al]/r/s/o/au/ln",
+    },
+    expected_dmax=8,
+    expected_davg=5.58,
+    record_element="d",
+    records_per_scale=40,
+    repeat_range=(1, 2),
+    repeat_overrides={
+        "r": (2, 4),
+        "s": (1, 3),
+        "au": (2, 4),
+        "kw": (0, 2),
+        "ts": (1, 2),
+        "tl": (2, 4),
+        "f": (2, 5),
+        "na": (0, 1),
+    },
+    max_depth=8,
+    text_factory=_id_text,
+)
+
+
+# ---------------------------------------------------------------------------
+# Protein (Georgetown PSD) — pd/pe/r/ri/xs/x/u reaches d_max 7; entries
+# mix shallow uids with deep reference structures for d_avg ≈ 5.15.
+# ---------------------------------------------------------------------------
+
+PROTEIN = Dataset(
+    name="protein",
+    dtd="""<!DOCTYPE pd [
+  <!ELEMENT pd (pe*)>
+  <!ELEMENT pe (hdr?, r*, u*)>
+  <!ELEMENT hdr (uid?, nm?)>
+  <!ELEMENT uid (#PCDATA)> <!ELEMENT nm (#PCDATA)>
+  <!ELEMENT r (ri?, aci?, at*, ct?, nt?)>
+  <!ELEMENT ri (xs?, ats?, ttl?)>
+  <!ELEMENT xs (x*)>
+  <!ELEMENT x (u?, db?)>
+  <!ELEMENT u (#PCDATA)> <!ELEMENT db (#PCDATA)>
+  <!ELEMENT ats (at*)>
+  <!ELEMENT at (#PCDATA)>
+  <!ELEMENT aci (acs*)>
+  <!ELEMENT acs (#PCDATA)>
+  <!ELEMENT ct (#PCDATA)> <!ELEMENT nt (#PCDATA)> <!ELEMENT ttl (#PCDATA)>
+]>""",
+    queries={
+        "PT1": "/pd/pe/r/ri/xs/x/u",
+        "PT2": "/pd/pe//u",
+        "PT3": "/pd/pe/r[aci/acs or at or ct or nt]/ri/ats/at",
+    },
+    expected_dmax=7,
+    expected_davg=5.15,
+    record_element="pe",
+    records_per_scale=60,
+    repeat_range=(1, 2),
+    repeat_overrides={"r": (2, 3), "x": (2, 5), "at": (2, 4), "acs": (2, 3), "u": (0, 1)},
+    max_depth=7,
+    text_factory=_id_text,
+)
+
+
+UW_DATASETS = {d.name: d for d in (LINEITEM, DBLP, SWISSPROT, NASA, PROTEIN)}

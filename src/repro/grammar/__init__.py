@@ -1,0 +1,58 @@
+"""Grammar substrate: DTD object model, parser, static syntax trees.
+
+* :mod:`~repro.grammar.model` — content-model AST and :class:`Grammar`;
+* :mod:`~repro.grammar.dtd_parser` — DTD / DOCTYPE parsing;
+* :mod:`~repro.grammar.syntax_tree` — static syntax tree (paper Alg. 1);
+* :mod:`~repro.grammar.extraction` — partial-grammar extraction from
+  data (paper Alg. 3, speculative mode);
+* :mod:`~repro.grammar.sampling` — GAP-Spec(X%) partial grammars.
+"""
+
+from .dtd_parser import DTDParseError, parse_doctype, parse_dtd
+from .extraction import ExtractionError, extract_grammar, extract_syntax_tree, grammar_from_tree
+from .model import (
+    AnyContent,
+    Choice,
+    ContentModel,
+    ElementDecl,
+    Empty,
+    Grammar,
+    GrammarError,
+    Name,
+    PCData,
+    Repeat,
+    Seq,
+    UNBOUNDED,
+)
+from .sampling import sample_partial_grammar
+from .syntax_tree import StaticSyntaxTree, SyntaxNode, build_syntax_tree
+from .xsd_parser import XSDParseError, is_xsd, parse_xsd
+
+__all__ = [
+    "AnyContent",
+    "Choice",
+    "ContentModel",
+    "DTDParseError",
+    "ElementDecl",
+    "Empty",
+    "ExtractionError",
+    "Grammar",
+    "GrammarError",
+    "Name",
+    "PCData",
+    "Repeat",
+    "Seq",
+    "StaticSyntaxTree",
+    "SyntaxNode",
+    "UNBOUNDED",
+    "XSDParseError",
+    "build_syntax_tree",
+    "extract_grammar",
+    "extract_syntax_tree",
+    "grammar_from_tree",
+    "parse_doctype",
+    "parse_dtd",
+    "is_xsd",
+    "parse_xsd",
+    "sample_partial_grammar",
+]

@@ -1,0 +1,220 @@
+"""DTD parser — turns DTD text into a :class:`~repro.grammar.model.Grammar`.
+
+Accepts either
+
+* a full document prolog — ``<?xml ...?> <!DOCTYPE root [ ... ]> ...`` —
+  in which case the internal subset is parsed and the DOCTYPE name
+  becomes the grammar root (this lets callers feed a whole XML document
+  and extract its inline grammar, like Figure 1 of the paper), or
+* bare declaration text — a sequence of ``<!ELEMENT ...>`` /
+  ``<!ATTLIST ...>`` / ``<!ENTITY ...>`` declarations — in which case
+  the first declared element is taken as the root (Algorithm 1's
+  convention).
+
+Content-model syntax supported (the full DTD element grammar except
+mixed-content name lists, which are normalised to a choice)::
+
+    model   := 'EMPTY' | 'ANY' | particle
+    particle:= '(' inner ')' card?
+    inner   := seq | choice | single
+    seq     := item (',' item)+
+    choice  := item ('|' item)+
+    item    := NAME card? | '#PCDATA' | particle
+    card    := '?' | '*' | '+'
+
+``<!ATTLIST ...>`` and ``<!ENTITY ...>`` declarations are recognised and
+skipped (attributes play no role in the supported XPath fragment).
+Parameter entities are not supported and raise a clear error.
+"""
+
+from __future__ import annotations
+
+from .model import (
+    AnyContent,
+    Choice,
+    ContentModel,
+    ElementDecl,
+    Empty,
+    Grammar,
+    GrammarError,
+    Name,
+    PCData,
+    Repeat,
+    Seq,
+    UNBOUNDED,
+)
+
+__all__ = ["parse_dtd", "parse_doctype", "DTDParseError"]
+
+_WS = " \t\r\n"
+
+
+class DTDParseError(GrammarError):
+    """Raised on malformed DTD text, with position information."""
+
+    def __init__(self, message: str, pos: int) -> None:
+        super().__init__(f"{message} (at position {pos})")
+        self.pos = pos
+
+
+def parse_dtd(text: str) -> Grammar:
+    """Parse DTD text (bare declarations or a full DOCTYPE/document)."""
+    stripped = text.lstrip()
+    if stripped.startswith("<?xml") or "<!DOCTYPE" in text:
+        return parse_doctype(text)
+    return _parse_declarations(text, root=None)
+
+
+def parse_doctype(text: str) -> Grammar:
+    """Parse the ``<!DOCTYPE name [ internal subset ]>`` in ``text``."""
+    start = text.find("<!DOCTYPE")
+    if start == -1:
+        raise DTDParseError("no <!DOCTYPE ...> declaration found", 0)
+    i = start + len("<!DOCTYPE")
+    i = _skip_ws(text, i)
+    j = i
+    while j < len(text) and text[j] not in _WS + "[>":
+        j += 1
+    root = text[i:j]
+    if not root:
+        raise DTDParseError("missing DOCTYPE name", i)
+    open_bracket = text.find("[", j)
+    if open_bracket == -1:
+        raise DTDParseError("DOCTYPE has no internal subset [...]", j)
+    close_bracket = text.find("]", open_bracket)
+    if close_bracket == -1:
+        raise DTDParseError("unterminated internal subset", open_bracket)
+    subset = text[open_bracket + 1 : close_bracket]
+    return _parse_declarations(subset, root=root)
+
+
+def _parse_declarations(text: str, root: str | None) -> Grammar:
+    decls: dict[str, ElementDecl] = {}
+    i = 0
+    n = len(text)
+    while i < n:
+        i = _skip_ws(text, i)
+        if i >= n:
+            break
+        if text.startswith("<!--", i):
+            close = text.find("-->", i)
+            if close == -1:
+                raise DTDParseError("unterminated comment", i)
+            i = close + 3
+            continue
+        if text.startswith("<!ELEMENT", i):
+            decl, i = _parse_element_decl(text, i)
+            if decl.name in decls:
+                raise DTDParseError(f"duplicate declaration of {decl.name!r}", i)
+            decls[decl.name] = decl
+            continue
+        if text.startswith("<!ATTLIST", i) or text.startswith("<!ENTITY", i) or text.startswith("<!NOTATION", i):
+            close = text.find(">", i)
+            if close == -1:
+                raise DTDParseError("unterminated declaration", i)
+            if text.startswith("<!ENTITY", i) and text[i + len("<!ENTITY") :].lstrip().startswith("%"):
+                raise DTDParseError("parameter entities are not supported", i)
+            i = close + 1
+            continue
+        if text[i] == "%":
+            raise DTDParseError("parameter-entity references are not supported", i)
+        raise DTDParseError(f"unexpected content {text[i:i+20]!r}", i)
+
+    if not decls:
+        raise DTDParseError("no <!ELEMENT> declarations found", 0)
+    if root is None:
+        root = next(iter(decls))
+    return Grammar(root=root, elements=decls)
+
+
+def _parse_element_decl(text: str, i: int) -> tuple[ElementDecl, int]:
+    i += len("<!ELEMENT")
+    i = _skip_ws(text, i)
+    j = i
+    while j < len(text) and text[j] not in _WS + "(>":
+        j += 1
+    name = text[i:j]
+    if not name:
+        raise DTDParseError("missing element name", i)
+    i = _skip_ws(text, j)
+    model, i = _parse_content_model(text, i)
+    i = _skip_ws(text, i)
+    if i >= len(text) or text[i] != ">":
+        raise DTDParseError(f"expected '>' to close <!ELEMENT {name}", i)
+    return ElementDecl(name, model), i + 1
+
+
+def _parse_content_model(text: str, i: int) -> tuple[ContentModel, int]:
+    if text.startswith("EMPTY", i):
+        return Empty(), i + 5
+    if text.startswith("ANY", i):
+        return AnyContent(), i + 3
+    if i < len(text) and text[i] == "(":
+        return _parse_particle(text, i)
+    raise DTDParseError("expected EMPTY, ANY or '(' in content model", i)
+
+
+def _parse_particle(text: str, i: int) -> tuple[ContentModel, int]:
+    """Parse ``( ... )card?`` starting at the opening parenthesis."""
+    assert text[i] == "("
+    i = _skip_ws(text, i + 1)
+    items: list[ContentModel] = []
+    separator: str | None = None
+    while True:
+        item, i = _parse_item(text, i)
+        items.append(item)
+        i = _skip_ws(text, i)
+        if i >= len(text):
+            raise DTDParseError("unterminated content particle", i)
+        ch = text[i]
+        if ch == ")":
+            i += 1
+            break
+        if ch not in ",|":
+            raise DTDParseError(f"expected ',', '|' or ')', got {ch!r}", i)
+        if separator is None:
+            separator = ch
+        elif separator != ch:
+            raise DTDParseError("mixed ',' and '|' at the same nesting level", i)
+        i = _skip_ws(text, i + 1)
+
+    if len(items) == 1:
+        inner: ContentModel = items[0]
+    elif separator == ",":
+        inner = Seq(tuple(items))
+    else:
+        inner = Choice(tuple(items))
+    return _parse_cardinality(text, i, inner)
+
+
+def _parse_item(text: str, i: int) -> tuple[ContentModel, int]:
+    if i < len(text) and text[i] == "(":
+        return _parse_particle(text, i)
+    if text.startswith("#PCDATA", i):
+        return PCData(), i + len("#PCDATA")
+    j = i
+    while j < len(text) and text[j] not in _WS + ",|)?*+>":
+        j += 1
+    name = text[i:j]
+    if not name:
+        raise DTDParseError("expected a name, '(' or #PCDATA", i)
+    return _parse_cardinality(text, j, Name(name))
+
+
+def _parse_cardinality(text: str, i: int, inner: ContentModel) -> tuple[ContentModel, int]:
+    if i < len(text):
+        ch = text[i]
+        if ch == "?":
+            return Repeat(inner, 0, 1), i + 1
+        if ch == "*":
+            return Repeat(inner, 0, UNBOUNDED), i + 1
+        if ch == "+":
+            return Repeat(inner, 1, UNBOUNDED), i + 1
+    return inner, i
+
+
+def _skip_ws(text: str, i: int) -> int:
+    n = len(text)
+    while i < n and text[i] in _WS:
+        i += 1
+    return i

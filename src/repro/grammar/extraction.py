@@ -1,0 +1,123 @@
+"""Partial-grammar extraction from input data — Algorithm 3 of the paper.
+
+In speculative mode no pre-defined grammar exists; GAP instead *learns*
+a partial static syntax tree from prior inputs of the same corpus (runs
+over data from the same "hidden" grammar).  Algorithm 3 streams the
+tokens once, maintaining a stack of syntax-tree nodes: a start tag
+either descends into an existing child node or creates one, and an end
+tag pops.
+
+The extracted tree is *partial* in two ways:
+
+* elements (or element-contexts) that never occurred in the observed
+  data are absent, and
+* unlike Algorithm 1's output it has no ``cycle`` back-pointers —
+  recursion observed in data appears as explicitly unfolded nodes up to
+  the deepest observed nesting.
+
+Both limitations are exactly what forces the speculative transducer's
+validation/reprocessing machinery.
+
+The module also converts an extracted tree back into a
+:class:`~repro.grammar.model.Grammar` (child sets become ``ANY``-free
+star-of-choice models) so that the rest of the pipeline — which is
+grammar-driven — is agnostic to where the grammar came from.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..xmlstream.tokens import Token
+from .model import Choice, ContentModel, ElementDecl, Grammar, Name, PCData, Repeat, UNBOUNDED
+from .syntax_tree import StaticSyntaxTree, SyntaxNode
+
+__all__ = ["ExtractionError", "extract_syntax_tree", "extract_grammar", "grammar_from_tree"]
+
+
+class ExtractionError(ValueError):
+    """Raised when the observed token stream is not well-formed."""
+
+
+def extract_syntax_tree(tokens: Iterable[Token], prior: StaticSyntaxTree | None = None) -> StaticSyntaxTree:
+    """Algorithm 3 — extract a (partial) static syntax tree from data.
+
+    ``prior`` allows incremental learning across runs: pass the tree
+    extracted from earlier inputs and it is extended in place with
+    structures seen in the new stream (the paper's "collects some
+    partial grammar from prior runs").
+    """
+    root: SyntaxNode | None = prior.root if prior is not None else None
+    stack: list[SyntaxNode] = []
+    for tok in tokens:
+        if tok.is_start:
+            if root is None:
+                root = SyntaxNode(tok.name)
+                stack.append(root)
+            elif not stack:
+                if tok.name != root.tag:
+                    raise ExtractionError(
+                        f"document element {tok.name!r} does not match prior root {root.tag!r}"
+                    )
+                stack.append(root)
+            else:
+                parent = stack[-1]
+                child = parent.find_child(tok.name)
+                if child is None:
+                    child = SyntaxNode(tok.name, parent=parent)
+                    parent.children.append(child)
+                stack.append(child)
+        elif tok.is_end:
+            if not stack or stack[-1].tag != tok.name:
+                raise ExtractionError(f"mismatched end tag </{tok.name}> at offset {tok.offset}")
+            stack.pop()
+        else:  # text
+            if not stack:
+                raise ExtractionError(f"character data outside the document element at offset {tok.offset}")
+            stack[-1].pcdata = True
+    if root is None:
+        raise ExtractionError("empty token stream")
+    if stack:
+        raise ExtractionError(f"unclosed element <{stack[-1].tag}> at end of stream")
+    return StaticSyntaxTree(root)
+
+
+def extract_grammar(tokens: Iterable[Token]) -> Grammar:
+    """Extract a partial :class:`Grammar` directly from a token stream."""
+    return grammar_from_tree(extract_syntax_tree(tokens))
+
+
+def grammar_from_tree(tree: StaticSyntaxTree) -> Grammar:
+    """Convert a syntax tree into an equivalent (loose) grammar.
+
+    The child *sets* of every context of an element are unioned and
+    rendered as ``(c1 | c2 | ... | #PCDATA)*`` — the loosest content
+    model with those children.  This loses ordering/cardinality, which
+    is fine: the feasible-path inference only consumes nesting
+    relations, and the paper's static syntax tree makes the same
+    approximation.
+    """
+    children: dict[str, set[str]] = {}
+    pcdata: dict[str, bool] = {}
+    order: list[str] = []
+    for node in tree.nodes():
+        if node.tag not in children:
+            children[node.tag] = set()
+            pcdata[node.tag] = False
+            order.append(node.tag)
+        children[node.tag].update(c.tag for c in node.children)
+        children[node.tag].update(c.tag for c in node.cycle)
+        pcdata[node.tag] = pcdata[node.tag] or node.pcdata
+
+    decls: dict[str, ElementDecl] = {}
+    for tag in order:
+        parts: list[ContentModel] = [Name(c) for c in sorted(children[tag])]
+        if pcdata[tag] or not parts:
+            parts.append(PCData())
+        inner: ContentModel = parts[0] if len(parts) == 1 else Choice(tuple(parts))
+        if isinstance(inner, PCData):
+            model: ContentModel = inner
+        else:
+            model = Repeat(inner, 0, UNBOUNDED)
+        decls[tag] = ElementDecl(tag, model)
+    return Grammar(root=tree.root.tag, elements=decls)

@@ -1,0 +1,302 @@
+"""Grammar object model — DTD content models and element declarations.
+
+A DTD defines, per element, a *content model*: a regular expression over
+child element names (plus ``#PCDATA``).  GAP only needs the *nesting
+relation* the grammar induces — which elements may appear as children
+of which — but we model the full content-model structure so that
+
+* the DTD parser is faithful (round-trips real DTDs),
+* the dataset generators (:mod:`repro.datasets.generators`) can produce
+  documents that actually conform to the declared models (sequencing
+  and cardinality included), and
+* the validator (:mod:`repro.xmlstream.validate`) can check conformance,
+  which the property-based tests use to guarantee that generated
+  corpora are legal inputs for the non-speculative soundness claims.
+
+The classes form a small immutable AST::
+
+    ContentModel := Name(name)            -- a child element
+                  | PCData()              -- #PCDATA
+                  | Empty()               -- EMPTY
+                  | AnyContent()          -- ANY
+                  | Seq(parts...)         -- (a, b, c)
+                  | Choice(parts...)      -- (a | b | c)
+                  | Repeat(part, lo, hi)  -- x?, x*, x+
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ContentModel",
+    "Name",
+    "PCData",
+    "Empty",
+    "AnyContent",
+    "Seq",
+    "Choice",
+    "Repeat",
+    "ElementDecl",
+    "Grammar",
+    "GrammarError",
+]
+
+
+class GrammarError(ValueError):
+    """Raised for malformed or inconsistent grammars."""
+
+
+@dataclass(frozen=True, slots=True)
+class ContentModel:
+    """Base class for content-model nodes."""
+
+    def child_names(self) -> frozenset[str]:
+        """The set of element names that may appear as direct children."""
+        raise NotImplementedError
+
+    def allows_pcdata(self) -> bool:
+        """Whether character data may appear directly inside the element."""
+        return False
+
+    def to_dtd(self) -> str:
+        """Render back to DTD content-model syntax."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Name(ContentModel):
+    """A reference to a child element by name."""
+
+    name: str
+
+    def child_names(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def to_dtd(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class PCData(ContentModel):
+    """``#PCDATA`` — character data."""
+
+    def child_names(self) -> frozenset[str]:
+        return frozenset()
+
+    def allows_pcdata(self) -> bool:
+        return True
+
+    def to_dtd(self) -> str:
+        return "#PCDATA"
+
+
+@dataclass(frozen=True, slots=True)
+class Empty(ContentModel):
+    """``EMPTY`` — the element has no content."""
+
+    def child_names(self) -> frozenset[str]:
+        return frozenset()
+
+    def to_dtd(self) -> str:
+        return "EMPTY"
+
+
+@dataclass(frozen=True, slots=True)
+class AnyContent(ContentModel):
+    """``ANY`` — any declared element or character data may appear.
+
+    ``child_names`` cannot be resolved locally; :class:`Grammar` expands
+    it to the full element vocabulary.
+    """
+
+    def child_names(self) -> frozenset[str]:
+        return frozenset()
+
+    def allows_pcdata(self) -> bool:
+        return True
+
+    def to_dtd(self) -> str:
+        return "ANY"
+
+
+@dataclass(frozen=True, slots=True)
+class Seq(ContentModel):
+    """A sequence ``(a, b, ...)`` — parts in order."""
+
+    parts: tuple[ContentModel, ...]
+
+    def child_names(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for p in self.parts:
+            out |= p.child_names()
+        return out
+
+    def allows_pcdata(self) -> bool:
+        return any(p.allows_pcdata() for p in self.parts)
+
+    def to_dtd(self) -> str:
+        return "(" + ", ".join(p.to_dtd() for p in self.parts) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Choice(ContentModel):
+    """A choice ``(a | b | ...)`` — exactly one part."""
+
+    parts: tuple[ContentModel, ...]
+
+    def child_names(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for p in self.parts:
+            out |= p.child_names()
+        return out
+
+    def allows_pcdata(self) -> bool:
+        return any(p.allows_pcdata() for p in self.parts)
+
+    def to_dtd(self) -> str:
+        return "(" + " | ".join(p.to_dtd() for p in self.parts) + ")"
+
+
+#: sentinel for an unbounded upper repetition bound
+UNBOUNDED = -1
+
+
+@dataclass(frozen=True, slots=True)
+class Repeat(ContentModel):
+    """Cardinality wrapper: ``x?`` (0..1), ``x*`` (0..inf), ``x+`` (1..inf)."""
+
+    part: ContentModel
+    lo: int
+    hi: int  # UNBOUNDED for no upper bound
+
+    def child_names(self) -> frozenset[str]:
+        return self.part.child_names()
+
+    def allows_pcdata(self) -> bool:
+        return self.part.allows_pcdata()
+
+    def to_dtd(self) -> str:
+        inner = self.part.to_dtd()
+        if (self.lo, self.hi) == (0, 1):
+            suffix = "?"
+        elif (self.lo, self.hi) == (0, UNBOUNDED):
+            suffix = "*"
+        elif (self.lo, self.hi) == (1, UNBOUNDED):
+            suffix = "+"
+        else:  # pragma: no cover - not constructible from DTD syntax
+            raise GrammarError(f"non-DTD cardinality ({self.lo},{self.hi})")
+        if inner.startswith("#"):
+            # '#PCDATA?' is not DTD syntax; parenthesise defensively
+            inner = f"({inner})"
+        return inner + suffix
+
+
+def optional(part: ContentModel) -> Repeat:
+    """``part?``"""
+    return Repeat(part, 0, 1)
+
+
+def star(part: ContentModel) -> Repeat:
+    """``part*``"""
+    return Repeat(part, 0, UNBOUNDED)
+
+
+def plus(part: ContentModel) -> Repeat:
+    """``part+``"""
+    return Repeat(part, 1, UNBOUNDED)
+
+
+@dataclass(frozen=True, slots=True)
+class ElementDecl:
+    """One ``<!ELEMENT name model>`` declaration."""
+
+    name: str
+    model: ContentModel
+
+    def to_dtd(self) -> str:
+        body = self.model.to_dtd()
+        if isinstance(self.model, (Empty, AnyContent)):
+            return f"<!ELEMENT {self.name} {body}>"
+        if not body.startswith("("):
+            body = f"({body})"
+        return f"<!ELEMENT {self.name} {body}>"
+
+
+@dataclass(slots=True)
+class Grammar:
+    """A complete (or partial) DTD grammar.
+
+    Attributes
+    ----------
+    root:
+        Name of the document element (from ``<!DOCTYPE root [...]>``,
+        or the first declared element).
+    elements:
+        Mapping element name → :class:`ElementDecl`, in declaration
+        order (Python dicts preserve insertion order, which Algorithm 1
+        relies on when it assumes "the first element is the root").
+    """
+
+    root: str
+    elements: dict[str, ElementDecl] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.root and self.elements and self.root not in self.elements:
+            raise GrammarError(f"root element {self.root!r} is not declared")
+
+    # -- queries -----------------------------------------------------
+
+    def element_names(self) -> list[str]:
+        """All declared element names, in declaration order."""
+        return list(self.elements)
+
+    def children_of(self, name: str) -> frozenset[str]:
+        """Direct-child element names allowed under ``name``.
+
+        ``ANY`` content expands to every declared element.  Undeclared
+        elements (possible in *partial* grammars) have no known
+        children.
+        """
+        decl = self.elements.get(name)
+        if decl is None:
+            return frozenset()
+        if isinstance(decl.model, AnyContent):
+            return frozenset(self.elements)
+        return decl.model.child_names()
+
+    def allows_pcdata(self, name: str) -> bool:
+        """Whether character data may appear directly under ``name``."""
+        decl = self.elements.get(name)
+        return decl is not None and decl.model.allows_pcdata()
+
+    def is_declared(self, name: str) -> bool:
+        return name in self.elements
+
+    def undeclared_children(self) -> frozenset[str]:
+        """Names referenced by some content model but never declared.
+
+        A complete grammar has none; partial grammars (sampled or
+        extracted) commonly do.
+        """
+        referenced: set[str] = set()
+        for decl in self.elements.values():
+            referenced |= self.children_of(decl.name)
+        return frozenset(referenced - set(self.elements))
+
+    def is_complete(self) -> bool:
+        """True when every referenced element is declared."""
+        return not self.undeclared_children()
+
+    # -- rendering ---------------------------------------------------
+
+    def to_dtd(self) -> str:
+        """Render as the internal subset of a DOCTYPE declaration."""
+        decls = "\n  ".join(d.to_dtd() for d in self.elements.values())
+        return f"<!DOCTYPE {self.root} [\n  {decls}\n]>"
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.elements
+
+    def __len__(self) -> int:
+        return len(self.elements)

@@ -1,0 +1,72 @@
+"""Partial-grammar sampling for the GAP-Spec(X%) configurations.
+
+The paper evaluates speculative GAP with 20%/40%/80% of the complete
+grammar and describes the sampling procedure in footnote 3:
+
+    "To ensure the partial grammar is meaningful, we randomly and
+    recursively remove leaf elements from the original grammar."
+
+We reproduce that exactly: repeatedly pick a random *leaf* declaration
+(an element whose declared children are all undeclared or absent — i.e.
+removing it never orphans the root path) and drop its declaration,
+until only ``fraction`` of the declarations remain.  Removing a leaf
+makes it an *undeclared* element: it still appears in its parent's
+content model, so the syntax tree keeps a node for it, but its own
+children become unknown — precisely the "incomplete grammar" a
+speculative transducer must cope with.
+
+The root declaration is never removed (a grammar without a root is not
+a grammar).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .model import Grammar
+
+__all__ = ["sample_partial_grammar"]
+
+
+def sample_partial_grammar(grammar: Grammar, fraction: float, seed: int = 0) -> Grammar:
+    """Return a copy of ``grammar`` keeping ~``fraction`` of declarations.
+
+    Parameters
+    ----------
+    grammar:
+        The complete grammar.
+    fraction:
+        Target fraction of element declarations to keep, in ``(0, 1]``.
+        ``1.0`` returns an identical copy.
+    seed:
+        RNG seed — benchmarks use fixed seeds for reproducibility.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    keep = max(1, round(len(grammar.elements) * fraction))
+    rng = random.Random(seed)
+    remaining = dict(grammar.elements)
+
+    while len(remaining) > keep:
+        leaves = [name for name in remaining if name != grammar.root and _is_leaf(remaining, name)]
+        if not leaves:
+            # No removable leaf (pathological, e.g. a fully recursive
+            # grammar): fall back to removing any non-root element.
+            leaves = [name for name in remaining if name != grammar.root]
+            if not leaves:
+                break
+        victim = rng.choice(leaves)
+        del remaining[victim]
+
+    return Grammar(root=grammar.root, elements=remaining)
+
+
+def _is_leaf(elements: dict, name: str) -> bool:
+    """A declaration is a leaf when none of its declared children remain.
+
+    Children that were already removed (now undeclared) do not count —
+    this is the "recursive" part of the paper's procedure: removing a
+    node can turn its parent into a leaf.
+    """
+    decl = elements[name]
+    return not any(child in elements for child in decl.model.child_names() if child != name)

@@ -1,0 +1,153 @@
+"""Static syntax tree — Algorithm 1 of the paper.
+
+A *static syntax tree* (SST) concisely captures every legal nesting
+relation a grammar permits: each node is an element in a distinct
+*context* (chain of ancestors), each child element appears exactly once
+under its parent node, and recursion is represented by a ``cycle``
+back-pointer to the ancestor node it recurses to, instead of unfolding
+(Figure 6 of the paper).  Its size depends only on the grammar, never on
+the input data.
+
+Construction follows Algorithm 1: starting from the root element,
+children are expanded breadth-first; a child whose name equals an
+ancestor on the current path becomes a cycle pointer rather than a new
+node.  A child whose name matches a *non-ancestor* existing element
+still gets its own node — the SST distinguishes the same element in
+different contexts (e.g. ``id`` under ``feed`` vs ``id`` under
+``entry`` in Figure 1), which is exactly what makes the feasible-path
+table context-sensitive.
+
+The same structure is reused for *partial* trees built from data
+(Algorithm 3, :mod:`repro.grammar.extraction`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .model import Grammar, GrammarError
+
+__all__ = ["SyntaxNode", "StaticSyntaxTree", "build_syntax_tree"]
+
+
+@dataclass(eq=False, slots=True)
+class SyntaxNode:
+    """One element-in-context node of a static syntax tree.
+
+    ``cycle`` is the Algorithm-1 back-pointer: when the grammar lets
+    this node contain an element that is one of its ancestors (or
+    itself), ``cycle`` points at that ancestor node.  A node may close
+    several distinct cycles (mutual recursion through different
+    ancestors), hence a list.
+    """
+
+    tag: str
+    parent: "SyntaxNode | None" = None
+    children: list["SyntaxNode"] = field(default_factory=list)
+    cycle: list["SyntaxNode"] = field(default_factory=list)
+    pcdata: bool = False
+
+    @property
+    def is_leaf(self) -> bool:
+        """A node with no child nodes and no cycles (e.g. #PCDATA-only)."""
+        return not self.children and not self.cycle
+
+    def depth(self) -> int:
+        """Root has depth 1 (matching the paper's d_max convention)."""
+        d, node = 0, self
+        while node is not None:
+            d += 1
+            node = node.parent
+        return d
+
+    def ancestors(self) -> list["SyntaxNode"]:
+        """This node's proper ancestors, nearest first."""
+        out: list[SyntaxNode] = []
+        node = self.parent
+        while node is not None:
+            out.append(node)
+            node = node.parent
+        return out
+
+    def path(self) -> str:
+        """Slash-separated tag path from the root (for diagnostics)."""
+        parts = [a.tag for a in reversed(self.ancestors())] + [self.tag]
+        return "/" + "/".join(parts)
+
+    def find_child(self, tag: str) -> "SyntaxNode | None":
+        for c in self.children:
+            if c.tag == tag:
+                return c
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cyc = f" cycle->{[c.tag for c in self.cycle]}" if self.cycle else ""
+        return f"SyntaxNode({self.path()}{cyc})"
+
+
+@dataclass(slots=True)
+class StaticSyntaxTree:
+    """A rooted static syntax tree plus convenience traversals."""
+
+    root: SyntaxNode
+
+    def nodes(self) -> list[SyntaxNode]:
+        """All nodes in depth-first pre-order."""
+        out: list[SyntaxNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(reversed(node.children))
+        return out
+
+    def nodes_by_tag(self) -> dict[str, list[SyntaxNode]]:
+        """Group nodes by element name (one tag may occur in many contexts)."""
+        out: dict[str, list[SyntaxNode]] = {}
+        for node in self.nodes():
+            out.setdefault(node.tag, []).append(node)
+        return out
+
+    def tags(self) -> frozenset[str]:
+        return frozenset(n.tag for n in self.nodes())
+
+    def n_cycles(self) -> int:
+        """Number of cycle back-edges (the ``g`` of the paper's complexity)."""
+        return sum(len(n.cycle) for n in self.nodes())
+
+    def max_depth(self) -> int:
+        return max(n.depth() for n in self.nodes())
+
+    def __len__(self) -> int:
+        return len(self.nodes())
+
+
+def build_syntax_tree(grammar: Grammar) -> StaticSyntaxTree:
+    """Algorithm 1 — construct the static syntax tree of ``grammar``.
+
+    Works for partial grammars too: an element that is referenced but
+    not declared becomes a leaf node (its children are unknown), which
+    is what makes speculative-mode inference under-approximate.
+    """
+    if not grammar.elements:
+        raise GrammarError("cannot build a syntax tree from an empty grammar")
+    root = SyntaxNode(grammar.root, pcdata=grammar.allows_pcdata(grammar.root))
+    # Breadth-first expansion; each node is expanded exactly once, and a
+    # child equal to an ancestor becomes a cycle pointer.
+    queue: list[SyntaxNode] = [root]
+    while queue:
+        node = queue.pop(0)
+        ancestor_by_tag = {a.tag: a for a in [node, *node.ancestors()]}
+        for child_tag in sorted(grammar.children_of(node.tag)):
+            back = ancestor_by_tag.get(child_tag)
+            if back is not None:
+                node.cycle.append(back)
+            else:
+                child = SyntaxNode(
+                    child_tag,
+                    parent=node,
+                    pcdata=grammar.allows_pcdata(child_tag),
+                )
+                node.children.append(child)
+                queue.append(child)
+    return StaticSyntaxTree(root)

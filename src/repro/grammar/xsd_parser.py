@@ -1,0 +1,238 @@
+"""XML Schema (XSD) reader — the paper's second grammar format.
+
+The paper's static syntax tree generator "takes a DTD/XSD grammar as
+input" (Section 6, Implementation).  This module reads the subset of
+W3C XML Schema that describes *element structure* — the only
+information GAP consumes — and lowers it onto the same
+:class:`~repro.grammar.model.Grammar` the DTD parser produces, so the
+whole pipeline (Algorithm 1, inference, engines) is format-agnostic.
+
+Supported constructs::
+
+    xs:schema           — root; element form/namespace machinery ignored
+    xs:element          — global or local; @name/@type/@ref,
+                          @minOccurs/@maxOccurs, inline complexType
+    xs:complexType      — named (top-level) or anonymous (inline);
+                          @mixed
+    xs:sequence         — → Seq        (with occurs wrapping)
+    xs:choice           — → Choice     (with occurs wrapping)
+    xs:all              — → over-approximated as (a | b | ...)*;
+                          element-set precision is what GAP needs, and
+                          xs:all's each-at-most-once constraint only
+                          tightens validation, never feasibility
+    xs:any              — → AnyContent
+    xs:simpleType /     — → #PCDATA
+    simpleContent
+    xs:attribute        — ignored (no attribute axes in the fragment)
+
+Unsupported schema features that would change *element structure* —
+``xs:group`` refs, ``substitutionGroup``, ``xs:extension`` with added
+particles, ``xs:import``/``include`` — raise :class:`XSDParseError`
+rather than silently producing a wrong grammar (a wrong grammar breaks
+non-speculative soundness).
+
+Element declarations are keyed by element *name*, like DTDs: XSD allows
+two same-named local elements with different types, which this lowering
+merges by choice — a sound over-approximation for feasibility.
+"""
+
+from __future__ import annotations
+
+from ..xmlstream.tree import TreeNode, parse_tree
+from .model import (
+    AnyContent,
+    Choice,
+    ContentModel,
+    ElementDecl,
+    Empty,
+    Grammar,
+    GrammarError,
+    Name,
+    PCData,
+    Repeat,
+    Seq,
+    UNBOUNDED,
+)
+
+__all__ = ["XSDParseError", "parse_xsd", "is_xsd"]
+
+
+class XSDParseError(GrammarError):
+    """Raised for malformed schemas or unsupported XSD features."""
+
+
+def is_xsd(text: str) -> bool:
+    """Cheap sniff: does this text look like an XML Schema document?"""
+    head = text[:4096]
+    return "XMLSchema" in head or "<xs:schema" in head or "<xsd:schema" in head
+
+
+def parse_xsd(text: str, root_element: str | None = None) -> Grammar:
+    """Parse XSD text into a :class:`Grammar`.
+
+    ``root_element`` picks the document element when the schema
+    declares several global elements; defaults to the first one.
+    """
+    tree = parse_tree(text)
+    if tree.local != "schema":
+        raise XSDParseError(f"document element is <{tree.tag}>, expected an xs:schema")
+    return _Lowering(tree).lower(root_element)
+
+
+class _Lowering:
+    """Lowers one xs:schema tree onto the Grammar model."""
+
+    def __init__(self, schema: TreeNode) -> None:
+        self.schema = schema
+        self.named_types: dict[str, TreeNode] = {}
+        self.global_elements: dict[str, TreeNode] = {}
+        for child in schema.children:
+            local = child.local
+            if local == "complexType":
+                name = child.get("name")
+                if not name:
+                    raise XSDParseError("top-level complexType requires a name")
+                self.named_types[name] = child
+            elif local == "element":
+                name = child.get("name")
+                if not name:
+                    raise XSDParseError("top-level element requires a name")
+                self.global_elements[name] = child
+            elif local in ("simpleType", "annotation", "attribute", "attributeGroup", "notation"):
+                continue
+            elif local in ("group", "import", "include", "redefine", "override"):
+                raise XSDParseError(f"unsupported schema construct xs:{local}")
+        if not self.global_elements:
+            raise XSDParseError("schema declares no global elements")
+        #: element name → list of content models (same-named locals merge)
+        self.models: dict[str, list[ContentModel]] = {}
+        self.order: list[str] = []
+
+    # ------------------------------------------------------------------
+
+    def lower(self, root_element: str | None) -> Grammar:
+        root = root_element or next(iter(self.global_elements))
+        if root not in self.global_elements:
+            raise XSDParseError(f"no global element {root!r} in schema")
+        for name, el in self.global_elements.items():
+            self._collect_element(name, el)
+
+        decls: dict[str, ElementDecl] = {}
+        # root first: Grammar/Algorithm-1 convention
+        ordered = [root, *[n for n in self.order if n != root]]
+        for name in ordered:
+            models = self.models.get(name, [PCData()])
+            merged = models[0] if len(models) == 1 else _merge_models(models)
+            decls[name] = ElementDecl(name, merged)
+        return Grammar(root=root, elements=decls)
+
+    # ------------------------------------------------------------------
+
+    def _collect_element(self, name: str, el: TreeNode) -> None:
+        """Record the content model of one element declaration."""
+        model = self._element_model(el)
+        bucket = self.models.setdefault(name, [])
+        if name not in self.order:
+            self.order.append(name)
+        if not any(m == model for m in bucket):
+            bucket.append(model)
+
+    def _element_model(self, el: TreeNode) -> ContentModel:
+        inline = el.find("complexType")
+        if inline is not None:
+            return self._complex_type(inline)
+        type_name = el.get("type")
+        if type_name is None:
+            return PCData()  # element with neither type nor body: text
+        local = type_name.rsplit(":", 1)[-1]
+        if local in self.named_types:
+            return self._complex_type(self.named_types[local])
+        # any other (xs:string, xs:int, user simpleType, ...) is text
+        return PCData()
+
+    def _complex_type(self, ct: TreeNode) -> ContentModel:
+        mixed = ct.get("mixed") in ("true", "1")
+        particle: ContentModel | None = None
+        for child in ct.children:
+            local = child.local
+            if local in ("sequence", "choice", "all"):
+                particle = self._particle(child)
+            elif local == "simpleContent":
+                return PCData()
+            elif local == "complexContent":
+                raise XSDParseError("xs:complexContent (type derivation) is unsupported")
+            elif local in ("attribute", "attributeGroup", "annotation", "anyAttribute"):
+                continue
+            elif local == "group":
+                raise XSDParseError("xs:group references are unsupported")
+        if particle is None:
+            return PCData() if mixed else Empty()
+        if mixed:
+            # mixed content: text may interleave — same lowering as a
+            # DTD's (#PCDATA | ...)* for feasibility purposes
+            return Repeat(Choice((PCData(), particle)), 0, UNBOUNDED)
+        return particle
+
+    def _particle(self, node: TreeNode) -> ContentModel:
+        local = node.local
+        items: list[ContentModel] = []
+        for child in node.children:
+            cl = child.local
+            if cl == "element":
+                items.append(self._element_particle(child))
+            elif cl in ("sequence", "choice", "all"):
+                items.append(self._particle(child))
+            elif cl == "any":
+                items.append(_occurs(child, AnyContent()))
+            elif cl == "annotation":
+                continue
+            elif cl == "group":
+                raise XSDParseError("xs:group references are unsupported")
+            else:
+                raise XSDParseError(f"unsupported particle child xs:{cl}")
+        if not items:
+            inner: ContentModel = Empty()
+        elif local == "sequence":
+            inner = items[0] if len(items) == 1 else Seq(tuple(items))
+        elif local == "choice":
+            inner = items[0] if len(items) == 1 else Choice(tuple(items))
+        else:  # xs:all → order-free over-approximation
+            inner = Repeat(
+                items[0] if len(items) == 1 else Choice(tuple(items)), 0, UNBOUNDED
+            )
+        return _occurs(node, inner)
+
+    def _element_particle(self, el: TreeNode) -> ContentModel:
+        ref = el.get("ref")
+        if ref is not None:
+            name = ref.rsplit(":", 1)[-1]
+            if name not in self.global_elements:
+                raise XSDParseError(f"element ref {ref!r} has no global declaration")
+            return _occurs(el, Name(name))
+        name = el.get("name")
+        if name is None:
+            raise XSDParseError("local element requires @name or @ref")
+        if el.get("substitutionGroup") is not None:
+            raise XSDParseError("substitutionGroup is unsupported")
+        self._collect_element(name, el)
+        return _occurs(el, Name(name))
+
+
+def _occurs(node: TreeNode, inner: ContentModel) -> ContentModel:
+    lo = int(node.get("minOccurs", "1"))
+    max_raw = node.get("maxOccurs", "1")
+    hi = UNBOUNDED if max_raw == "unbounded" else int(max_raw)
+    if (lo, hi) == (1, 1):
+        return inner
+    if hi != UNBOUNDED and hi < lo:
+        raise XSDParseError(f"maxOccurs {hi} < minOccurs {lo}")
+    # DTD cardinalities are ?, *, +; wider XSD ranges are relaxed to the
+    # nearest covering one (a sound over-approximation for feasibility)
+    if lo == 0:
+        return Repeat(inner, 0, 1 if hi == 1 else UNBOUNDED)
+    return Repeat(inner, 1, UNBOUNDED)
+
+
+def _merge_models(models: list[ContentModel]) -> ContentModel:
+    """Merge same-named element declarations: either model may apply."""
+    return Choice(tuple(models))

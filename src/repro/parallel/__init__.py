@@ -1,0 +1,17 @@
+"""Parallel substrate: execution backends and the simulated cluster."""
+
+from .backend import Backend, ProcessBackend, SerialBackend, ThreadBackend, get_backend
+from .cost_model import CostModel, DEFAULT_COST_MODEL
+from .simcluster import SimReport, SimulatedCluster
+
+__all__ = [
+    "Backend",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "ProcessBackend",
+    "SerialBackend",
+    "SimReport",
+    "SimulatedCluster",
+    "ThreadBackend",
+    "get_backend",
+]

@@ -1,0 +1,141 @@
+"""Execution backends for the parallel phase.
+
+The parallel phase is embarrassingly parallel once chunks are framed:
+each worker lexes and runs its own byte range.  The backend decides
+*where* that per-chunk work executes:
+
+* :class:`SerialBackend` — in-process loop.  The default: on this
+  reproduction's single-core host it is also the fastest, and the
+  simulated-cluster model (:mod:`repro.parallel.simcluster`) derives
+  multicore speedups from the per-chunk work counters rather than from
+  wall-clock.
+* :class:`ThreadBackend` — a thread pool.  Functionally parallel, but
+  CPython's GIL serialises the byte-crunching loops, so no speedup is
+  expected (documented limitation; kept for API completeness and for
+  workloads that release the GIL).
+* :class:`ProcessBackend` — a process pool (the guide-recommended way
+  to obtain real CPU parallelism in Python).  Each worker process
+  receives the shared context once via the pool initializer, so the
+  document text and automaton are pickled once per worker rather than
+  once per chunk.
+
+All backends implement ``map_with_context(ctx, fn, items)`` with
+order-preserving results, so the pipeline code is backend-agnostic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, TypeVar
+
+__all__ = ["Backend", "SerialBackend", "ThreadBackend", "ProcessBackend", "get_backend"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class Backend:
+    """Interface: order-preserving map of ``fn(ctx, item)`` over items."""
+
+    name = "abstract"
+
+    def map_with_context(
+        self, ctx: Any, fn: Callable[[Any, T], R], items: Sequence[T]
+    ) -> list[R]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources (no-op for poolless backends)."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class SerialBackend(Backend):
+    """Run every item in the calling thread, in order."""
+
+    name = "serial"
+
+    def map_with_context(
+        self, ctx: Any, fn: Callable[[Any, T], R], items: Sequence[T]
+    ) -> list[R]:
+        return [fn(ctx, item) for item in items]
+
+
+class ThreadBackend(Backend):
+    """Thread-pool backend (functional parallelism; GIL-bound for CPU work)."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def map_with_context(
+        self, ctx: Any, fn: Callable[[Any, T], R], items: Sequence[T]
+    ) -> list[R]:
+        pool = self._ensure_pool()
+        return list(pool.map(lambda item: fn(ctx, item), items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+# -- process backend ---------------------------------------------------------
+
+_PROCESS_CTX: Any = None
+
+
+def _init_worker(ctx: Any) -> None:
+    global _PROCESS_CTX
+    _PROCESS_CTX = ctx
+
+
+def _call_with_ctx(payload: tuple[Callable[[Any, Any], Any], Any]) -> Any:
+    fn, item = payload
+    return fn(_PROCESS_CTX, item)
+
+
+class ProcessBackend(Backend):
+    """Process-pool backend: real CPU parallelism on multicore hosts.
+
+    The context is shipped to each worker once (pool initializer); the
+    mapped function and items must be picklable module-level objects.
+    A fresh pool is created per ``map_with_context`` call because the
+    context is part of worker initialisation.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers
+
+    def map_with_context(
+        self, ctx: Any, fn: Callable[[Any, T], R], items: Sequence[T]
+    ) -> list[R]:
+        with ProcessPoolExecutor(
+            max_workers=self.max_workers, initializer=_init_worker, initargs=(ctx,)
+        ) as pool:
+            return list(pool.map(_call_with_ctx, [(fn, item) for item in items]))
+
+
+def get_backend(name: str, max_workers: int | None = None) -> Backend:
+    """Backend factory: ``serial`` / ``thread`` / ``process``."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(max_workers)
+    if name == "process":
+        return ProcessBackend(max_workers)
+    raise ValueError(f"unknown backend {name!r} (expected serial/thread/process)")

@@ -1,0 +1,95 @@
+"""Cost model — converting measured work into simulated time.
+
+The paper's speedups are wall-clock ratios on a 20-core Xeon running
+hand-tuned C.  This reproduction executes the *identical algorithms*
+in Python, where neither 20 cores nor C-level constants are available
+(see DESIGN.md §2), so speedups are computed from the work each worker
+actually performed, metered by
+:class:`~repro.transducer.counters.WorkCounters` inside the real
+execution loops.
+
+The model is deliberately simple — linear in the counters::
+
+    chunk_time = lex_per_byte   * bytes
+               + stack_per_token * stack_tokens
+               + tree_base_per_token * tree_tokens
+               + tree_per_path  * tree_path_steps
+               + switch_cost    * switches
+
+    run_time   = split_cost(n_chunks)
+               + max over workers (chunk_time)
+               + join_cost(n_chunks, mapping_entries)
+               + reprocess_per_token * reprocessed_tokens
+
+Rationale for the default constants (in abstract units of one
+sequential stack transition):
+
+* a multi-path (double-tree) step costs more than a stack step even
+  for a single path (``tree_base``): mapping bookkeeping, indirection,
+  and merge checks — the overhead the paper's data-structure switching
+  removes;
+* each *additional* live path costs ``tree_per_path`` — the marginal
+  cost of updating one more group per token (the double tree shares
+  work across converged paths, so this is far below a full per-path
+  re-execution);
+* lexing is cheap relative to transitions and perfectly parallel;
+* split chooses ~n cut points with a bounded scan each; join links n
+  mapping tables — both sequential but tiny, matching the paper's
+  "carry much less computations than the parallel phase".
+
+The defaults were calibrated so the *sequential-relative* overheads
+match the paper's reported single-query behaviour (PP-Transducer
+≈11-12× on 20 cores with ~9 starting paths; GAP-NonSpec ≈15×); all
+scaling *shapes* (Figures 2, 9, 10) then follow from the measured
+counters, not from further tuning.  Benchmarks print both the model's
+speedups and the raw counters so the mapping is auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..transducer.counters import WorkCounters
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Linear per-counter costs, in units of one stack transition."""
+
+    lex_per_byte: float = 0.08
+    stack_per_token: float = 1.0
+    tree_base_per_token: float = 1.2
+    tree_per_path: float = 0.15
+    switch_cost: float = 20.0
+    split_per_chunk: float = 25.0
+    join_per_mapping: float = 1.0
+    join_per_chunk: float = 10.0
+    reprocess_per_token: float = 1.1
+
+    def chunk_time(self, c: WorkCounters) -> float:
+        """Simulated time one worker spends on one chunk's parallel phase."""
+        return (
+            self.lex_per_byte * c.bytes_lexed
+            + self.stack_per_token * c.stack_tokens
+            + self.tree_base_per_token * c.tree_tokens
+            + self.tree_per_path * c.tree_path_steps
+            + self.switch_cost * c.switches
+        )
+
+    def sequential_time(self, c: WorkCounters) -> float:
+        """Simulated time of the sequential baseline run."""
+        return self.lex_per_byte * c.bytes_lexed + self.stack_per_token * c.total_tokens
+
+    def serial_overhead(self, totals: WorkCounters, n_chunks: int) -> float:
+        """Split + join + reprocessing — the sequential phases."""
+        return (
+            self.split_per_chunk * n_chunks
+            + self.join_per_chunk * max(0, n_chunks - 1)
+            + self.join_per_mapping * totals.mapping_entries
+            + self.reprocess_per_token * totals.reprocessed_tokens
+        )
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,116 @@
+"""Simulated multicore cluster — scheduling chunks onto N cores.
+
+Computes the speedup a run *would* achieve on an N-core machine, from
+the per-chunk work counters the execution actually produced.  The
+schedule is the paper's: the split phase frames ``n_chunks`` chunks,
+one worker (thread) per chunk — the evaluation always uses as many
+chunks as cores — and the parallel phase finishes when the slowest
+worker does; split, join and reprocessing are sequential.
+
+When there are more chunks than cores, chunks are placed with the LPT
+(longest-processing-time-first) heuristic, which is how a work-stealing
+pool behaves in the limit; the common benchmark configuration
+(chunks == cores, one each) is exact.
+
+Outputs a :class:`SimReport` carrying both the simulated times and the
+inputs that produced them, so benchmark tables can show their work.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ..transducer.counters import WorkCounters
+from .cost_model import CostModel, DEFAULT_COST_MODEL
+
+__all__ = ["SimReport", "SimulatedCluster"]
+
+
+@dataclass(slots=True)
+class SimReport:
+    """Simulated timing of one parallel run on an N-core machine."""
+
+    n_cores: int
+    n_chunks: int
+    parallel_time: float  # max over cores of assigned chunk work
+    serial_time: float  # split + join + reprocess
+    sequential_time: float  # the 1-core baseline doing all the work
+
+    @property
+    def total_time(self) -> float:
+        return self.parallel_time + self.serial_time
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over the sequential baseline (the paper's metric)."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.sequential_time / self.total_time
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup / cores — parallel efficiency."""
+        return self.speedup / self.n_cores if self.n_cores else 0.0
+
+
+class SimulatedCluster:
+    """An N-core machine model driven by measured work counters."""
+
+    def __init__(self, n_cores: int, cost_model: CostModel | None = None) -> None:
+        if n_cores < 1:
+            raise ValueError(f"n_cores must be >= 1, got {n_cores}")
+        self.n_cores = n_cores
+        self.cost = cost_model or DEFAULT_COST_MODEL
+
+    def schedule(
+        self,
+        chunk_counters: list[WorkCounters],
+        sequential_counters: WorkCounters,
+        run_totals: WorkCounters | None = None,
+    ) -> SimReport:
+        """Simulate a run: per-chunk counters → N-core timing report.
+
+        ``sequential_counters`` must come from a sequential run of the
+        same document/queries (the speedup denominator's work).
+        ``run_totals``, when given, supplies the join-phase quantities
+        (mapping entries, reprocessed tokens) that live in the run's
+        aggregate counters rather than in any chunk — pass
+        ``ParallelRunResult.counters`` for speculative runs so
+        reprocessing lands on the critical path.
+        """
+        if not chunk_counters:
+            raise ValueError("no chunks to schedule")
+        times = sorted((self.cost.chunk_time(c) for c in chunk_counters), reverse=True)
+        if len(times) <= self.n_cores:
+            parallel = times[0]
+        else:
+            # LPT placement onto n_cores
+            heap = [0.0] * self.n_cores
+            heapq.heapify(heap)
+            for t in times:
+                heapq.heappush(heap, heapq.heappop(heap) + t)
+            parallel = max(heap)
+
+        if run_totals is None:
+            run_totals = WorkCounters()
+            for c in chunk_counters:
+                run_totals.merge(c)
+        serial = self.cost.serial_overhead(run_totals, len(chunk_counters))
+        seq_time = self.cost.sequential_time(sequential_counters)
+        return SimReport(
+            n_cores=self.n_cores,
+            n_chunks=len(chunk_counters),
+            parallel_time=parallel,
+            serial_time=serial,
+            sequential_time=seq_time,
+        )
+
+    def speedup(
+        self,
+        chunk_counters: list[WorkCounters],
+        sequential_counters: WorkCounters,
+        run_totals: WorkCounters | None = None,
+    ) -> float:
+        """Shorthand for ``schedule(...).speedup``."""
+        return self.schedule(chunk_counters, sequential_counters, run_totals).speedup

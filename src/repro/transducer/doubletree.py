@@ -1,0 +1,143 @@
+"""Double-tree data structure for multi-path chunk execution.
+
+When a chunk starts from unknown context, the transducer maintains a
+*set* of execution paths.  Ogden et al. compress this set with a
+"double-tree": one tree over the starting assumptions and one over the
+current configurations, so that paths which have converged to the same
+configuration share all future computation, and the assumption side
+never materialises a cross-product (see
+:mod:`repro.transducer.mapping` for the segmented mapping this feeds).
+
+This module is the in-flight half of that structure:
+
+* a :class:`PathGroup` is one shared configuration — a current state
+  plus the local stack segment pushed since the current segment began.
+  All work (transitions, pushes, pops, event emission) is done once per
+  *group*, not once per path;
+* each group carries its :class:`Member` list — the segment keys
+  (assumed starting state for segment 0, assumed popped value
+  otherwise) that have converged into it.  A member keeps the tuple of
+  event-list *segments* accumulated before each convergence
+  (structural sharing: segments are the event lists of the groups it
+  passed through, never copied);
+* groups merge whenever their ``(state, stack)`` keys collide — after
+  ordinary pops, when the popped value overwrites the state — which is
+  exactly the paper's *path convergence*.
+
+The per-token cost of tree-mode execution is Θ(#groups); the per-token
+cost of a plain stack is Θ(1).  The GAP runner switches between the
+two representations at runtime (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..xpath.events import MatchEvent
+from .mapping import SegmentEntry
+
+__all__ = ["Member", "PathGroup", "merge_groups", "segment_entries"]
+
+
+@dataclass(slots=True)
+class Member:
+    """One segment key's view of a group: identity plus event prefixes.
+
+    ``prefix`` is a tuple of references to event lists of previously
+    merged groups; the member's full tape within the current segment is
+    the concatenation of those segments followed by the current group's
+    events.  Segment lists are shared between members, never copied.
+    """
+
+    key: int
+    prefix: tuple[list[MatchEvent], ...] = ()
+
+    def extended(self, segment: list[MatchEvent]) -> "Member":
+        """This member with ``segment`` appended to its frozen prefix."""
+        if not segment:
+            return self
+        return Member(self.key, (*self.prefix, segment))
+
+    def events(self, tail: list[MatchEvent]) -> list[MatchEvent]:
+        """Materialise the member's tape: prefix segments then ``tail``."""
+        out: list[MatchEvent] = []
+        for segment in self.prefix:
+            out.extend(segment)
+        out.extend(tail)
+        return out
+
+
+@dataclass(slots=True)
+class PathGroup:
+    """A shared execution configuration with its converged members."""
+
+    state: int
+    stack: list[int]
+    members: list[Member]
+    events: list[MatchEvent]
+
+    @classmethod
+    def fresh(cls, state: int, key: int | None = None) -> "PathGroup":
+        """A group for a newly assumed state (key defaults to the state)."""
+        return cls(
+            state=state,
+            stack=[],
+            members=[Member(state if key is None else key)],
+            events=[],
+        )
+
+    def group_key(self) -> tuple[int, tuple[int, ...]]:
+        return (self.state, tuple(self.stack))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PathGroup(state={self.state}, stack={self.stack}, members={len(self.members)})"
+
+
+def merge_groups(groups: list[PathGroup]) -> tuple[list[PathGroup], int]:
+    """Collapse groups with identical ``(state, stack)`` configurations.
+
+    Returns the (order-preserving) merged list and the number of path
+    convergences (groups absorbed).  Merging folds event lists into the
+    members' prefixes; the survivor gets a fresh shared event list when
+    a merge actually happens (its previous list is frozen into its own
+    members' prefixes).
+    """
+    if len(groups) <= 1:
+        return groups, 0
+    by_key: dict[tuple[int, tuple[int, ...]], PathGroup] = {}
+    out: list[PathGroup] = []
+    converged = 0
+    for g in groups:
+        key = g.group_key()
+        existing = by_key.get(key)
+        if existing is None:
+            by_key[key] = g
+            out.append(g)
+            continue
+        converged += 1
+        if existing.events:
+            # freeze the survivor's tape; future events start a new shared list
+            existing.members = [m.extended(existing.events) for m in existing.members]
+            existing.events = []
+        existing.members.extend(m.extended(g.events) for m in g.members)
+    return out, converged
+
+
+def segment_entries(
+    groups: list[PathGroup], final: bool
+) -> dict[int, SegmentEntry]:
+    """Finalise a segment: one :class:`SegmentEntry` per member key.
+
+    ``final`` marks a chunk's last segment, whose entries carry the
+    finishing configuration; interior segments (closed by a
+    divergence) only carry events.
+    """
+    entries: dict[int, SegmentEntry] = {}
+    for g in groups:
+        pushed = tuple(g.stack) if final else ()
+        state = g.state if final else -1
+        for m in g.members:
+            entries[m.key] = SegmentEntry(
+                events=m.events(g.events), final_state=state, pushed=pushed
+            )
+    return entries

@@ -1,0 +1,123 @@
+"""Sequential pushdown transducer — Definition 1 of the paper.
+
+The finite control is a :class:`~repro.xpath.automaton.QueryAutomaton`;
+the stack alphabet is the state set (Γ = Q, the paper's convention
+after Ogden et al.).  The three transition kinds map onto the token
+kinds exactly as in Section 2.2:
+
+* **push** — a start tag pushes the current state and moves to
+  ``δ(state, tag)``; if the new state accepts a sub-query, a HIT event
+  is written to the output tape;
+* **pop** — an end tag pops the stack into the current state; just
+  before popping, anchor sub-queries accepted by the *current* state
+  (which, thanks to balanced children, is exactly the state entered at
+  the matching start tag) write their CLOSE events;
+* **plain** — text leaves state and stack untouched.
+
+:func:`run_sequential` is both the single-threaded baseline the paper
+measures speedups against and the reprocessing engine used after a
+misspeculation, so it accepts an arbitrary starting state/stack and
+reports the final configuration.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from ..xpath.automaton import QueryAutomaton
+from ..xpath.events import MatchEvent, close, hit
+from ..xmlstream.tokens import Token, TokenKind
+from .counters import WorkCounters
+
+__all__ = ["StackUnderflow", "SequentialResult", "run_sequential"]
+
+
+class StackUnderflow(RuntimeError):
+    """An end tag required a pop from an empty stack.
+
+    For a full-document run this means malformed input; for a chunk run
+    it marks a *path divergence* and is handled by the multi-path
+    machinery instead of this fast path.
+    """
+
+    def __init__(self, offset: int) -> None:
+        super().__init__(f"pop from empty stack at byte {offset}")
+        self.offset = offset
+
+
+@dataclass(slots=True)
+class SequentialResult:
+    """Outcome of a sequential run over a token range."""
+
+    state: int
+    stack: list[int]
+    events: list[MatchEvent] = field(default_factory=list)
+
+
+def run_sequential(
+    automaton: QueryAutomaton,
+    tokens: Iterable[Token],
+    anchor_sids: frozenset[int] = frozenset(),
+    state: int | None = None,
+    stack: list[int] | None = None,
+    counters: WorkCounters | None = None,
+) -> SequentialResult:
+    """Run the sequential PDT over ``tokens``.
+
+    Parameters
+    ----------
+    automaton:
+        The query DFA (finite control).
+    tokens:
+        Token stream (whole document or any suffix with a known
+        context).
+    anchor_sids:
+        Sub-queries whose element close events must be reported (see
+        :mod:`repro.xpath.events`).
+    state, stack:
+        Starting configuration; defaults to the automaton's initial
+        state with an empty stack.  ``stack`` is *not* copied — callers
+        own it.
+    counters:
+        Optional work counters to increment (stack-mode tokens).
+
+    Raises
+    ------
+    StackUnderflow
+        If an end tag arrives with an empty stack (never happens for a
+        well-formed full document).
+    """
+    if state is None:
+        state = automaton.initial
+    if stack is None:
+        stack = []
+    events: list[MatchEvent] = []
+    accepts = automaton.accepts
+    n_tokens = 0
+    depth = len(stack)  # element depth = open elements = stack height
+
+    for tok in tokens:
+        n_tokens += 1
+        kind = tok.kind
+        if kind == TokenKind.START:
+            stack.append(state)
+            depth += 1
+            state = automaton.step(state, tok.name)
+            for sid in accepts[state]:
+                events.append(hit(sid, tok.offset, depth))
+        elif kind == TokenKind.END:
+            if not stack:
+                if counters is not None:
+                    counters.stack_tokens += n_tokens - 1
+                raise StackUnderflow(tok.offset)
+            for sid in accepts[state]:
+                if sid in anchor_sids:
+                    events.append(close(sid, tok.offset, depth))
+            state = stack.pop()
+            depth -= 1
+        # TEXT: plain transition, state and stack unchanged
+
+    if counters is not None:
+        counters.stack_tokens += n_tokens
+    return SequentialResult(state=state, stack=stack, events=events)

@@ -1,0 +1,237 @@
+"""The three-phase parallel pipeline: split → parallel → join.
+
+This module glues the substrates together into the structure of
+Section 2.3:
+
+1. **split** — cut the document into tag-aligned chunks
+   (:mod:`repro.xmlstream.chunking`);
+2. **parallel** — run a :class:`~repro.transducer.runner.ChunkRunner`
+   on every chunk through an execution backend; chunk 0 starts from
+   the known initial configuration, the rest from whatever the policy
+   allows;
+3. **join** — link the chunk mappings in document order
+   (:mod:`repro.transducer.mapping`), reprocessing misspeculated
+   ranges with the sequential transducer.
+
+With a :class:`~repro.transducer.policies.BaselinePolicy` this *is*
+the PP-Transducer (Ogden et al., VLDB'13); with the GAP policies from
+:mod:`repro.core` it is the GAP transducer.  The convenience wrapper
+:func:`run_pp_transducer` instantiates the former.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from ..parallel.backend import Backend, SerialBackend
+from ..xpath.automaton import QueryAutomaton
+from ..xpath.events import MatchEvent
+from ..xmlstream.chunking import Chunk, split_chunks
+from ..xmlstream.lexer import lex_range
+from .counters import WorkCounters
+from .machine import run_sequential
+from .mapping import ChunkResult, join_results
+from .policies import BaselinePolicy, PathPolicy
+from .runner import ChunkRunner
+
+__all__ = ["ParallelRunResult", "ParallelPipeline", "run_pp_transducer", "run_sequential_pipeline"]
+
+
+@dataclass(slots=True)
+class ParallelRunResult:
+    """Everything a benchmark needs from one parallel run."""
+
+    events: list[MatchEvent]
+    final_state: int
+    counters: WorkCounters
+    chunk_counters: list[WorkCounters] = field(default_factory=list)
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunk_counters)
+
+
+@dataclass(frozen=True, slots=True)
+class _Ctx:
+    """Shared worker context (pickled once per worker by ProcessBackend)."""
+
+    text: str
+    automaton: QueryAutomaton
+    policy: PathPolicy
+    anchor_sids: frozenset[int]
+
+
+def _skip_leading_end(tokens, begin: int):
+    """Drop the end token at ``begin`` (a join-resolved divergence)."""
+    it = iter(tokens)
+    first = next(it, None)
+    if first is not None and not (first.is_end and first.offset == begin):
+        yield first
+    yield from it
+
+
+def _run_one_chunk(ctx: _Ctx, chunk: Chunk) -> ChunkResult:
+    """Worker body: lex and execute one chunk (module-level: picklable)."""
+    runner = ChunkRunner(ctx.automaton, ctx.policy, ctx.anchor_sids)
+    tokens = lex_range(ctx.text, chunk.begin, chunk.end)
+    start = frozenset((ctx.automaton.initial,)) if chunk.index == 0 else None
+    return runner.run_chunk(tokens, chunk.index, chunk.begin, chunk.end, start_states=start)
+
+
+class ParallelPipeline:
+    """Reusable split/parallel/join driver for one automaton + policy."""
+
+    def __init__(
+        self,
+        automaton: QueryAutomaton,
+        policy: PathPolicy,
+        anchor_sids: frozenset[int] = frozenset(),
+        backend: Backend | None = None,
+    ) -> None:
+        self.automaton = automaton
+        self.policy = policy
+        self.anchor_sids = anchor_sids
+        self.backend = backend or SerialBackend()
+
+    def run_tokens(self, tokens: list, n_chunks: int) -> ParallelRunResult:
+        """Execute the three phases over a materialised token list.
+
+        The token-mode pipeline serves inputs that are not
+        chunk-lexable text — JSON documents tokenised by
+        :mod:`repro.jsonstream` — by splitting the *token list* into
+        contiguous chunks.  Token offsets must be strictly increasing
+        (the JSON tokeniser guarantees this); reprocessing slices the
+        list by offset.  Tokenisation itself is a sequential
+        preprocessing step in this mode (parallel JSON lexing is its
+        own research problem and out of scope).
+        """
+        if not tokens:
+            return ParallelRunResult(
+                events=[], final_state=self.automaton.initial, counters=WorkCounters()
+            )
+        offsets = [t.offset for t in tokens]
+        if any(b < a for a, b in zip(offsets, offsets[1:])):
+            raise ValueError(
+                "token-mode execution requires non-decreasing offsets"
+            )
+        end_sentinel = offsets[-1] + 1
+        # chunk boundaries must fall on strictly-increasing offsets so
+        # that offset-based reprocess slicing is unambiguous (a wrapper
+        # START and its scalar TEXT may share an offset)
+        cuts_set = set()
+        for k in range(1, n_chunks):
+            cut = len(tokens) * k // n_chunks
+            while 0 < cut < len(tokens) and offsets[cut] == offsets[cut - 1]:
+                cut += 1
+            if 0 < cut < len(tokens):
+                cuts_set.add(cut)
+        cuts = sorted(cuts_set)
+        edges = [0, *cuts, len(tokens)]
+
+        runner = ChunkRunner(self.automaton, self.policy, self.anchor_sids)
+        results: list[ChunkResult] = []
+        for ci, (i0, i1) in enumerate(zip(edges, edges[1:])):
+            begin = offsets[i0]
+            end = offsets[i1] if i1 < len(tokens) else end_sentinel
+            start = frozenset((self.automaton.initial,)) if ci == 0 else None
+            results.append(
+                runner.run_chunk(tokens[i0:i1], ci, begin, end, start_states=start)
+            )
+
+        totals = WorkCounters()
+        per_chunk: list[WorkCounters] = []
+        for r in results:
+            per_chunk.append(r.counters)
+            totals.merge(r.counters)
+
+        def reprocess(begin: int, end: int, state: int, stack: list[int], skip_end: bool):
+            lo = bisect_left(offsets, begin)
+            hi = bisect_left(offsets, end)
+            sub = tokens[lo:hi]
+            if skip_end and sub and sub[0].is_end and sub[0].offset == begin:
+                sub = sub[1:]
+            sub_counters = WorkCounters()
+            res = run_sequential(
+                self.automaton, sub, self.anchor_sids,
+                state=state, stack=stack, counters=sub_counters,
+            )
+            return res.state, res.stack, res.events, sub_counters.stack_tokens
+
+        strict = not self.policy.speculative
+        state, _stack, events = join_results(
+            (self.automaton.initial, [], []), results, reprocess, totals, strict=strict
+        )
+        return ParallelRunResult(
+            events=events, final_state=state, counters=totals, chunk_counters=per_chunk
+        )
+
+    def run(self, text: str, n_chunks: int) -> ParallelRunResult:
+        """Execute the three phases over ``text`` with ``n_chunks`` workers."""
+        chunks = split_chunks(text, n_chunks)
+        ctx = _Ctx(text, self.automaton, self.policy, self.anchor_sids)
+        results = self.backend.map_with_context(ctx, _run_one_chunk, chunks)
+
+        totals = WorkCounters()
+        per_chunk: list[WorkCounters] = []
+        for r in results:
+            per_chunk.append(r.counters)
+            totals.merge(r.counters)
+
+        def reprocess(begin: int, end: int, state: int, stack: list[int], skip_end: bool):
+            sub_counters = WorkCounters()
+            tokens = lex_range(text, begin, end)
+            if skip_end:
+                tokens = _skip_leading_end(tokens, begin)
+            res = run_sequential(
+                self.automaton,
+                tokens,
+                self.anchor_sids,
+                state=state,
+                stack=stack,
+                counters=sub_counters,
+            )
+            return res.state, res.stack, res.events, sub_counters.stack_tokens
+
+        strict = not self.policy.speculative
+        state, _stack, events = join_results(
+            (self.automaton.initial, [], []), results, reprocess, totals, strict=strict
+        )
+        return ParallelRunResult(
+            events=events, final_state=state, counters=totals, chunk_counters=per_chunk
+        )
+
+
+def run_pp_transducer(
+    text: str,
+    automaton: QueryAutomaton,
+    anchor_sids: frozenset[int] = frozenset(),
+    n_chunks: int = 4,
+    backend: Backend | None = None,
+) -> ParallelRunResult:
+    """Run the PP-Transducer baseline (Ogden et al., VLDB'13)."""
+    policy = BaselinePolicy(automaton)
+    pipeline = ParallelPipeline(automaton, policy, anchor_sids, backend)
+    return pipeline.run(text, n_chunks)
+
+
+def run_sequential_pipeline(
+    text: str,
+    automaton: QueryAutomaton,
+    anchor_sids: frozenset[int] = frozenset(),
+) -> ParallelRunResult:
+    """Run the plain sequential transducer (the speedup baseline).
+
+    Packaged as a :class:`ParallelRunResult` with a single "chunk" so
+    speedup computations treat it uniformly.
+    """
+    counters = WorkCounters(chunks=1, bytes_lexed=len(text), starting_paths=1)
+    res = run_sequential(
+        automaton, lex_range(text, 0, len(text)), anchor_sids, counters=counters
+    )
+    return ParallelRunResult(
+        events=res.events,
+        final_state=res.state,
+        counters=counters,
+        chunk_counters=[counters],
+    )

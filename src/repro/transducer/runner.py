@@ -1,0 +1,302 @@
+"""Chunk runner — the parallel-phase engine shared by all variants.
+
+One :class:`ChunkRunner` executes one chunk of the document under a
+:class:`~repro.transducer.policies.PathPolicy`.  Depending on the
+policy it behaves as
+
+* the **PP-Transducer** parallel phase (baseline policy: start from
+  every state, enumerate Γ on divergence, never eliminate, never
+  switch data structures),
+* the **GAP transducer** parallel phase (feasible-table policy:
+  grammar-restricted starts and divergences, dynamic path elimination
+  in the paper's three scenarios, runtime data-structure switching), or
+* the **speculative GAP** parallel phase (same, plus replace-semantics
+  at post-divergence checks and path *revival* that enables selective
+  reprocessing).
+
+Live paths are grouped into :class:`~repro.transducer.doubletree.PathGroup`
+objects, organised into **cohorts** (one chain per synchronisation
+lineage — the main chain plus any speculative restarts).  All groups
+of a cohort share their local stack depth, so a cohort's groups always
+underflow together; each underflow closes the cohort's current
+*segment* (see :mod:`repro.transducer.mapping`) and reopens it keyed
+by the enumerated pop candidates.  This keeps the chunk's mapping
+table linear in (#segments × #states) rather than exponential in the
+number of divergences.
+
+Work accounting: every token adds either one stack-mode step (a single
+live path with switching enabled — the configuration in which a GAP
+transducer "executes exactly like a sequential pushdown transducer")
+or one tree-mode step weighted by the number of live groups.  These
+counters drive the simulated-cluster speedup model (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from ..xpath.automaton import QueryAutomaton
+from ..xpath.events import close, hit
+from ..xmlstream.tokens import Token, TokenKind
+from .counters import WorkCounters
+from .doubletree import PathGroup, merge_groups, segment_entries
+from .mapping import ChunkResult, Cohort, Segment
+from .policies import ELIMINATE_ALWAYS, ELIMINATE_NEVER, PathPolicy
+
+__all__ = ["ChunkRunner"]
+
+
+@dataclass(slots=True)
+class _LiveCohort:
+    """A cohort still executing: its finished segments + live groups."""
+
+    cohort: Cohort
+    groups: list[PathGroup] = field(default_factory=list)
+
+
+class ChunkRunner:
+    """Executes chunks under a path policy (see module docstring)."""
+
+    def __init__(
+        self,
+        automaton: QueryAutomaton,
+        policy: PathPolicy,
+        anchor_sids: frozenset[int] = frozenset(),
+    ) -> None:
+        self.automaton = automaton
+        self.policy = policy
+        self.anchor_sids = anchor_sids
+        # per-state tuple of anchor sub-queries to close on end tags
+        self._close_accepts: list[tuple[int, ...]] = [
+            tuple(sid for sid in acc if sid in anchor_sids) for acc in automaton.accepts
+        ]
+
+    # ------------------------------------------------------------------
+
+    def run_chunk(
+        self,
+        tokens: Iterable[Token],
+        index: int,
+        begin: int,
+        end: int,
+        start_states: frozenset[int] | None = None,
+    ) -> ChunkResult:
+        """Process one chunk; return its segmented mappings and counters.
+
+        ``start_states`` overrides the policy's scenario-1 inference —
+        used for chunk 0, which always starts from the known initial
+        configuration.
+        """
+        policy = self.policy
+        automaton = self.automaton
+        accepts = automaton.accepts
+        counters = WorkCounters(chunks=1, bytes_lexed=end - begin)
+        result = ChunkResult(index=index, begin=begin, end=end, counters=counters)
+
+        token_iter = iter(tokens)
+        first = next(token_iter, None)
+        if first is None:
+            # empty chunk: identity mapping for every allowed state
+            states = start_states if start_states is not None else policy.all_states
+            counters.starting_paths = len(states)
+            groups = [PathGroup.fresh(s) for s in sorted(states)]
+            main = Cohort(restart_offset=begin)
+            main.segments.append(Segment(entries=segment_entries(groups, final=True)))
+            result.cohorts.append(main)
+            counters.mapping_entries = result.mapping_entries()
+            return result
+
+        if start_states is None:
+            inferred = policy.start_states(first)
+            if inferred is None:
+                inferred = policy.all_states
+                if policy.table_based:
+                    counters.degraded_lookups += 1
+            start_states = inferred
+
+        main = _LiveCohort(cohort=Cohort(restart_offset=begin))
+        main.groups = [PathGroup.fresh(s) for s in sorted(start_states)]
+        counters.starting_paths = len(main.groups)
+        cohorts: list[_LiveCohort] = [main]
+
+        stack_mode = policy.switch_to_stack and len(main.groups) == 1
+        pending_check = False
+        eliminate = policy.eliminate
+        speculative = policy.speculative
+        switch_enabled = policy.switch_to_stack
+        depth = 0  # chunk-local element depth (may go negative)
+        # `n_live` is maintained incrementally: the group count only
+        # changes at checks, divergences and eliminations (profiling
+        # showed the per-token recount dominating the hot loop)
+        n_live = len(main.groups)
+        step = automaton.step
+        START, END = TokenKind.START, TokenKind.END
+
+        for ti, tok in enumerate(_chain_first(first, token_iter)):
+            kind = tok.kind
+
+            if n_live == 0:
+                if not speculative:
+                    break  # non-speculative: no recovery inside the chunk
+                if kind != START:
+                    continue  # wait for a start tag to revive at
+
+            if kind == START:
+                tag = tok.name
+                if eliminate != ELIMINATE_NEVER and (
+                    pending_check or eliminate == ELIMINATE_ALWAYS or n_live == 0
+                ):
+                    self._start_tag_check(cohorts, tag, ti, tok.offset, depth, counters)
+                    pending_check = False
+                    n_live = sum(len(lc.groups) for lc in cohorts)
+                    if n_live == 0:
+                        depth += 1
+                        continue
+                offset = tok.offset
+                depth += 1
+                for lc in cohorts:
+                    for g in lc.groups:
+                        g.stack.append(g.state)
+                        s2 = step(g.state, tag)
+                        g.state = s2
+                        acc = accepts[s2]
+                        if acc:
+                            g.events.extend(hit(sid, offset, depth) for sid in acc)
+                # pushes are injective in (state, stack): no merging needed
+
+            elif kind == END:
+                tag = tok.name
+                for lc in cohorts:
+                    if not lc.groups:
+                        continue
+                    if eliminate == ELIMINATE_ALWAYS:
+                        feas = policy.before_end(tag)
+                        if feas is not None:
+                            kept = [g for g in lc.groups if g.state in feas]
+                            counters.paths_eliminated += len(lc.groups) - len(kept)
+                            lc.groups = kept
+                            if not lc.groups:
+                                continue
+                    # cohort groups share their depth: all underflow or none
+                    if lc.groups[0].stack:
+                        self._normal_pop(lc, tok.offset, depth, counters)
+                    else:
+                        self._diverge(lc, tag, tok.offset, depth, counters)
+                        pending_check = True
+                n_live = sum(len(lc.groups) for lc in cohorts)
+                depth -= 1
+
+            # TEXT: plain transition — state and stack unchanged
+
+            if stack_mode and n_live == 1:
+                counters.stack_tokens += 1
+            else:
+                counters.tree_tokens += 1
+                counters.tree_path_steps += n_live
+                new_mode = switch_enabled and n_live == 1
+                if new_mode != stack_mode:
+                    counters.switches += 1
+                    stack_mode = new_mode
+
+        for lc in cohorts:
+            lc.cohort.segments.append(
+                Segment(entries=segment_entries(lc.groups, final=True))
+            )
+            result.cohorts.append(lc.cohort)
+        counters.mapping_entries = result.mapping_entries()
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _start_tag_check(
+        self,
+        cohorts: list[_LiveCohort],
+        tag: str,
+        token_index: int,
+        offset: int,
+        depth: int,
+        counters: WorkCounters,
+    ) -> None:
+        """Elimination scenario 3 (and speculative path revival)."""
+        policy = self.policy
+        feas = policy.before_start(tag)
+        if feas is None:
+            if policy.table_based:
+                counters.degraded_lookups += 1
+            return
+        live_states: set[int] = set()
+        for lc in cohorts:
+            kept = [g for g in lc.groups if g.state in feas]
+            counters.paths_eliminated += len(lc.groups) - len(kept)
+            lc.groups = kept
+            live_states.update(g.state for g in kept)
+        if policy.speculative:
+            # replace semantics: revive feasible states not currently live
+            # as a fresh restart cohort (Section 5.2)
+            missing = sorted(feas - live_states)
+            if missing:
+                revived = _LiveCohort(
+                    cohort=Cohort(
+                        restart_index=token_index,
+                        restart_offset=offset,
+                        restart_depth=depth,
+                    )
+                )
+                revived.groups = [PathGroup.fresh(s) for s in missing]
+                cohorts.append(revived)
+
+    def _normal_pop(
+        self, lc: _LiveCohort, offset: int, depth: int, counters: WorkCounters
+    ) -> None:
+        """Balanced end tag: emit anchor closes, pop, merge convergences."""
+        close_accepts = self._close_accepts
+        for g in lc.groups:
+            ca = close_accepts[g.state]
+            if ca:
+                g.events.extend(close(sid, offset, depth) for sid in ca)
+            g.state = g.stack.pop()
+        lc.groups, converged = merge_groups(lc.groups)
+        counters.paths_converged += converged
+
+    def _diverge(
+        self, lc: _LiveCohort, tag: str, offset: int, depth: int, counters: WorkCounters
+    ) -> None:
+        """Underflow pop: close the segment, reopen keyed by candidates."""
+        policy = self.policy
+        counters.divergences += 1
+
+        groups = lc.groups
+        # elimination scenario 2: the current state must be feasible
+        # immediately before this end tag
+        if policy.eliminate != ELIMINATE_NEVER:
+            feas = policy.before_end(tag)
+            if feas is None:
+                if policy.table_based:
+                    counters.degraded_lookups += 1
+            else:
+                kept = [g for g in groups if g.state in feas]
+                counters.paths_eliminated += len(groups) - len(kept)
+                groups = kept
+
+        close_accepts = self._close_accepts
+        for g in groups:
+            ca = close_accepts[g.state]
+            if ca:
+                g.events.extend(close(sid, offset, depth) for sid in ca)
+
+        lc.cohort.segments.append(
+            Segment(entries=segment_entries(groups, final=False), end_tag=tag, end_offset=offset)
+        )
+
+        candidates = policy.pop_candidates(tag)
+        if candidates is None:
+            candidates = policy.all_states
+            if policy.table_based:
+                counters.degraded_lookups += 1
+        lc.groups = [PathGroup.fresh(v) for v in sorted(candidates)]
+
+
+def _chain_first(first: Token, rest: Iterable[Token]) -> Iterable[Token]:
+    yield first
+    yield from rest

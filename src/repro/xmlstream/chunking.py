@@ -1,0 +1,94 @@
+"""Split phase — cut an XML document into independently lexable chunks.
+
+The parallel pushdown transducers (both the PP-Transducer baseline and
+GAP) share the same three-phase structure: *split*, *parallel*, *join*.
+This module implements the split phase.
+
+A chunk is a half-open byte range ``[begin, end)`` of the document.
+Boundaries are aligned to *tag boundaries*: every boundary except the
+first is the offset of a top-level ``<`` character (as reported by
+:func:`repro.xmlstream.lexer.iter_tag_offsets`), so every worker can
+call :func:`~repro.xmlstream.lexer.lex_range` on its own range and the
+concatenation of the per-chunk token streams equals the sequential
+token stream.
+
+The paper cuts into *equal-sized* chunks; we do the same (by bytes) and
+then snap each cut point forward to the next tag boundary.  Degenerate
+cases (more chunks than tags, boundaries colliding) collapse chunks
+rather than producing empty ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .lexer import iter_tag_offsets
+
+__all__ = ["Chunk", "split_chunks", "split_at_offsets"]
+
+
+@dataclass(frozen=True, slots=True)
+class Chunk:
+    """One byte range of the document, assigned to one worker.
+
+    ``index`` is the chunk's position in document order; chunk 0 is the
+    only one that starts from the known initial state/stack.
+    """
+
+    index: int
+    begin: int
+    end: int
+
+    def __len__(self) -> int:
+        return self.end - self.begin
+
+
+def split_chunks(text: str, n_chunks: int) -> list[Chunk]:
+    """Split ``text`` into at most ``n_chunks`` tag-aligned chunks.
+
+    The first chunk starts at byte 0 (covering any XML declaration and
+    DOCTYPE prolog).  Cut points are placed at ``len(text) * k / n`` and
+    snapped forward to the next top-level tag boundary.  Fewer than
+    ``n_chunks`` chunks are returned when the document is too small for
+    distinct boundaries; at least one chunk is always returned for a
+    non-empty document.
+    """
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    n = len(text)
+    if n == 0:
+        return []
+    if n_chunks == 1:
+        return [Chunk(0, 0, n)]
+
+    targets = [n * k // n_chunks for k in range(1, n_chunks)]
+    boundaries: list[int] = []
+    it = iter_tag_offsets(text)
+    current = next(it, None)
+    for t in targets:
+        # advance the tag-offset iterator to the first offset >= t
+        while current is not None and current < t:
+            current = next(it, None)
+        if current is None:
+            break
+        if current > 0 and (not boundaries or current > boundaries[-1]):
+            boundaries.append(current)
+        # consume it so the next target cannot reuse the same boundary
+        current = next(it, None)
+
+    return split_at_offsets(n, boundaries)
+
+
+def split_at_offsets(total_len: int, boundaries: list[int]) -> list[Chunk]:
+    """Build the chunk list for explicit, sorted interior boundaries.
+
+    Exposed separately so tests (and the speculative reprocessing logic,
+    which re-splits a failed chunk) can construct precise layouts.
+    """
+    for a, b in zip(boundaries, boundaries[1:]):
+        if b <= a:
+            raise ValueError("boundaries must be strictly increasing")
+    if boundaries and (boundaries[0] <= 0 or boundaries[-1] >= total_len):
+        raise ValueError("boundaries must lie strictly inside the document")
+    edges = [0, *boundaries, total_len]
+    return [Chunk(i, edges[i], edges[i + 1]) for i in range(len(edges) - 1)]

@@ -1,0 +1,212 @@
+"""Streaming XML lexer with arbitrary-offset start support.
+
+This is the lexical substrate for the whole system.  It is intentionally
+a *lexer*, not a parser: it recognises start tags, end tags, empty
+element tags, text, comments, processing instructions, CDATA sections
+and the DOCTYPE prolog, and emits the flat :class:`~repro.xmlstream.tokens.Token`
+stream the pushdown transducers consume.  It never builds a tree.
+
+Two properties matter for parallelization:
+
+* **restartability** — :func:`lex_range` can start lexing at any byte
+  offset that is a tag boundary (the position of a ``<``).  The split
+  phase (:mod:`repro.xmlstream.chunking`) aligns chunk boundaries to
+  such positions, so each worker lexes its chunk independently and the
+  concatenation of per-chunk token streams equals the sequential token
+  stream (a property pinned by tests);
+* **single pass, O(1) memory** — the lexer walks the text once with an
+  index; it allocates only the tokens themselves.
+
+Scope notes (documented simplifications, adequate for the benchmark
+corpus and the paper's model):
+
+* attributes are scanned past but not materialised — XPath attribute
+  axes are outside the supported fragment (as in the paper);
+* entity references in text are kept verbatim;
+* whitespace-only text between tags is not emitted (the transducer
+  treats text via plain transitions only, so insignificant whitespace
+  would only add overhead).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .tokens import Token, TokenKind
+
+__all__ = ["LexError", "lex", "lex_range", "iter_tag_offsets"]
+
+_WS = " \t\r\n"
+
+_NAME_END = set(_WS) | {">", "/", "<"}
+
+
+class LexError(ValueError):
+    """Raised on malformed XML at the lexical level.
+
+    Carries the byte offset where the problem was detected so that error
+    messages can point into multi-megabyte generated documents.
+    """
+
+    def __init__(self, message: str, offset: int) -> None:
+        super().__init__(f"{message} (at byte {offset})")
+        self.offset = offset
+
+
+def lex(text: str) -> Iterator[Token]:
+    """Lex a complete XML document into a token stream.
+
+    Equivalent to ``lex_range(text, 0, len(text))``.
+    """
+    return lex_range(text, 0, len(text))
+
+
+def lex_range(text: str, start: int, end: int) -> Iterator[Token]:
+    """Lex ``text[start:end]``, yielding tokens with *global* offsets.
+
+    ``start`` must be either ``0``, or the offset of a ``<`` character
+    (a tag boundary, as produced by the chunking module).  ``end`` is an
+    exclusive bound: a token that *begins* before ``end`` is emitted in
+    full even if it extends past ``end`` (tags are never split across
+    chunks); a token beginning at or after ``end`` belongs to the next
+    chunk.  This convention makes per-chunk token streams partition the
+    sequential stream exactly.
+    """
+    i = start
+    n = len(text)
+    if end > n:
+        end = n
+    while i < end:
+        ch = text[i]
+        if ch == "<":
+            nxt = text[i + 1] if i + 1 < n else ""
+            if nxt == "/":
+                # end tag </name>
+                j = _name_end(text, i + 2)
+                name = text[i + 2 : j]
+                if not name:
+                    raise LexError("empty end-tag name", i)
+                close = text.find(">", j)
+                if close == -1:
+                    raise LexError("unterminated end tag", i)
+                yield Token(TokenKind.END, name, i)
+                i = close + 1
+            elif nxt == "!":
+                i = _skip_markup_decl(text, i)
+            elif nxt == "?":
+                close = text.find("?>", i + 2)
+                if close == -1:
+                    raise LexError("unterminated processing instruction", i)
+                i = close + 2
+            else:
+                # start tag or empty-element tag
+                j = _name_end(text, i + 1)
+                name = text[i + 1 : j]
+                if not name:
+                    raise LexError("empty start-tag name", i)
+                k = _skip_attributes(text, j)
+                if k >= n:
+                    raise LexError("unterminated start tag", i)
+                yield Token(TokenKind.START, name, i)
+                if text[k] == "/":
+                    # <name/> — emit a matching END immediately
+                    yield Token(TokenKind.END, name, i)
+                    i = k + 2
+                else:
+                    i = k + 1
+        else:
+            j = text.find("<", i)
+            if j == -1:
+                j = n
+            content = text[i:j]
+            if content.strip():
+                yield Token(TokenKind.TEXT, content, i)
+            i = j
+
+
+def iter_tag_offsets(text: str, start: int = 0) -> Iterator[int]:
+    """Yield offsets of top-level ``<`` characters from ``start`` on.
+
+    Offsets inside comments, CDATA sections, processing instructions and
+    the DOCTYPE declaration are skipped — those are positions a chunk
+    boundary must not land on.  Used by the split phase.
+    """
+    i = start
+    n = len(text)
+    while i < n:
+        i = text.find("<", i)
+        if i == -1:
+            return
+        nxt = text[i + 1] if i + 1 < n else ""
+        if nxt == "!":
+            i = _skip_markup_decl(text, i)
+        elif nxt == "?":
+            close = text.find("?>", i + 2)
+            i = n if close == -1 else close + 2
+        else:
+            yield i
+            i += 1
+
+
+def _name_end(text: str, i: int) -> int:
+    """Return the index one past the last character of a tag name."""
+    n = len(text)
+    j = i
+    while j < n and text[j] not in _NAME_END:
+        j += 1
+    return j
+
+
+def _skip_attributes(text: str, i: int) -> int:
+    """Scan past attributes; return the index of ``>`` or of ``/`` in ``/>``.
+
+    Quoted attribute values may contain ``>`` — this routine respects
+    quotes, which a naive ``find('>')`` would not.
+    """
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == ">":
+            return i
+        if ch == "/" and i + 1 < n and text[i + 1] == ">":
+            return i
+        if ch in ('"', "'"):
+            close = text.find(ch, i + 1)
+            if close == -1:
+                raise LexError("unterminated attribute value", i)
+            i = close + 1
+        else:
+            i += 1
+    return i
+
+
+def _skip_markup_decl(text: str, i: int) -> int:
+    """Skip a ``<!...>`` construct starting at ``i``; return next index.
+
+    Handles comments, CDATA sections and DOCTYPE declarations with an
+    internal subset (nested ``[ ... ]``).
+    """
+    n = len(text)
+    if text.startswith("<!--", i):
+        close = text.find("-->", i + 4)
+        if close == -1:
+            raise LexError("unterminated comment", i)
+        return close + 3
+    if text.startswith("<![CDATA[", i):
+        close = text.find("]]>", i + 9)
+        if close == -1:
+            raise LexError("unterminated CDATA section", i)
+        return close + 3
+    # DOCTYPE (or other declaration): honour an internal subset
+    depth = 0
+    j = i + 2
+    while j < n:
+        ch = text[j]
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == ">" and depth <= 0:
+            return j + 1
+        j += 1
+    raise LexError("unterminated markup declaration", i)

@@ -1,0 +1,162 @@
+"""Small attribute-aware XML tree parser.
+
+The querying pipeline never needs attributes (the supported XPath
+fragment has no attribute axes), so the streaming lexer skips them.
+Two substrates *do* need them:
+
+* the XML Schema reader (:mod:`repro.grammar.xsd_parser`) — XSD is
+  itself XML whose meaning lives in ``name=`` / ``type=`` /
+  ``minOccurs=`` attributes;
+* tooling that inspects documents (the CLI's ``inspect`` command).
+
+:func:`parse_tree` builds a minimal in-memory tree with attributes,
+reusing the lexical conventions of :mod:`repro.xmlstream.lexer`
+(comments, CDATA, processing instructions and the DOCTYPE prolog are
+skipped; entity references are kept verbatim).  It is intentionally
+separate from :class:`repro.xpath.reference.Element` — the oracle's
+shape is dictated by XPath evaluation, this one by schema reading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .lexer import LexError, _name_end, _skip_markup_decl
+
+__all__ = ["TreeNode", "parse_tree"]
+
+_WS = " \t\r\n"
+
+
+@dataclass(slots=True)
+class TreeNode:
+    """One element with attributes, children and concatenated text."""
+
+    tag: str
+    attrs: dict[str, str] = field(default_factory=dict)
+    children: list["TreeNode"] = field(default_factory=list)
+    text: str = ""
+
+    def get(self, attr: str, default: str | None = None) -> str | None:
+        return self.attrs.get(attr, default)
+
+    def find(self, tag: str) -> "TreeNode | None":
+        """First direct child with local name ``tag`` (prefix-insensitive)."""
+        for c in self.children:
+            if _local(c.tag) == tag:
+                return c
+        return None
+
+    def findall(self, tag: str) -> list["TreeNode"]:
+        """All direct children with local name ``tag`` (prefix-insensitive)."""
+        return [c for c in self.children if _local(c.tag) == tag]
+
+    def iter(self):
+        """Self and all descendants, depth-first."""
+        yield self
+        for c in self.children:
+            yield from c.iter()
+
+    @property
+    def local(self) -> str:
+        return _local(self.tag)
+
+
+def _local(tag: str) -> str:
+    """Local part of a possibly-prefixed name (``xs:element`` → ``element``)."""
+    return tag.rsplit(":", 1)[-1]
+
+
+def parse_tree(text: str) -> TreeNode:
+    """Parse a complete document into a :class:`TreeNode` tree."""
+    i = 0
+    n = len(text)
+    root: TreeNode | None = None
+    stack: list[TreeNode] = []
+    while i < n:
+        ch = text[i]
+        if ch != "<":
+            j = text.find("<", i)
+            if j == -1:
+                j = n
+            content = text[i:j]
+            if stack and content.strip():
+                stack[-1].text += content
+            i = j
+            continue
+        nxt = text[i + 1] if i + 1 < n else ""
+        if nxt == "/":
+            j = _name_end(text, i + 2)
+            name = text[i + 2 : j]
+            close = text.find(">", j)
+            if close == -1:
+                raise LexError("unterminated end tag", i)
+            if not stack or stack[-1].tag != name:
+                got = stack[-1].tag if stack else None
+                raise LexError(f"mismatched </{name}>, open element is <{got}>", i)
+            stack.pop()
+            i = close + 1
+        elif nxt in "!?":
+            if nxt == "?":
+                close = text.find("?>", i + 2)
+                if close == -1:
+                    raise LexError("unterminated processing instruction", i)
+                i = close + 2
+            else:
+                i = _skip_markup_decl(text, i)
+        else:
+            node, i, self_closing = _parse_start_tag(text, i)
+            if stack:
+                stack[-1].children.append(node)
+            elif root is None:
+                root = node
+            else:
+                raise LexError("multiple document elements", i)
+            if not self_closing:
+                stack.append(node)
+    if stack:
+        raise LexError(f"unclosed element <{stack[-1].tag}>", n)
+    if root is None:
+        raise LexError("no document element", 0)
+    return root
+
+
+def _parse_start_tag(text: str, i: int) -> tuple[TreeNode, int, bool]:
+    """Parse ``<name attr="v" ...>`` at ``i``; return (node, next, selfclosing)."""
+    n = len(text)
+    j = _name_end(text, i + 1)
+    name = text[i + 1 : j]
+    if not name:
+        raise LexError("empty start-tag name", i)
+    node = TreeNode(name)
+    k = j
+    while k < n:
+        while k < n and text[k] in _WS:
+            k += 1
+        if k >= n:
+            raise LexError("unterminated start tag", i)
+        if text[k] == ">":
+            return node, k + 1, False
+        if text[k] == "/" and k + 1 < n and text[k + 1] == ">":
+            return node, k + 2, True
+        # attribute
+        eq = k
+        while eq < n and text[eq] not in "=" + _WS + "/>":
+            eq += 1
+        attr = text[k:eq]
+        while eq < n and text[eq] in _WS:
+            eq += 1
+        if eq >= n or text[eq] != "=":
+            raise LexError(f"attribute {attr!r} missing '='", k)
+        q = eq + 1
+        while q < n and text[q] in _WS:
+            q += 1
+        if q >= n or text[q] not in "\"'":
+            raise LexError(f"attribute {attr!r} value is not quoted", k)
+        quote = text[q]
+        close = text.find(quote, q + 1)
+        if close == -1:
+            raise LexError(f"unterminated value for attribute {attr!r}", k)
+        node.attrs[attr] = text[q + 1 : close]
+        k = close + 1
+    raise LexError("unterminated start tag", i)

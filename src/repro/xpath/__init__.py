@@ -1,0 +1,66 @@
+"""XPath substrate: parsing, rewriting, automata, filtering, oracle.
+
+* :mod:`~repro.xpath.ast` / :mod:`~repro.xpath.parser` — the supported
+  query fragment (Table 4 of the paper);
+* :mod:`~repro.xpath.rewrite` — predicates and reverse axes →
+  forward-only sub-queries plus a filter plan;
+* :mod:`~repro.xpath.automaton` — merged query DFA (the transducer's
+  finite control);
+* :mod:`~repro.xpath.events` / :mod:`~repro.xpath.filtering` — output
+  tape vocabulary and the sequential filter phase;
+* :mod:`~repro.xpath.reference` — DOM-based oracle evaluator (the
+  "pre-parsing" strategy of Section 2.1).
+"""
+
+from .ast import Axis, Path, Step, WILDCARD, XPathError
+from .automaton import AutomatonTooLarge, QueryAutomaton, build_automaton
+from .events import EventKind, MatchEvent, close, hit
+from .filtering import FilterError, IntervalForest, apply_filters, collect_events
+from .parser import parse_relative_path, parse_xpath
+from .reference import Document, Element, build_document, evaluate, evaluate_offsets
+from .rewrite import (
+    AnchorSpec,
+    Alternative,
+    CompiledQuery,
+    JoinMode,
+    SubQuery,
+    SubRegistry,
+    Term,
+    compile_queries,
+    compile_query,
+)
+
+__all__ = [
+    "AnchorSpec",
+    "Alternative",
+    "AutomatonTooLarge",
+    "Axis",
+    "CompiledQuery",
+    "Document",
+    "Element",
+    "EventKind",
+    "FilterError",
+    "IntervalForest",
+    "JoinMode",
+    "MatchEvent",
+    "Path",
+    "QueryAutomaton",
+    "Step",
+    "SubQuery",
+    "SubRegistry",
+    "Term",
+    "WILDCARD",
+    "XPathError",
+    "apply_filters",
+    "build_automaton",
+    "build_document",
+    "close",
+    "collect_events",
+    "compile_queries",
+    "compile_query",
+    "evaluate",
+    "evaluate_offsets",
+    "hit",
+    "parse_relative_path",
+    "parse_xpath",
+]

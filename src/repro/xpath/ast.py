@@ -1,0 +1,192 @@
+"""XPath abstract syntax for the fragment the paper evaluates.
+
+The paper's query corpus (XPathMark A-type queries plus two B-type
+queries, Table 4) uses:
+
+* absolute location paths with ``child`` (``/``) and
+  ``descendant-or-self`` (``//``) axes,
+* the ``*`` name wildcard,
+* existence predicates ``[p]`` over relative paths, combined with
+  ``and`` / ``or`` (and we also support ``not(...)``),
+* ``parent::`` / ``ancestor::`` axes inside predicates or as rewritable
+  main-path steps (e.g. ``//k/ancestor::li/t/k`` — query XM3).
+
+Reverse axes and predicates are *not* executed directly by the
+transducers: :mod:`repro.xpath.rewrite` normalises every query into a
+set of forward-only sub-queries plus a filter specification, exactly as
+the paper describes ("the queries are translated into subqueries or
+rewritten, such that they can be merged into a single pushdown
+transducer", Section 6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Axis",
+    "WILDCARD",
+    "Step",
+    "Path",
+    "PredCompare",
+    "Predicate",
+    "PredPath",
+    "PredAnd",
+    "PredOr",
+    "PredNot",
+    "XPathError",
+]
+
+#: the name test that matches any element
+WILDCARD = "*"
+
+
+class XPathError(ValueError):
+    """Raised for queries outside the supported fragment."""
+
+
+class Axis(enum.Enum):
+    """Navigation axes of the supported fragment."""
+
+    CHILD = "child"
+    DESCENDANT = "descendant"  # normalised descendant-or-self::node()/child
+    PARENT = "parent"
+    ANCESTOR = "ancestor"
+    SELF = "self"
+
+    @property
+    def is_forward(self) -> bool:
+        return self in (Axis.CHILD, Axis.DESCENDANT, Axis.SELF)
+
+    @property
+    def is_reverse(self) -> bool:
+        return self in (Axis.PARENT, Axis.ANCESTOR)
+
+
+@dataclass(frozen=True, slots=True)
+class Predicate:
+    """Base class for predicate expressions."""
+
+
+@dataclass(frozen=True, slots=True)
+class PredPath(Predicate):
+    """Existence test: the relative ``path`` has at least one match."""
+
+    path: "Path"
+
+
+@dataclass(frozen=True, slots=True)
+class PredCompare(Predicate):
+    """Value test: some match of ``path`` has text equal to ``literal``.
+
+    Both ``=`` and ``!=`` are existential, per XPath semantics:
+    ``[a != 'x']`` holds iff *some* ``a`` child's value differs from
+    ``'x'`` (use ``not(a = 'x')`` for "no child equals").
+    """
+
+    path: "Path"
+    op: str  # '=' or '!='
+    literal: str
+
+
+@dataclass(frozen=True, slots=True)
+class PredAnd(Predicate):
+    """Conjunction of predicate expressions."""
+
+    parts: tuple[Predicate, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class PredOr(Predicate):
+    """Disjunction of predicate expressions."""
+
+    parts: tuple[Predicate, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class PredNot(Predicate):
+    """Negation of a predicate expression."""
+
+    part: Predicate
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One location step: ``axis::nametest[pred]*``.
+
+    ``name`` is an element name or :data:`WILDCARD`.
+    """
+
+    axis: Axis
+    name: str
+    predicates: tuple[Predicate, ...] = ()
+
+    def with_predicates(self, preds: tuple[Predicate, ...]) -> "Step":
+        return Step(self.axis, self.name, preds)
+
+    def strip_predicates(self) -> "Step":
+        return Step(self.axis, self.name) if self.predicates else self
+
+    def __str__(self) -> str:
+        if self.axis == Axis.CHILD:
+            prefix = ""
+        elif self.axis == Axis.DESCENDANT:
+            prefix = ""  # rendered by Path as '//'
+        else:
+            prefix = f"{self.axis.value}::"
+        preds = "".join(f"[{_pred_str(p)}]" for p in self.predicates)
+        return f"{prefix}{self.name}{preds}"
+
+
+@dataclass(frozen=True, slots=True)
+class Path:
+    """A location path: sequence of steps, absolute or relative.
+
+    A relative path (``absolute=False``) only appears inside
+    predicates, where it is evaluated relative to the anchor element.
+    """
+
+    steps: tuple[Step, ...]
+    absolute: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise XPathError("a path needs at least one step")
+
+    @property
+    def is_forward_only(self) -> bool:
+        """True when every step uses a forward axis and has no predicates.
+
+        Forward-only paths are exactly what the query automaton can
+        compile directly.
+        """
+        return all(s.axis.is_forward and not s.predicates for s in self.steps)
+
+    def strip(self) -> "Path":
+        """The same path with all predicates removed."""
+        return Path(tuple(s.strip_predicates() for s in self.steps), self.absolute)
+
+    def __str__(self) -> str:
+        out: list[str] = []
+        for i, step in enumerate(self.steps):
+            if step.axis == Axis.DESCENDANT:
+                out.append("//")
+            elif i > 0 or self.absolute:
+                out.append("/")
+            out.append(str(step))
+        return "".join(out)
+
+
+def _pred_str(p: Predicate) -> str:
+    if isinstance(p, PredCompare):
+        return f"{p.path} {p.op} '{p.literal}'"
+    if isinstance(p, PredPath):
+        return str(p.path)
+    if isinstance(p, PredAnd):
+        return " and ".join(_pred_str(x) for x in p.parts)
+    if isinstance(p, PredOr):
+        return " or ".join(_pred_str(x) for x in p.parts)
+    if isinstance(p, PredNot):
+        return f"not({_pred_str(p.part)})"
+    raise TypeError(f"unknown predicate {p!r}")  # pragma: no cover

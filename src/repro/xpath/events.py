@@ -1,0 +1,68 @@
+"""Match events — the output-tape alphabet Δ of the transducers.
+
+Every transducer variant (sequential, PP-Transducer, GAP, speculative
+GAP) writes the same event vocabulary to its output tape:
+
+* ``HIT(sid, offset, depth)`` — sub-query ``sid`` matched the element
+  whose start tag is at ``offset``, nested at element ``depth``;
+* ``CLOSE(sid, offset, depth)`` — the element previously opened as an
+  *anchor* match of ``sid`` just closed; ``offset`` is the end tag's
+  offset.
+
+HIT events of anchor sub-queries open an interval that the matching
+CLOSE event terminates; the filter phase pairs them back up (per sid,
+with a stack — element spans of one sub-query always nest properly or
+are disjoint).  Events are totally ordered by their token offset, which
+is global across chunks, so the join phase simply concatenates the
+per-chunk output tapes.
+
+Depths make predicate joins *structural*: a child-axis predicate path
+of length L relates a hit at depth d to the anchor instance at exactly
+depth d−L on its ancestor chain, so self-nesting anchor elements are
+resolved correctly.  A worker processing a chunk cannot know absolute
+depths (they depend on the unknown incoming stack), so it records
+depths relative to the chunk start — possibly negative after underflow
+pops — and the join phase, which carries the concrete stack, rebases
+each chunk's events by the incoming stack height
+(:func:`MatchEvent.rebased`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["EventKind", "MatchEvent", "hit", "close"]
+
+
+class EventKind(enum.IntEnum):
+    HIT = 0
+    CLOSE = 1
+
+
+@dataclass(frozen=True, slots=True)
+class MatchEvent:
+    """One entry on a transducer's output tape."""
+
+    kind: EventKind
+    sid: int
+    offset: int
+    depth: int = 0
+
+    def rebased(self, base: int) -> "MatchEvent":
+        """This event with ``base`` added to its (chunk-local) depth."""
+        if base == 0:
+            return self
+        return MatchEvent(self.kind, self.sid, self.offset, self.depth + base)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        word = "hit" if self.kind == EventKind.HIT else "close"
+        return f"{word}(sub={self.sid}, @{self.offset}, d={self.depth})"
+
+
+def hit(sid: int, offset: int, depth: int = 0) -> MatchEvent:
+    return MatchEvent(EventKind.HIT, sid, offset, depth)
+
+
+def close(sid: int, offset: int, depth: int = 0) -> MatchEvent:
+    return MatchEvent(EventKind.CLOSE, sid, offset, depth)

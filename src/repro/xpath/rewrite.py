@@ -1,0 +1,483 @@
+"""Query rewriting: predicates and reverse axes → forward sub-queries.
+
+The pushdown transducers execute only *forward-only* path queries
+(child/descendant steps, no predicates).  Richer queries are normalised
+here, mirroring the paper's methodology: "When predicates, parents or
+ancestors are used, the queries are translated into subqueries or
+rewritten, such that they can be merged into a single pushdown
+transducer" (Section 6), with the predicate logic applied by a
+sequential *filter phase* after the join (Section 2.3).
+
+A query compiles to a :class:`CompiledQuery`:
+
+* one or more **alternatives** (unions produced by rewriting reverse
+  axes); each alternative has a *main* sub-query whose hits are the
+  candidate matches;
+* a list of **anchors** per alternative — predicated steps.  An anchor
+  sub-query reports the *intervals* (start/end offset) of the elements
+  bound to that step, and its predicate expression is a boolean tree
+  over **predicate terms**;
+* each predicate term references a forward sub-query and a join mode:
+
+  - ``INSIDE`` — the term holds for an anchor interval iff the term's
+    sub-query has a hit strictly inside the interval at a compatible
+    element depth (child-axis predicate paths pin the hit exactly
+    ``len(path)`` levels below the anchor; descendant axes give a lower
+    bound — see :mod:`repro.xpath.filtering` for the exactness
+    discussion);
+  - ``SAME`` — the term's sub-query must hit the anchor's own start
+    offset (used for ``parent::``/``ancestor::``/``self::`` predicates,
+    which are rewritten into alternative paths *ending at the anchor
+    element itself*).
+
+The count of distinct forward sub-queries is exposed as ``n_sub`` and
+reproduces the ``#sub`` column of Table 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .ast import (
+    Axis,
+    Path,
+    PredAnd,
+    PredCompare,
+    PredNot,
+    PredOr,
+    PredPath,
+    Predicate,
+    Step,
+    WILDCARD,
+    XPathError,
+)
+from .parser import parse_xpath
+
+__all__ = [
+    "JoinMode",
+    "SubQuery",
+    "Term",
+    "BoolExpr",
+    "AndExpr",
+    "OrExpr",
+    "NotExpr",
+    "ConstExpr",
+    "AnchorSpec",
+    "Alternative",
+    "CompiledQuery",
+    "SubRegistry",
+    "compile_query",
+    "compile_queries",
+]
+
+
+class JoinMode(enum.Enum):
+    """How a predicate term's hits are joined to anchor intervals."""
+
+    INSIDE = "inside"  # hit offset strictly inside the anchor interval
+    SAME = "same"  # hit offset equal to the anchor's start offset
+
+
+@dataclass(frozen=True, slots=True)
+class SubQuery:
+    """One forward-only path executed by the transducer.
+
+    ``is_anchor`` sub-queries additionally report element close events
+    so the filter phase can reconstruct intervals.
+    """
+
+    sid: int
+    path: Path
+    is_anchor: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.path.is_forward_only:
+            raise XPathError(f"sub-query {self.path} is not forward-only")
+
+
+# -- boolean expression tree over predicate terms ---------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BoolExpr:
+    """Base class for filter-phase boolean expressions."""
+
+
+@dataclass(frozen=True, slots=True)
+class Term(BoolExpr):
+    """Leaf: sub-query ``sid`` joined to the anchor via ``mode``.
+
+    For INSIDE joins, ``min_delta``/``exact`` describe the element-depth
+    relation between a hit and its anchor: a predicate path of L steps
+    puts the hit exactly L levels below the anchor when every step uses
+    the child axis (``exact``), and at least L levels below otherwise.
+    The filter phase uses this to bind hits to the correct anchor
+    instance even when anchor elements nest within each other.
+    """
+
+    sid: int
+    mode: JoinMode
+    min_delta: int = 1
+    exact: bool = False
+    #: value predicate: only hits whose element text compares to
+    #: ``literal`` (with ``negate`` flipping = into !=) count
+    literal: str | None = None
+    negate: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class ConstExpr(BoolExpr):
+    """Statically decided predicate (e.g. ``parent::x`` under a known parent)."""
+
+    value: bool
+
+
+@dataclass(frozen=True, slots=True)
+class AndExpr(BoolExpr):
+    parts: tuple[BoolExpr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class OrExpr(BoolExpr):
+    parts: tuple[BoolExpr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class NotExpr(BoolExpr):
+    part: BoolExpr
+
+
+@dataclass(frozen=True, slots=True)
+class AnchorSpec:
+    """A predicated step: its anchor sub-query and predicate expression.
+
+    ``main_min_delta``/``main_exact`` relate a *candidate* match of the
+    alternative's main sub-query to its anchor instance, exactly like a
+    Term's fields relate a predicate hit (delta 0 = the anchor is the
+    candidate element itself).
+    """
+
+    anchor_sid: int
+    expr: BoolExpr
+    main_min_delta: int = 0
+    main_exact: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class Alternative:
+    """One union branch of a rewritten query."""
+
+    main_sid: int
+    anchors: tuple[AnchorSpec, ...]
+
+
+@dataclass(slots=True)
+class CompiledQuery:
+    """A fully rewritten query, ready for automaton construction.
+
+    ``subqueries`` lists the sub-queries *this* query uses; their
+    ``sid`` fields are ids in the enclosing :class:`SubRegistry`, which
+    may be shared across a whole query set (so equal sub-queries of
+    different queries are executed once).
+    """
+
+    query_id: int
+    source: str
+    subqueries: list[SubQuery] = field(default_factory=list)
+    alternatives: list[Alternative] = field(default_factory=list)
+
+    @property
+    def n_sub(self) -> int:
+        """Number of forward sub-queries (the ``#sub`` of Table 4)."""
+        return len(self.subqueries)
+
+    @property
+    def is_simple(self) -> bool:
+        """True for a query that needed no filtering at all."""
+        return (
+            len(self.alternatives) == 1
+            and not self.alternatives[0].anchors
+            and len(self.subqueries) == 1
+        )
+
+
+class SubRegistry:
+    """Interning table for forward sub-queries across a query set.
+
+    Two queries asking for the same (path, anchor-ness) share one
+    sub-query id and therefore one set of automaton accept positions.
+    """
+
+    def __init__(self) -> None:
+        self.subqueries: list[SubQuery] = []
+        self._index: dict[tuple[str, bool], int] = {}
+
+    def add(self, steps: tuple[Step, ...], is_anchor: bool) -> SubQuery:
+        path = Path(steps, absolute=True)
+        key = (str(path), is_anchor)
+        sid = self._index.get(key)
+        if sid is None:
+            sid = len(self.subqueries)
+            self.subqueries.append(SubQuery(sid, path, is_anchor))
+            self._index[key] = sid
+        return self.subqueries[sid]
+
+    def automaton_inputs(self) -> list[tuple[int, Path]]:
+        """The ``(sid, path)`` pairs to feed :func:`build_automaton`."""
+        return [(sq.sid, sq.path) for sq in self.subqueries]
+
+    def anchor_sids(self) -> frozenset[int]:
+        return frozenset(sq.sid for sq in self.subqueries if sq.is_anchor)
+
+
+class _Compiler:
+    """Stateful rewriting of one parsed query."""
+
+    def __init__(self, query_id: int, source: str, registry: SubRegistry) -> None:
+        self.out = CompiledQuery(query_id, source)
+        self.registry = registry
+        self._mine: set[int] = set()
+
+    def add_sub(self, steps: tuple[Step, ...], is_anchor: bool = False) -> int:
+        sq = self.registry.add(steps, is_anchor)
+        if sq.sid not in self._mine:
+            self._mine.add(sq.sid)
+            self.out.subqueries.append(sq)
+        return sq.sid
+
+    # -- entry point ---------------------------------------------------
+
+    def compile(self, path: Path) -> CompiledQuery:
+        for steps in self._expand_reverse_steps(path.steps):
+            self._compile_alternative(steps)
+        if not self.out.alternatives:
+            raise XPathError(f"query {path} rewrote to an empty union")
+        return self.out
+
+    # -- reverse-axis elimination ---------------------------------------
+
+    def _expand_reverse_steps(self, steps: tuple[Step, ...]) -> list[tuple[Step, ...]]:
+        """Rewrite main-path ``ancestor::x`` steps into forward unions.
+
+        ``d1//d2 .. //dn/ancestor::x/Q`` (all preceding steps on the
+        descendant axis) becomes the union over the positions ``x`` can
+        take in the ancestor chain::
+
+            //d1//..//di//x[.//d_{i+1}//..//dn]/Q      for i = 0..n-1
+
+        The predicate is attached to the ``x`` step and handled by the
+        ordinary predicate machinery.  ``parent::``/``self::`` main
+        steps are not in the evaluated fragment and raise.
+        """
+        for idx, step in enumerate(steps):
+            if step.axis == Axis.ANCESTOR:
+                prefix, suffix = steps[:idx], steps[idx + 1 :]
+                if not prefix:
+                    raise XPathError("ancestor:: cannot be the first step")
+                if any(s.axis != Axis.DESCENDANT for s in prefix):
+                    raise XPathError(
+                        "ancestor:: steps are supported only after pure '//' prefixes"
+                    )
+                if any(s.predicates for s in prefix):
+                    raise XPathError("predicates before an ancestor:: step are not supported")
+                out: list[tuple[Step, ...]] = []
+                for i in range(len(prefix)):
+                    below = prefix[i:]
+                    pred = PredPath(Path(tuple(Step(Axis.DESCENDANT, s.name) for s in below), absolute=False))
+                    x_step = Step(Axis.DESCENDANT, step.name, (*step.predicates, pred))
+                    head = (*prefix[:i], x_step, *suffix)
+                    for expanded in self._expand_reverse_steps(head):
+                        out.append(expanded)
+                return out
+            if step.axis in (Axis.PARENT, Axis.SELF):
+                raise XPathError(f"{step.axis.value}:: main-path steps are not supported")
+        return [steps]
+
+    # -- one forward alternative ----------------------------------------
+
+    def _compile_alternative(self, steps: tuple[Step, ...]) -> None:
+        stripped = tuple(s.strip_predicates() for s in steps)
+        main_sid = self.add_sub(stripped)
+        anchors: list[AnchorSpec] = []
+        for i, step in enumerate(steps):
+            if not step.predicates:
+                continue
+            anchor_sid = self.add_sub(stripped[: i + 1], is_anchor=True)
+            exprs = [self._compile_pred(p, stripped, i) for p in step.predicates]
+            expr = exprs[0] if len(exprs) == 1 else AndExpr(tuple(exprs))
+            delta, exact = _depth_relation(stripped[i + 1 :])
+            anchors.append(AnchorSpec(anchor_sid, expr, delta, exact))
+        self.out.alternatives.append(Alternative(main_sid, tuple(anchors)))
+
+    # -- predicates ------------------------------------------------------
+
+    def _compile_pred(
+        self, pred: Predicate, stripped: tuple[Step, ...], anchor_idx: int
+    ) -> BoolExpr:
+        if isinstance(pred, PredAnd):
+            return AndExpr(tuple(self._compile_pred(p, stripped, anchor_idx) for p in pred.parts))
+        if isinstance(pred, PredOr):
+            return OrExpr(tuple(self._compile_pred(p, stripped, anchor_idx) for p in pred.parts))
+        if isinstance(pred, PredNot):
+            return NotExpr(self._compile_pred(pred.part, stripped, anchor_idx))
+        if isinstance(pred, PredPath):
+            return self._compile_pred_path(pred.path, stripped, anchor_idx)
+        if isinstance(pred, PredCompare):
+            return self._compile_pred_compare(pred, stripped, anchor_idx)
+        raise TypeError(f"unknown predicate {pred!r}")  # pragma: no cover
+
+    def _compile_pred_path(
+        self, rel: Path, stripped: tuple[Step, ...], anchor_idx: int
+    ) -> BoolExpr:
+        if rel.absolute:
+            raise XPathError("absolute paths inside predicates are not supported")
+        steps = list(rel.steps)
+        # drop a leading `self::*` ('.'): './/x' == 'descendant::x'
+        while steps and steps[0].axis == Axis.SELF and steps[0].name == WILDCARD:
+            steps.pop(0)
+        if not steps:
+            return ConstExpr(True)  # '[.]' — always true
+        if any(s.predicates for s in steps):
+            raise XPathError("nested predicates are not supported")
+        head = steps[0]
+        if head.axis in (Axis.CHILD, Axis.DESCENDANT):
+            if any(not s.axis.is_forward for s in steps):
+                raise XPathError("reverse axes may only lead a predicate path")
+            sid = self.add_sub((*stripped[: anchor_idx + 1], *steps))
+            delta, exact = _depth_relation(tuple(steps))
+            return Term(sid, JoinMode.INSIDE, delta, exact)
+        if head.axis == Axis.PARENT:
+            if len(steps) > 1:
+                raise XPathError("parent:: followed by more steps is not supported")
+            return self._parent_term(head.name, stripped, anchor_idx)
+        if head.axis == Axis.ANCESTOR:
+            if len(steps) > 1:
+                raise XPathError("ancestor:: followed by more steps is not supported")
+            return self._ancestor_term(head.name, stripped, anchor_idx)
+        if head.axis == Axis.SELF:
+            # '[self::x]' — name constraint on the anchor itself
+            return self._self_term(head.name, stripped, anchor_idx)
+        raise XPathError(f"unsupported predicate axis {head.axis.value}")  # pragma: no cover
+
+    def _compile_pred_compare(
+        self, pred: PredCompare, stripped: tuple[Step, ...], anchor_idx: int
+    ) -> BoolExpr:
+        """Value predicates: ``[a = 'x']`` / ``[a != 'x']``.
+
+        Compiled like an existence predicate, with the literal attached
+        to the term — the filter phase decodes candidate elements' text
+        and keeps only comparing hits.
+        """
+        steps = list(pred.path.steps)
+        while steps and steps[0].axis == Axis.SELF and steps[0].name == WILDCARD:
+            steps.pop(0)
+        if not steps:
+            raise XPathError("value predicates on '.' are not supported")
+        if any(not s.axis.is_forward or s.predicates for s in steps):
+            raise XPathError(
+                "value predicates require a plain forward path on the left"
+            )
+        sid = self.add_sub((*stripped[: anchor_idx + 1], *steps))
+        delta, exact = _depth_relation(tuple(steps))
+        return Term(
+            sid, JoinMode.INSIDE, delta, exact,
+            literal=pred.literal, negate=(pred.op == "!="),
+        )
+
+    def _parent_term(self, name: str, stripped: tuple[Step, ...], i: int) -> BoolExpr:
+        """``[parent::name]`` on the step at index ``i``."""
+        step = stripped[i]
+        if step.axis == Axis.CHILD:
+            if i == 0:
+                return ConstExpr(False)  # the document element has no parent element
+            parent = stripped[i - 1]
+            merged = _intersect_name(parent.name, name)
+            if merged is None:
+                return ConstExpr(False)
+            if merged == parent.name and parent.name != WILDCARD:
+                return ConstExpr(True)
+            new_steps = (*stripped[: i - 1], Step(parent.axis, merged), step)
+            return Term(self.add_sub(new_steps), JoinMode.SAME)
+        # DESCENDANT: the parent is some element below the prefix
+        new_steps = (*stripped[:i], Step(Axis.DESCENDANT, name), Step(Axis.CHILD, step.name))
+        return Term(self.add_sub(new_steps), JoinMode.SAME)
+
+    def _ancestor_term(self, name: str, stripped: tuple[Step, ...], i: int) -> BoolExpr:
+        """``[ancestor::name]`` on the step at index ``i``.
+
+        The ancestor is either one of the named prefix steps (decided
+        per position, yielding SAME-joined variants) or an intermediate
+        element introduced by a descendant-axis step.
+        """
+        terms: list[BoolExpr] = []
+        for j in range(i):
+            merged = _intersect_name(stripped[j].name, name)
+            if merged is not None:
+                if merged == stripped[j].name and stripped[j].name != WILDCARD:
+                    return ConstExpr(True)
+                new_steps = (
+                    *stripped[:j],
+                    Step(stripped[j].axis, merged),
+                    *stripped[j + 1 : i + 1],
+                )
+                terms.append(Term(self.add_sub(new_steps), JoinMode.SAME))
+        for j in range(i + 1):
+            if stripped[j].axis == Axis.DESCENDANT:
+                new_steps = (
+                    *stripped[:j],
+                    Step(Axis.DESCENDANT, name),
+                    Step(Axis.DESCENDANT, stripped[j].name),
+                    *stripped[j + 1 : i + 1],
+                )
+                terms.append(Term(self.add_sub(new_steps), JoinMode.SAME))
+        if not terms:
+            return ConstExpr(False)
+        return terms[0] if len(terms) == 1 else OrExpr(tuple(terms))
+
+    def _self_term(self, name: str, stripped: tuple[Step, ...], i: int) -> BoolExpr:
+        step = stripped[i]
+        merged = _intersect_name(step.name, name)
+        if merged is None:
+            return ConstExpr(False)
+        if step.name != WILDCARD:
+            return ConstExpr(True)
+        new_steps = (*stripped[:i], Step(step.axis, merged))
+        return Term(self.add_sub(new_steps), JoinMode.SAME)
+
+
+def _depth_relation(steps: tuple[Step, ...]) -> tuple[int, bool]:
+    """Depth delta of a forward step chain: (minimum levels, exact?)."""
+    min_delta = len(steps)
+    exact = all(s.axis == Axis.CHILD for s in steps)
+    return min_delta, exact
+
+
+def _intersect_name(a: str, b: str) -> str | None:
+    """Intersection of two name tests; ``None`` when incompatible."""
+    if a == WILDCARD:
+        return b
+    if b == WILDCARD:
+        return a
+    return a if a == b else None
+
+
+def compile_query(
+    query: str | Path, query_id: int = 0, registry: SubRegistry | None = None
+) -> CompiledQuery:
+    """Parse (if needed) and rewrite one query.
+
+    Pass a shared ``registry`` to intern sub-queries across a set.
+    """
+    path = parse_xpath(query) if isinstance(query, str) else query
+    return _Compiler(query_id, str(path), registry or SubRegistry()).compile(path)
+
+
+def compile_queries(queries: list) -> tuple[list[CompiledQuery], SubRegistry]:
+    """Compile a query set against one shared registry.
+
+    Query ids are list positions; the returned registry holds the
+    global sub-query table for automaton construction.
+    """
+    registry = SubRegistry()
+    return [compile_query(q, i, registry) for i, q in enumerate(queries)], registry

@@ -1,0 +1,145 @@
+"""Unit tests for the query automaton (NFA → DFA construction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xpath import XPathError, build_automaton, parse_xpath
+from repro.xpath.automaton import AutomatonTooLarge, OTHER
+
+
+def dfa_for(*queries):
+    return build_automaton([(i, parse_xpath(q)) for i, q in enumerate(queries)])
+
+
+def run_tags(a, tags):
+    """Drive the DFA through a sequence of start tags (push-only view)."""
+    state = a.initial
+    trace = [state]
+    for t in tags:
+        state = a.step(state, t)
+        trace.append(state)
+    return trace
+
+
+class TestSingleQuery:
+    def test_child_chain_accepts_exact_path(self):
+        a = dfa_for("/a/b/c")
+        trace = run_tags(a, ["a", "b", "c"])
+        assert a.accepts[trace[-1]] == (0,)
+        for s in trace[:-1]:
+            assert a.accepts[s] == ()
+
+    def test_wrong_order_is_dead(self):
+        a = dfa_for("/a/b/c")
+        state = run_tags(a, ["a", "c"])[-1]
+        assert state == a.dead
+        assert a.step(state, "b") == a.dead
+
+    def test_unrelated_tag_goes_to_other_transition(self):
+        a = dfa_for("/a/b")
+        s1 = a.step(a.initial, "zzz")
+        assert s1 == a.other[a.initial]
+        assert s1 == a.dead
+
+    def test_wrong_root_is_dead(self):
+        a = dfa_for("/a/b")
+        assert a.step(a.initial, "b") == a.dead
+
+    def test_descendant_self_loop(self):
+        a = dfa_for("//x")
+        state = a.initial
+        for tag in ["p", "q", "r"]:
+            state = a.step(state, tag)
+        final = a.step(state, "x")
+        assert a.accepts[final] == (0,)
+        # and //x matches again deeper
+        deeper = a.step(final, "x")
+        assert a.accepts[deeper] == (0,)
+
+    def test_wildcard_step(self):
+        a = dfa_for("/a/*/c")
+        for mid in ("b", "zz"):
+            trace = run_tags(a, ["a", mid, "c"])
+            assert a.accepts[trace[-1]] == (0,)
+
+    def test_mid_descendant(self):
+        a = dfa_for("/a//c")
+        assert a.accepts[run_tags(a, ["a", "c"])[-1]] == (0,)
+        assert a.accepts[run_tags(a, ["a", "x", "y", "c"])[-1]] == (0,)
+        assert a.accepts[run_tags(a, ["z", "c"])[-1]] == ()
+
+
+class TestPaperRunningExample:
+    """Query a/b/a/c of Figure 4-c: six states including the dead state."""
+
+    def test_state_count(self):
+        a = dfa_for("/a/b/a/c")
+        # paper numbers states 0..5: initial, a, ab, aba, abac (accept), dead
+        assert a.n_states == 6
+
+    def test_trace_matches_figure(self):
+        a = dfa_for("/a/b/a/c")
+        s1 = a.initial
+        s2 = a.step(s1, "a")
+        s0 = a.step(s2, "c")  # 'c' after just 'a' → unrelated
+        assert s0 == a.dead
+        s3 = a.step(s2, "b")
+        s4 = a.step(s3, "a")
+        s5 = a.step(s4, "c")
+        assert a.accepts[s5] == (0,)
+        assert len({s1, s2, s3, s4, s5, s0}) == 6
+
+
+class TestMultiQuery:
+    def test_accepts_distinguish_queries(self):
+        a = dfa_for("/a/b", "/a/c")
+        sb = run_tags(a, ["a", "b"])[-1]
+        sc = run_tags(a, ["a", "c"])[-1]
+        assert a.accepts[sb] == (0,)
+        assert a.accepts[sc] == (1,)
+
+    def test_shared_accept_state(self):
+        a = dfa_for("/a/b", "//b")
+        s = run_tags(a, ["a", "b"])[-1]
+        assert a.accepts[s] == (0, 1)
+
+    def test_states_grow_with_queries(self):
+        single = dfa_for("/a/b/c").n_states
+        many = dfa_for("/a/b/c", "/a/c//d", "//e/f", "/a/*/g").n_states
+        assert many > single
+
+    def test_alphabet_excludes_wildcard(self):
+        a = dfa_for("/a/*/c")
+        assert a.alphabet == frozenset({"a", "c"})
+
+
+class TestValidation:
+    def test_rejects_predicated_paths(self):
+        with pytest.raises(XPathError):
+            build_automaton([(0, parse_xpath("/a[x]/b"))])
+
+    def test_rejects_relative(self):
+        from repro.xpath import parse_relative_path
+
+        with pytest.raises(XPathError):
+            build_automaton([(0, parse_relative_path("a/b"))])
+
+    def test_size_guard(self, monkeypatch):
+        import repro.xpath.automaton as mod
+
+        monkeypatch.setattr(mod, "MAX_DFA_STATES", 3)
+        with pytest.raises(AutomatonTooLarge):
+            dfa_for("/a/b/c/d/e")
+
+
+class TestDeterminism:
+    def test_construction_is_deterministic(self):
+        a1 = dfa_for("/a/b/c", "//d/e")
+        a2 = dfa_for("/a/b/c", "//d/e")
+        assert a1.transitions == a2.transitions
+        assert a1.accepts == a2.accepts
+
+    def test_other_symbol_is_reserved(self):
+        # OTHER must not collide with real tag names
+        assert OTHER.startswith("\0")

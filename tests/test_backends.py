@@ -1,0 +1,64 @@
+"""Tests for the execution backends (serial / thread / process)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GapEngine, SequentialEngine
+from repro.parallel import SerialBackend, ThreadBackend, get_backend
+from repro.parallel.backend import ProcessBackend
+
+from tests.conftest import FEED_DTD, FEED_XML
+
+
+def _double(ctx, item):  # module-level: picklable for the process pool
+    return ctx * item
+
+
+class TestMapWithContext:
+    def test_serial(self):
+        assert SerialBackend().map_with_context(3, _double, [1, 2, 3]) == [3, 6, 9]
+
+    def test_thread(self):
+        with ThreadBackend(max_workers=2) as b:
+            assert b.map_with_context(3, _double, [1, 2, 3]) == [3, 6, 9]
+
+    @pytest.mark.slow
+    def test_process(self):
+        with ProcessBackend(max_workers=2) as b:
+            assert b.map_with_context(3, _double, [1, 2, 3]) == [3, 6, 9]
+
+    def test_order_preserved(self):
+        import time
+
+        def slow_then_fast(ctx, item):
+            time.sleep(0.02 if item == 0 else 0)
+            return item
+
+        with ThreadBackend(max_workers=4) as b:
+            assert b.map_with_context(None, slow_then_fast, [0, 1, 2]) == [0, 1, 2]
+
+    def test_factory(self):
+        assert get_backend("serial").name == "serial"
+        assert get_backend("thread", 2).name == "thread"
+        assert get_backend("process").name == "process"
+        with pytest.raises(ValueError):
+            get_backend("gpu")
+
+
+class TestEnginesAcrossBackends:
+    QUERIES = ["/feed/entry/id", "//title"]
+
+    def expected(self):
+        return SequentialEngine(self.QUERIES).run(FEED_XML).offsets_by_id
+
+    def test_thread_backend_engine(self):
+        with ThreadBackend(max_workers=3) as backend:
+            engine = GapEngine(self.QUERIES, grammar=FEED_DTD, backend=backend)
+            assert engine.run(FEED_XML, n_chunks=3).offsets_by_id == self.expected()
+
+    @pytest.mark.slow
+    def test_process_backend_engine(self):
+        backend = ProcessBackend(max_workers=2)
+        engine = GapEngine(self.QUERIES, grammar=FEED_DTD, backend=backend)
+        assert engine.run(FEED_XML, n_chunks=3).offsets_by_id == self.expected()

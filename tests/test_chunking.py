@@ -1,0 +1,89 @@
+"""Unit tests for the split phase (chunk framing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmlstream import lex, lex_range, split_at_offsets, split_chunks
+
+
+DOC = "<a><b>one</b><c>two</c><d><e>deep</e></d></a>"
+
+
+class TestSplitChunks:
+    def test_single_chunk_covers_document(self):
+        chunks = split_chunks(DOC, 1)
+        assert len(chunks) == 1
+        assert (chunks[0].begin, chunks[0].end) == (0, len(DOC))
+
+    def test_chunks_are_contiguous_and_cover(self):
+        for n in range(1, 10):
+            chunks = split_chunks(DOC, n)
+            assert chunks[0].begin == 0
+            assert chunks[-1].end == len(DOC)
+            for left, right in zip(chunks, chunks[1:]):
+                assert left.end == right.begin
+
+    def test_indices_are_sequential(self):
+        chunks = split_chunks(DOC, 4)
+        assert [c.index for c in chunks] == list(range(len(chunks)))
+
+    def test_boundaries_are_tag_starts(self):
+        for n in range(2, 8):
+            for c in split_chunks(DOC, n)[1:]:
+                assert DOC[c.begin] == "<"
+
+    def test_no_empty_chunks(self):
+        for n in range(1, 20):
+            for c in split_chunks(DOC, n):
+                assert len(c) > 0
+
+    def test_more_chunks_than_tags_collapses(self):
+        doc = "<a>x</a>"
+        chunks = split_chunks(doc, 50)
+        assert 1 <= len(chunks) <= 2
+        assert chunks[-1].end == len(doc)
+
+    def test_token_streams_partition(self):
+        full = list(lex(DOC))
+        for n in range(1, 9):
+            parts = []
+            for c in split_chunks(DOC, n):
+                parts.extend(lex_range(DOC, c.begin, c.end))
+            assert parts == full, f"n={n}"
+
+    def test_prolog_stays_in_first_chunk(self):
+        doc = '<?xml version="1.0"?><!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>hello world</a>'
+        chunks = split_chunks(doc, 3)
+        assert chunks[0].begin == 0
+        for c in chunks[1:]:
+            assert doc[c.begin] == "<"
+            assert not doc.startswith("<!", c.begin)
+            assert not doc.startswith("<?", c.begin)
+
+    def test_empty_document(self):
+        assert split_chunks("", 4) == []
+
+    def test_invalid_n_chunks(self):
+        with pytest.raises(ValueError):
+            split_chunks(DOC, 0)
+
+
+class TestSplitAtOffsets:
+    def test_explicit_boundaries(self):
+        chunks = split_at_offsets(100, [10, 50])
+        assert [(c.begin, c.end) for c in chunks] == [(0, 10), (10, 50), (50, 100)]
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            split_at_offsets(100, [50, 10])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            split_at_offsets(100, [0])
+        with pytest.raises(ValueError):
+            split_at_offsets(100, [100])
+
+    def test_no_boundaries(self):
+        chunks = split_at_offsets(42, [])
+        assert [(c.begin, c.end) for c in chunks] == [(0, 42)]

@@ -1,0 +1,154 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+from tests.conftest import FEED_DTD, FEED_XML
+
+
+@pytest.fixture
+def feed_file(tmp_path):
+    p = tmp_path / "feed.xml"
+    p.write_text(FEED_XML)
+    return str(p)
+
+
+@pytest.fixture
+def dtd_file(tmp_path):
+    p = tmp_path / "feed.dtd"
+    p.write_text(FEED_DTD)
+    return str(p)
+
+
+class TestQueryCommand:
+    def test_gap_with_grammar_file(self, feed_file, dtd_file, capsys):
+        rc = main(["query", feed_file, "-q", "/feed/entry/id", "-g", dtd_file])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "gap (nonspec)" in out
+        assert "/feed/entry/id: 1 match(es)" in out
+
+    def test_gap_inline_doctype(self, tmp_path, capsys):
+        doc = FEED_DTD + "\n" + FEED_XML
+        p = tmp_path / "doc.xml"
+        p.write_text(doc)
+        rc = main(["query", str(p), "-q", "//id"])
+        assert rc == 0
+        assert "gap (nonspec)" in capsys.readouterr().out
+
+    def test_gap_speculative_with_learning(self, feed_file, tmp_path, capsys):
+        prior = tmp_path / "prior.xml"
+        prior.write_text("<feed><entry><title>t</title></entry><id>x</id></feed>")
+        rc = main(["query", feed_file, "-q", "//id", "--learn", str(prior)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "gap (spec)" in out
+        assert "//id: 2 match(es)" in out
+
+    def test_seq_and_pp_engines(self, feed_file, capsys):
+        for engine in ("seq", "pp"):
+            rc = main(["query", feed_file, "-q", "//id", "-e", engine])
+            assert rc == 0
+            assert "2 match(es)" in capsys.readouterr().out
+
+    def test_text_decoding(self, feed_file, dtd_file, capsys):
+        rc = main(["query", feed_file, "-q", "/feed/id", "-g", dtd_file, "--text"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "'feed-id'" in out
+
+    def test_stats_flag(self, feed_file, capsys):
+        rc = main(["query", feed_file, "-q", "//id", "-e", "seq", "--stats"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "# stats" in out and "stack_tokens" in out
+
+    def test_missing_file_errors(self, capsys):
+        rc = main(["query", "/nonexistent.xml", "-q", "//x"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_query_errors(self, feed_file, capsys):
+        rc = main(["query", feed_file, "-q", "not a query"])
+        assert rc == 1
+
+
+class TestInspectCommand:
+    def test_inspect_dtd(self, dtd_file, capsys):
+        rc = main(["inspect", dtd_file, "-q", "/feed/entry/id"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "4 element declarations" in out
+        assert "static syntax tree: 5 nodes" in out
+        assert "feasible path table" in out
+
+    def test_inspect_recursive_grammar_shows_cycles(self, tmp_path, capsys):
+        p = tmp_path / "rec.dtd"
+        p.write_text("<!ELEMENT li (t?, li*)> <!ELEMENT t (#PCDATA)>")
+        rc = main(["inspect", str(p)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "recursion: /li -> li" in out
+
+
+class TestGenerateCommand:
+    def test_generate_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "li.xml"
+        rc = main(["generate", "lineitem", "-s", "0.2", "-o", str(out_file)])
+        assert rc == 0
+        assert out_file.exists()
+        assert "d_max=3" in capsys.readouterr().out
+
+    def test_generate_to_stdout(self, capsys):
+        rc = main(["generate", "dblp", "-s", "0.1"])
+        assert rc == 0
+        assert capsys.readouterr().out.startswith("<?xml")
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "martian"])
+
+
+class TestSpeedupCommand:
+    def test_speedup_runs(self, capsys):
+        rc = main(["speedup", "dblp", "-Q", "4", "-s", "2", "-c", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pp " in out and "gap " in out and "speedup" in out
+
+
+class TestJsonQueries:
+    def test_json_file_sniffed(self, tmp_path, capsys):
+        p = tmp_path / "data.json"
+        p.write_text('{"items": [{"id": 1, "tag": "x"}, {"id": 2}]}')
+        rc = main(["query", str(p), "-q", "/json/items[tag]/id", "--text"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 match(es)" in out
+        assert "'1'" in out
+
+    def test_json_schema_as_grammar(self, tmp_path, capsys):
+        data = tmp_path / "data.json"
+        data.write_text('{"items": [{"id": 1}]}')
+        schema = tmp_path / "schema.json"
+        schema.write_text(
+            '{"type": "object", "properties": {"items": {"type": "array",'
+            ' "items": {"type": "object", "properties": {"id": {"type": "integer"}}}}}}'
+        )
+        rc = main(["query", str(data), "-q", "//id", "-g", str(schema)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "gap (nonspec)" in out
+
+    def test_json_learning(self, tmp_path, capsys):
+        data = tmp_path / "data.json"
+        data.write_text('{"items": [{"id": 1}, {"id": 2}]}')
+        prior = tmp_path / "prior.json"
+        prior.write_text('{"items": [{"id": 9}]}')
+        rc = main(["query", str(data), "-q", "//id", "--learn", str(prior)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "gap (spec)" in out and "2 match(es)" in out

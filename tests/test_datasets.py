@@ -1,0 +1,133 @@
+"""Tests for the synthetic benchmark datasets and generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    ALL_DATASETS,
+    DocumentGenerator,
+    GenerationError,
+    document_stats,
+    min_depths,
+)
+from repro.grammar import parse_dtd
+from repro.xmlstream import Validator, lex
+
+
+@pytest.mark.parametrize("name", sorted(ALL_DATASETS))
+class TestDatasetCorpora:
+    def test_documents_conform_to_their_dtd(self, name, small_documents):
+        ds = ALL_DATASETS[name]
+        assert Validator(ds.grammar, strict=True).validate(lex(small_documents[name])) > 0
+
+    def test_generation_is_deterministic(self, name):
+        ds = ALL_DATASETS[name]
+        assert ds.generate(scale=0.3, seed=5) == ds.generate(scale=0.3, seed=5)
+
+    def test_seeds_differ(self, name):
+        ds = ALL_DATASETS[name]
+        if name == "lineitem":
+            pytest.skip("lineitem structure is fixed; only text varies")
+        assert ds.generate(scale=0.5, seed=1) != ds.generate(scale=0.5, seed=2)
+
+    def test_scale_controls_size(self, name):
+        ds = ALL_DATASETS[name]
+        small = len(ds.generate(scale=0.5, seed=0))
+        large = len(ds.generate(scale=2.0, seed=0))
+        assert large > small * 2
+
+    def test_table3_dmax(self, name):
+        ds = ALL_DATASETS[name]
+        xml = ds.generate(scale=2.0, seed=0)
+        _tags, dmax, _davg = ds.stats(xml)
+        if name == "xmark":
+            # recursion depth is stochastic; must reach near the target
+            assert ds.expected_dmax - 3 <= dmax <= ds.expected_dmax
+        else:
+            assert dmax == ds.expected_dmax
+
+    def test_table3_davg_within_tolerance(self, name):
+        ds = ALL_DATASETS[name]
+        xml = ds.generate(scale=2.0, seed=0)
+        _tags, _dmax, davg = ds.stats(xml)
+        assert davg == pytest.approx(ds.expected_davg, rel=0.25)
+
+    def test_prolog_carries_the_dtd(self, name):
+        ds = ALL_DATASETS[name]
+        xml = ds.generate(scale=0.2, seed=0)
+        assert xml.startswith("<?xml")
+        assert "<!DOCTYPE" in xml
+        # the embedded DTD parses back to the same grammar
+        assert parse_dtd(xml).elements == ds.grammar.elements
+
+    def test_queries_parse_and_match_something(self, name, small_documents):
+        from repro import SequentialEngine
+
+        ds = ALL_DATASETS[name]
+        res = SequentialEngine(list(ds.queries.values())).run(small_documents[name])
+        # at least half the dataset's queries find matches in a small doc
+        nonempty = sum(1 for v in res.matches.values() if v)
+        assert nonempty * 2 >= len(ds.queries)
+
+
+class TestDocumentGenerator:
+    def test_min_depths(self):
+        g = parse_dtd("<!ELEMENT a (b)> <!ELEMENT b (c)> <!ELEMENT c (#PCDATA)>")
+        d = min_depths(g)
+        assert d == {"a": 3, "b": 2, "c": 1}
+        g2 = parse_dtd("<!ELEMENT a (b)> <!ELEMENT b (c?)> <!ELEMENT c (#PCDATA)>")
+        assert min_depths(g2) == {"a": 2, "b": 1, "c": 1}  # c is optional
+
+    def test_recursive_grammar_depth_via_optional(self):
+        g = parse_dtd("<!ELEMENT li (t?, li*)> <!ELEMENT t (#PCDATA)>")
+        assert min_depths(g)["li"] == 1
+
+    def test_infinite_grammar_rejected(self):
+        g = parse_dtd("<!ELEMENT a (a)>")
+        with pytest.raises(GenerationError):
+            DocumentGenerator(g)
+
+    def test_mandatory_recursion_with_escape(self):
+        g = parse_dtd("<!ELEMENT a (a | b)> <!ELEMENT b (#PCDATA)>")
+        gen = DocumentGenerator(g, seed=1, max_depth=5)
+        xml = gen.generate(include_prolog=False)
+        Validator(g).validate(lex(xml))
+
+    def test_max_depth_respected_for_recursion(self):
+        g = parse_dtd("<!ELEMENT li (li*)>" )
+        gen = DocumentGenerator(g, seed=3, max_depth=4, repeat_range=(1, 1))
+        xml = gen.generate(include_prolog=False)
+        _tags, dmax, _ = document_stats(lex(xml))
+        assert dmax <= 4
+
+    def test_repeat_overrides(self):
+        g = parse_dtd("<!ELEMENT t (row*)> <!ELEMENT row (#PCDATA)>")
+        gen = DocumentGenerator(g, repeat_overrides={"row": (7, 7)})
+        xml = gen.generate(include_prolog=False)
+        assert xml.count("<row>") == 7
+
+    def test_geometric_children(self):
+        g = parse_dtd("<!ELEMENT t (x*)> <!ELEMENT x (#PCDATA)>")
+        gen = DocumentGenerator(g, seed=0, geometric={"x"}, geometric_p=0.0)
+        assert gen.generate(include_prolog=False).count("<x>") == 0
+
+    def test_text_factory(self):
+        g = parse_dtd("<!ELEMENT a (#PCDATA)>")
+        gen = DocumentGenerator(g, text_factory=lambda name, rng: f"[{name}]")
+        assert gen.generate(include_prolog=False) == "<a>[a]</a>"
+
+    def test_escaping(self):
+        g = parse_dtd("<!ELEMENT a (#PCDATA)>")
+        gen = DocumentGenerator(g, text_factory=lambda n, r: "x < y & z")
+        xml = gen.generate(include_prolog=False)
+        assert "&lt;" in xml and "&amp;" in xml
+        Validator(g).validate(lex(xml))
+
+
+class TestDocumentStats:
+    def test_counts(self):
+        n_tags, dmax, davg = document_stats(lex("<a><b>x</b><b><c/></b></a>"))
+        assert n_tags == 8  # 4 elements × 2 tags
+        assert dmax == 3
+        assert davg == pytest.approx((1 + 2 + 2 + 3) / 4)

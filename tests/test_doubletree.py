@@ -1,0 +1,96 @@
+"""Unit tests for the double-tree multi-path structure."""
+
+from __future__ import annotations
+
+from repro.transducer import PathGroup, merge_groups, segment_entries
+from repro.transducer.doubletree import Member
+from repro.xpath import hit
+
+
+class TestPathGroup:
+    def test_fresh_defaults(self):
+        g = PathGroup.fresh(7)
+        assert g.state == 7 and g.stack == []
+        assert [m.key for m in g.members] == [7]
+
+    def test_fresh_with_explicit_key(self):
+        g = PathGroup.fresh(7, key=3)
+        assert g.state == 7
+        assert [m.key for m in g.members] == [3]
+
+    def test_group_key(self):
+        g = PathGroup(state=2, stack=[1, 3], members=[], events=[])
+        assert g.group_key() == (2, (1, 3))
+
+
+class TestMember:
+    def test_events_concatenate_prefix_and_tail(self):
+        seg1, seg2 = [hit(0, 1)], [hit(0, 2)]
+        m = Member(5, (seg1, seg2))
+        assert m.events([hit(0, 3)]) == [hit(0, 1), hit(0, 2), hit(0, 3)]
+
+    def test_extended_skips_empty(self):
+        m = Member(5)
+        assert m.extended([]) is m
+        m2 = m.extended([hit(0, 1)])
+        assert m2.prefix and m2 is not m
+
+    def test_prefix_segments_are_shared_not_copied(self):
+        shared = [hit(0, 1)]
+        m1 = Member(1).extended(shared)
+        m2 = Member(2).extended(shared)
+        assert m1.prefix[0] is shared and m2.prefix[0] is shared
+
+
+class TestMergeGroups:
+    def test_distinct_configs_untouched(self):
+        a = PathGroup.fresh(1)
+        b = PathGroup.fresh(2)
+        merged, n = merge_groups([a, b])
+        assert merged == [a, b] and n == 0
+
+    def test_equal_configs_merge(self):
+        a = PathGroup(state=3, stack=[1], members=[Member(10)], events=[hit(0, 1)])
+        b = PathGroup(state=3, stack=[1], members=[Member(20)], events=[hit(0, 2)])
+        merged, n = merge_groups([a, b])
+        assert n == 1 and len(merged) == 1
+        g = merged[0]
+        assert sorted(m.key for m in g.members) == [10, 20]
+        # each member kept its own pre-merge events as prefix
+        entries = segment_entries([g], final=True)
+        assert entries[10].events == [hit(0, 1)]
+        assert entries[20].events == [hit(0, 2)]
+
+    def test_events_after_merge_are_shared(self):
+        a = PathGroup(state=3, stack=[], members=[Member(10)], events=[hit(0, 1)])
+        b = PathGroup(state=3, stack=[], members=[Member(20)], events=[])
+        merged, _ = merge_groups([a, b])
+        g = merged[0]
+        g.events.append(hit(0, 9))  # emitted after convergence
+        entries = segment_entries([g], final=True)
+        assert entries[10].events == [hit(0, 1), hit(0, 9)]
+        assert entries[20].events == [hit(0, 9)]
+
+    def test_stack_mismatch_prevents_merge(self):
+        a = PathGroup(state=3, stack=[1], members=[Member(10)], events=[])
+        b = PathGroup(state=3, stack=[2], members=[Member(20)], events=[])
+        merged, n = merge_groups([a, b])
+        assert len(merged) == 2 and n == 0
+
+
+class TestSegmentEntries:
+    def test_final_carries_configuration(self):
+        g = PathGroup(state=4, stack=[1, 2], members=[Member(10)], events=[])
+        entries = segment_entries([g], final=True)
+        assert entries[10].final_state == 4
+        assert entries[10].pushed == (1, 2)
+
+    def test_interior_has_no_configuration(self):
+        g = PathGroup(state=4, stack=[], members=[Member(10)], events=[])
+        entries = segment_entries([g], final=False)
+        assert entries[10].final_state == -1
+        assert entries[10].pushed == ()
+
+    def test_one_entry_per_key(self):
+        g = PathGroup(state=4, stack=[], members=[Member(10), Member(11)], events=[])
+        assert set(segment_entries([g], final=True)) == {10, 11}

@@ -1,0 +1,141 @@
+"""Unit tests for the DTD parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grammar import (
+    AnyContent,
+    Choice,
+    DTDParseError,
+    Empty,
+    Name,
+    PCData,
+    Repeat,
+    Seq,
+    UNBOUNDED,
+    parse_dtd,
+)
+
+
+class TestDoctypeParsing:
+    def test_root_comes_from_doctype(self, running_grammar):
+        assert running_grammar.root == "a"
+
+    def test_running_example_elements(self, running_grammar):
+        assert running_grammar.element_names() == ["a", "b", "c"]
+
+    def test_running_example_models(self, running_grammar):
+        a = running_grammar.elements["a"].model
+        assert isinstance(a, Seq)
+        assert a.parts == (Repeat(Name("b"), 1, UNBOUNDED), Name("c"))
+        b = running_grammar.elements["b"].model
+        assert b == Repeat(Name("a"), 1, UNBOUNDED)
+        assert isinstance(running_grammar.elements["c"].model, PCData)
+
+    def test_full_document_prolog(self):
+        g = parse_dtd(
+            '<?xml version="1.0"?>\n<!DOCTYPE r [\n<!ELEMENT r (x*)>'
+            "<!ELEMENT x (#PCDATA)>]>\n<r><x>1</x></r>"
+        )
+        assert g.root == "r"
+        assert g.is_complete()
+
+
+class TestBareDeclarations:
+    def test_first_element_is_root(self):
+        g = parse_dtd("<!ELEMENT top (kid)> <!ELEMENT kid (#PCDATA)>")
+        assert g.root == "top"
+
+    def test_empty_and_any(self):
+        g = parse_dtd("<!ELEMENT a (b, c)> <!ELEMENT b EMPTY> <!ELEMENT c ANY>")
+        assert isinstance(g.elements["b"].model, Empty)
+        assert isinstance(g.elements["c"].model, AnyContent)
+        # ANY children expand to the whole vocabulary
+        assert g.children_of("c") == frozenset({"a", "b", "c"})
+
+    def test_nested_groups_and_cardinalities(self):
+        g = parse_dtd("<!ELEMENT a ((b | c)*, d?, e+)> <!ELEMENT b EMPTY>"
+                      "<!ELEMENT c EMPTY> <!ELEMENT d EMPTY> <!ELEMENT e EMPTY>")
+        m = g.elements["a"].model
+        assert isinstance(m, Seq)
+        star, opt, plus = m.parts
+        assert isinstance(star, Repeat) and star.hi == UNBOUNDED and star.lo == 0
+        assert isinstance(star.part, Choice)
+        assert (opt.lo, opt.hi) == (0, 1)
+        assert (plus.lo, plus.hi) == (1, UNBOUNDED)
+
+    def test_mixed_content(self):
+        g = parse_dtd("<!ELEMENT t (#PCDATA | i | b)*> <!ELEMENT i (#PCDATA)> <!ELEMENT b (#PCDATA)>")
+        assert g.allows_pcdata("t")
+        assert g.children_of("t") == frozenset({"i", "b"})
+
+    def test_attlist_and_entity_skipped(self):
+        g = parse_dtd(
+            "<!ELEMENT a (#PCDATA)> <!ATTLIST a id CDATA #IMPLIED>"
+            '<!ENTITY copy "(c)">'
+        )
+        assert g.element_names() == ["a"]
+
+    def test_comments_in_dtd_skipped(self):
+        g = parse_dtd("<!-- header --><!ELEMENT a (#PCDATA)><!-- trailer -->")
+        assert g.element_names() == ["a"]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "decls",
+        [
+            "<!ELEMENT a (b+, c)> <!ELEMENT b (a+)> <!ELEMENT c (#PCDATA)>",
+            "<!ELEMENT a ((b | c)*, d?)> <!ELEMENT b EMPTY> <!ELEMENT c ANY> <!ELEMENT d (#PCDATA)>",
+            "<!ELEMENT t (#PCDATA | i)*> <!ELEMENT i (#PCDATA)>",
+        ],
+    )
+    def test_to_dtd_reparses_identically(self, decls):
+        g1 = parse_dtd(decls)
+        g2 = parse_dtd(g1.to_dtd())
+        assert g1.root == g2.root
+        assert g1.elements == g2.elements
+
+
+class TestErrors:
+    def test_no_declarations(self):
+        with pytest.raises(DTDParseError):
+            parse_dtd("   ")
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(DTDParseError):
+            parse_dtd("<!ELEMENT a (#PCDATA)> <!ELEMENT a (#PCDATA)>")
+
+    def test_mixed_separators_rejected(self):
+        with pytest.raises(DTDParseError):
+            parse_dtd("<!ELEMENT a (b, c | d)> <!ELEMENT b EMPTY>")
+
+    def test_parameter_entities_rejected(self):
+        with pytest.raises(DTDParseError):
+            parse_dtd('<!ENTITY % fields "(a | b)"> <!ELEMENT a (#PCDATA)>')
+
+    def test_unterminated_declaration(self):
+        with pytest.raises(DTDParseError):
+            parse_dtd("<!ELEMENT a (#PCDATA)")
+
+    def test_doctype_without_subset(self):
+        with pytest.raises(DTDParseError):
+            parse_dtd("<!DOCTYPE a SYSTEM 'a.dtd'><a/>")
+
+    def test_undeclared_root(self):
+        from repro.grammar import Grammar, GrammarError
+
+        with pytest.raises(GrammarError):
+            Grammar(root="missing", elements=parse_dtd("<!ELEMENT a (#PCDATA)>").elements)
+
+
+class TestCompleteness:
+    def test_complete_grammar(self, feed_grammar):
+        assert feed_grammar.is_complete()
+        assert feed_grammar.undeclared_children() == frozenset()
+
+    def test_partial_grammar_reports_missing(self):
+        g = parse_dtd("<!ELEMENT a (b, c)> <!ELEMENT b (#PCDATA)>")
+        assert not g.is_complete()
+        assert g.undeclared_children() == frozenset({"c"})

@@ -1,0 +1,95 @@
+"""Unit tests for partial-grammar extraction (Algorithm 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grammar import (
+    ExtractionError,
+    extract_grammar,
+    extract_syntax_tree,
+    grammar_from_tree,
+)
+from repro.xmlstream import lex
+
+from tests.conftest import FEED_XML
+
+
+class TestExtractSyntaxTree:
+    def test_feed_structure(self):
+        tree = extract_syntax_tree(lex(FEED_XML))
+        assert tree.root.tag == "feed"
+        assert sorted(c.tag for c in tree.root.children) == ["entry", "id"]
+        entry = tree.root.find_child("entry")
+        assert sorted(c.tag for c in entry.children) == ["id", "title"]
+
+    def test_extraction_never_creates_cycles(self):
+        # recursion in data unfolds into explicit nodes (Algorithm 3
+        # has no cycle detection — that is what makes it partial)
+        xml = "<a><b><a><b><a/></b></a></b></a>"
+        tree = extract_syntax_tree(lex(xml))
+        assert tree.n_cycles() == 0
+        assert tree.max_depth() == 5
+
+    def test_pcdata_flag_set(self):
+        tree = extract_syntax_tree(lex("<a><b>text</b><c/></a>"))
+        assert tree.root.find_child("b").pcdata
+        assert not tree.root.find_child("c").pcdata
+
+    def test_repeated_siblings_share_one_node(self):
+        tree = extract_syntax_tree(lex("<a><b>1</b><b>2</b><b>3</b></a>"))
+        assert len(tree.root.children) == 1
+
+    def test_incremental_learning_extends_tree(self):
+        t1 = extract_syntax_tree(lex("<a><b>x</b></a>"))
+        t2 = extract_syntax_tree(lex("<a><c>y</c></a>"), prior=t1)
+        assert t2 is not None
+        assert sorted(c.tag for c in t2.root.children) == ["b", "c"]
+
+    def test_incremental_root_mismatch(self):
+        t1 = extract_syntax_tree(lex("<a>x</a>"))
+        with pytest.raises(ExtractionError):
+            extract_syntax_tree(lex("<z>y</z>"), prior=t1)
+
+
+class TestExtractErrors:
+    def test_mismatched_end_tag(self):
+        with pytest.raises(ExtractionError):
+            extract_syntax_tree(lex("<a><b>x</a></b>"))
+
+    def test_unclosed_element(self):
+        with pytest.raises(ExtractionError):
+            extract_syntax_tree(lex("<a><b>x</b>"))
+
+    def test_empty_stream(self):
+        with pytest.raises(ExtractionError):
+            extract_syntax_tree([])
+
+
+class TestGrammarFromTree:
+    def test_extracted_grammar_round_trips_structure(self):
+        g = extract_grammar(lex(FEED_XML))
+        assert g.root == "feed"
+        assert g.children_of("feed") == frozenset({"entry", "id"})
+        assert g.children_of("entry") == frozenset({"id", "title"})
+        assert g.allows_pcdata("id")
+        assert g.is_complete()
+
+    def test_union_of_contexts(self):
+        # 'x' has children {y} in one context and {z} in another; the
+        # loose grammar unions them
+        xml = "<r><x><y>1</y></x><w><x><z>2</z></x></w></r>"
+        g = extract_grammar(lex(xml))
+        assert g.children_of("x") == frozenset({"y", "z"})
+
+    def test_recursive_data_gives_recursive_grammar(self):
+        g = extract_grammar(lex("<a><b><a><b>x</b></a></b></a>"))
+        assert "a" in g.children_of("b")
+        assert "b" in g.children_of("a")
+
+    def test_generated_document_revalidates(self):
+        # extracted grammar accepts the document it was extracted from
+        from repro.xmlstream import Validator
+
+        g = extract_grammar(lex(FEED_XML))
+        assert Validator(g, strict=True).validate(lex(FEED_XML)) > 0

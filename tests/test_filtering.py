@@ -1,0 +1,172 @@
+"""Unit tests for the filter phase (predicate joins over event streams)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xpath import apply_filters, close, collect_events, compile_queries, hit
+from repro.xpath.events import EventKind
+from repro.xpath.filtering import FilterError, IntervalForest
+
+
+class TestIntervalForest:
+    def make(self, spans):
+        """Build a forest from (start, end, depth) spans in document order."""
+        evs = []
+        for s, e, d in spans:
+            evs.append((s, EventKind.HIT, d))
+            evs.append((e, EventKind.CLOSE, d))
+        evs.sort(key=lambda p: (p[0], p[1] == EventKind.CLOSE))
+        return IntervalForest.from_events([(k, o, d) for o, k, d in evs])
+
+    def test_flat_intervals(self):
+        f = self.make([(0, 10, 1), (20, 30, 1)])
+        assert f.parents == [-1, -1]
+        assert f.nearest_enclosing(5, allow_equal=False) == 0
+        assert f.nearest_enclosing(25, allow_equal=False) == 1
+        assert f.nearest_enclosing(15, allow_equal=False) == -1
+
+    def test_nested_intervals(self):
+        f = self.make([(0, 100, 1), (10, 20, 2), (30, 90, 2), (40, 50, 3)])
+        assert f.parents == [-1, 0, 0, 2]
+        assert f.nearest_enclosing(45, allow_equal=False) == 3
+        assert f.nearest_enclosing(60, allow_equal=False) == 2
+        assert f.nearest_enclosing(95, allow_equal=False) == 0
+
+    def test_enclosing_chain(self):
+        f = self.make([(0, 100, 1), (30, 90, 2), (40, 50, 3)])
+        assert list(f.enclosing_chain(45, allow_equal=False)) == [2, 1, 0]
+
+    def test_allow_equal(self):
+        f = self.make([(10, 20, 1)])
+        assert f.nearest_enclosing(10, allow_equal=False) == -1
+        assert f.nearest_enclosing(10, allow_equal=True) == 0
+
+    def test_depths_recorded(self):
+        f = self.make([(0, 100, 1), (10, 20, 5)])
+        assert f.depths == [1, 5]
+
+    def test_unbalanced_close_raises(self):
+        with pytest.raises(FilterError):
+            IntervalForest.from_events([(EventKind.CLOSE, 5, 1)])
+
+    def test_left_open_raises(self):
+        with pytest.raises(FilterError):
+            IntervalForest.from_events([(EventKind.HIT, 5, 1)])
+
+
+class TestCollectEvents:
+    def test_buckets_hits_with_depths(self):
+        hits, forests = collect_events([hit(0, 1, 3), hit(1, 2, 4), hit(0, 3, 3)])
+        assert hits == {0: [(1, 3), (3, 3)], 1: [(2, 4)]}
+        assert forests == {}
+
+    def test_builds_forests_with_replay(self):
+        # the first CLOSE arrives after two HITs: earlier hits replay as opens
+        events = [hit(0, 1, 1), hit(0, 5, 2), close(0, 8, 2), close(0, 9, 1)]
+        hits, forests = collect_events(events)
+        f = forests[0]
+        assert list(zip(f.starts, f.ends)) == [(1, 9), (5, 8)]
+        assert f.parents == [-1, 0]
+        assert f.depths == [1, 2]
+
+
+def run_query(query, events):
+    compiled, registry = compile_queries([query])
+    return apply_filters(compiled, events, registry.anchor_sids())[0]
+
+
+class TestApplyFilters:
+    def test_plain_query_passes_through(self):
+        assert run_query("/a/b", [hit(0, 4, 2), hit(0, 9, 2)]) == [4, 9]
+
+    def test_predicate_inside_join(self):
+        # /a[c]/b: sids — 0: /a/b (main), 1: /a (anchor, depth 1),
+        # 2: /a/c (pred, depth 2)
+        events = [
+            hit(1, 0, 1),            # anchor <a> opens at 0
+            hit(0, 10, 2),           # candidate b inside
+            hit(2, 20, 2),           # predicate c inside → satisfied
+            close(1, 30, 1),         # anchor closes
+            hit(1, 40, 1),           # second anchor (documents follow each
+            hit(0, 50, 2),           # other in a stream corpus)
+            close(1, 60, 1),
+        ]
+        assert run_query("/a[c]/b", events) == [10]
+
+    def test_not_predicate(self):
+        events = [
+            hit(1, 0, 1), hit(0, 10, 2), hit(2, 20, 2), close(1, 30, 1),
+            hit(1, 40, 1), hit(0, 50, 2), close(1, 60, 1),
+        ]
+        assert run_query("/a[not(c)]/b", events) == [50]
+
+    def test_nested_anchors_child_predicate_is_depth_exact(self):
+        # //x[y]/z with nested x elements: the inner y must not satisfy
+        # the outer x (child-axis predicate → exact depth join)
+        compiled, registry = compile_queries(["//x[y]/z"])
+        sids = {str(s.path): s.sid for s in registry.subqueries}
+        main, anchor, pred = sids["//x/z"], sids["//x"], sids["//x/y"]
+        events = [
+            hit(anchor, 0, 1),      # outer x at depth 1
+            hit(anchor, 10, 2),     # inner x at depth 2
+            hit(pred, 20, 3),       # y at depth 3: child of inner only
+            hit(main, 25, 3),       # z child of inner → valid
+            close(anchor, 30, 2),   # inner closes
+            hit(main, 40, 2),       # z child of outer; outer has no direct y
+            close(anchor, 50, 1),
+        ]
+        res = apply_filters(compiled, events, registry.anchor_sids())[0]
+        assert res == [25]
+
+    def test_nested_anchors_descendant_predicate_is_monotone(self):
+        # //x[.//y]/z: a y under the inner x also satisfies the outer x
+        compiled, registry = compile_queries(["//x[.//y]/z"])
+        sids = {str(s.path): s.sid for s in registry.subqueries}
+        main, anchor, pred = sids["//x/z"], sids["//x"], sids["//x//y"]
+        events = [
+            hit(anchor, 0, 1),
+            hit(anchor, 10, 2),
+            hit(pred, 20, 3),       # y inside both x's
+            close(anchor, 30, 2),
+            hit(main, 40, 2),       # z child of OUTER x → valid via .//y
+            close(anchor, 50, 1),
+        ]
+        res = apply_filters(compiled, events, registry.anchor_sids())[0]
+        assert res == [40]
+
+    def test_same_offset_join(self):
+        # //item[parent::af]/name: main //item/name, anchor //item,
+        # //af/item SAME-joined
+        compiled, registry = compile_queries(["//item[parent::af]/name"])
+        sids = {str(s.path): s.sid for s in registry.subqueries}
+        main, anchor, par = sids["//item/name"], sids["//item"], sids["//af/item"]
+        events = [
+            hit(anchor, 0, 2), hit(par, 0, 2),   # item at 0 has af parent
+            hit(main, 5, 3), close(anchor, 9, 2),
+            hit(anchor, 20, 2),                  # item at 20 does not
+            hit(main, 25, 3), close(anchor, 29, 2),
+        ]
+        res = apply_filters(compiled, events, registry.anchor_sids())[0]
+        assert res == [5]
+
+    def test_candidate_outside_any_anchor_is_dropped(self):
+        events = [hit(0, 99, 2)]  # main hit with no anchor interval at all
+        assert run_query("/a[c]/b", events) == []
+
+    def test_candidate_at_wrong_depth_is_dropped(self):
+        # anchor at depth 1 encloses candidate at depth 3: /a[c]/b needs
+        # the candidate exactly one level below the anchor
+        events = [hit(1, 0, 1), hit(2, 5, 2), hit(0, 10, 3), close(1, 30, 1)]
+        assert run_query("/a[c]/b", events) == []
+
+    def test_multiple_queries_independent(self):
+        compiled, registry = compile_queries(["/a/b", "/x/y"])
+        res = apply_filters(compiled, [hit(0, 1, 2), hit(1, 2, 2)], registry.anchor_sids())
+        assert res == {0: [1], 1: [2]}
+
+    def test_duplicate_offsets_deduped(self):
+        assert run_query("/a/b", [hit(0, 4, 2), hit(0, 4, 2)]) == [4]
+
+    def test_empty_events(self):
+        assert run_query("/a[c]/b", []) == []

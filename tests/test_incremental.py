@@ -1,0 +1,119 @@
+"""Tests for the incremental lexer and streaming evaluation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SequentialEngine
+from repro.xmlstream import IncrementalLexer, LexError, lex
+
+from tests.conftest import FEED_XML
+
+
+def stream_lex(text: str, piece_size: int) -> list:
+    lexer = IncrementalLexer()
+    out = []
+    for i in range(0, len(text), piece_size):
+        out.extend(lexer.feed(text[i : i + piece_size]))
+    out.extend(lexer.close())
+    return out
+
+
+DOCS = [
+    FEED_XML,
+    "<a>text with spaces<b/>more</a>",
+    '<?xml version="1.0"?><!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>x</a>',
+    "<a><!-- a comment --><![CDATA[<raw>]]><b x=\"v>v\">t</b></a>",
+    "<a><b></b><c>one two</c></a>",
+]
+
+
+class TestEquivalenceWithBatchLexer:
+    @pytest.mark.parametrize("doc", DOCS)
+    @pytest.mark.parametrize("piece", [1, 2, 3, 5, 7, 100])
+    def test_every_piece_size(self, doc, piece):
+        assert stream_lex(doc, piece) == list(lex(doc))
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=4))
+    def test_random_piece_sizes(self, piece, doc_idx):
+        doc = DOCS[doc_idx]
+        assert stream_lex(doc, piece) == list(lex(doc))
+
+
+class TestBufferBehaviour:
+    def test_buffer_stays_bounded(self):
+        lexer = IncrementalLexer()
+        doc = "<a>" + "<b>xx</b>" * 1000 + "</a>"
+        high_water = 0
+        for i in range(0, len(doc), 3):
+            lexer.feed(doc[i : i + 3])
+            high_water = max(high_water, lexer.buffered)
+        lexer.close()
+        # bounded by the largest single token, not the document
+        assert high_water <= 16
+
+    def test_text_straddling_many_pieces(self):
+        doc = "<a>" + "y" * 50 + "</a>"
+        toks = stream_lex(doc, 4)
+        assert [t.name for t in toks] == ["a", "y" * 50, "a"]
+
+    def test_offsets_are_global(self):
+        doc = FEED_XML
+        for t_stream, t_batch in zip(stream_lex(doc, 5), lex(doc)):
+            assert t_stream.offset == t_batch.offset
+
+
+class TestErrors:
+    def test_close_inside_tag(self):
+        lexer = IncrementalLexer()
+        lexer.feed("<a>x</a")
+        with pytest.raises(LexError):
+            lexer.close()
+
+    def test_close_inside_comment(self):
+        lexer = IncrementalLexer()
+        lexer.feed("<a><!-- never finished")
+        with pytest.raises(LexError):
+            lexer.close()
+
+    def test_feed_after_close(self):
+        lexer = IncrementalLexer()
+        lexer.feed("<a>x</a>")
+        lexer.close()
+        with pytest.raises(ValueError):
+            lexer.feed("<more/>")
+
+    def test_trailing_whitespace_ok(self):
+        lexer = IncrementalLexer()
+        toks = lexer.feed("<a>x</a>\n  ")
+        assert lexer.close() == []
+        assert [t.name for t in toks] == ["a", "x", "a"]
+
+
+class TestRunStream:
+    QUERIES = ["/feed/entry/id", "//title", "/feed/entry[id]/title"]
+
+    @pytest.mark.parametrize("piece", [1, 4, 16, 1000])
+    def test_matches_batch_run(self, piece):
+        engine = SequentialEngine(self.QUERIES)
+        batch = engine.run(FEED_XML)
+        pieces = [FEED_XML[i : i + piece] for i in range(0, len(FEED_XML), piece)]
+        stream = engine.run_stream(pieces)
+        assert stream.offsets_by_id == batch.offsets_by_id
+
+    def test_generator_input(self):
+        engine = SequentialEngine(["//id"])
+
+        def pieces():
+            yield FEED_XML[:10]
+            yield FEED_XML[10:]
+
+        assert engine.run_stream(pieces()).total_matches == 2
+
+    def test_counters_track_bytes(self):
+        engine = SequentialEngine(["//id"])
+        res = engine.run_stream([FEED_XML])
+        assert res.stats.counters.bytes_lexed == len(FEED_XML)

@@ -1,0 +1,162 @@
+"""Unit tests for feasible-path inference (Algorithm 2 / Table 1).
+
+The running-example pins use the paper's state numbering, recovered by
+driving the DFA: paper state 1 = initial, 2 = after <a>, 3 = after
+a/b, 4 = after a/b/a, 5 = accept, 0 = the unrelated-tag (dead) state.
+
+Note on Figure 7: the paper's walkthrough stops unfolding the
+recursion once a transition enters state 0, reporting e.g. <b>:{2}.
+But documents that recurse deeper than the figure's example input do
+reach state 0 before <b> (e.g. <a><b><a><b>…), and by Definition 2
+those states are feasible; excluding them would make non-speculative
+GAP unsound on such inputs.  Our fixpoint therefore additionally
+contains state 0 wherever deep recursion can park the automaton —
+every set pinned below is a superset of the paper's, differing only
+by state 0.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import infer_feasible_paths
+from repro.grammar import build_syntax_tree, extract_syntax_tree, parse_dtd
+from repro.xmlstream import lex, start_tag, end_tag, text_token
+from repro.xpath import build_automaton, parse_xpath
+
+from tests.conftest import RUNNING_DTD, RUNNING_QUERY
+
+
+@pytest.fixture
+def running_setup(running_grammar):
+    automaton = build_automaton([(0, parse_xpath(RUNNING_QUERY))])
+    tree = build_syntax_tree(running_grammar)
+    table = infer_feasible_paths(automaton, tree)
+    # recover the paper's state numbering
+    s1 = automaton.initial
+    s2 = automaton.step(s1, "a")
+    s3 = automaton.step(s2, "b")
+    s4 = automaton.step(s3, "a")
+    s5 = automaton.step(s4, "c")
+    s0 = automaton.dead
+    names = {1: s1, 2: s2, 3: s3, 4: s4, 5: s5, 0: s0}
+    return automaton, table, names
+
+
+class TestRunningExample:
+    """Figure 7's final hash table (modulo the deep-recursion state 0)."""
+
+    def test_before_a(self, running_setup):
+        _a, table, n = running_setup
+        assert table.lookup_start("a") == frozenset({n[1], n[3], n[0]})
+
+    def test_before_end_a(self, running_setup):
+        _a, table, n = running_setup
+        assert table.lookup_end("a") == frozenset({n[2], n[4], n[0]})
+
+    def test_before_b(self, running_setup):
+        _a, table, n = running_setup
+        assert table.lookup_start("b") == frozenset({n[2], n[4], n[0]})
+
+    def test_before_end_b(self, running_setup):
+        _a, table, n = running_setup
+        assert table.lookup_end("b") == frozenset({n[3], n[0]})
+
+    def test_before_c(self, running_setup):
+        _a, table, n = running_setup
+        # paper: <c>:{2,4}; state 0 joins via deep recursion
+        assert table.lookup_start("c") == frozenset({n[2], n[4], n[0]})
+
+    def test_before_end_c(self, running_setup):
+        _a, table, n = running_setup
+        # paper: </c>:{0,5} — the accept state and the unrelated state
+        assert n[5] in table.lookup_end("c")
+        assert n[0] in table.lookup_end("c")
+
+    def test_text_states_are_pcdata_contexts(self, running_setup):
+        _a, table, n = running_setup
+        # text occurs only inside c
+        assert table.lookup_text() == table.lookup_end("c")
+
+    def test_unknown_tag_is_infeasible_when_complete(self, running_setup):
+        _a, table, _n = running_setup
+        assert table.lookup_start("zz") == frozenset()
+        assert table.lookup_end("zz") == frozenset()
+
+
+class TestTable1Example:
+    """Table 1 of the paper (query a/b/a/c over the running grammar):
+    feasible sets are small — the whole point of GAP."""
+
+    def test_sets_are_small(self, running_setup):
+        automaton, table, _n = running_setup
+        assert table.max_set_size() <= 3 < automaton.n_states
+
+
+class TestFeedExample:
+    """Figure 1: the second thread sees <id> and infers feed-or-entry."""
+
+    def test_id_context(self, feed_grammar):
+        automaton = build_automaton([(0, parse_xpath("/feed/entry/id"))])
+        table = infer_feasible_paths(automaton, build_syntax_tree(feed_grammar))
+        s_feed = automaton.step(automaton.initial, "feed")
+        s_entry = automaton.step(s_feed, "entry")
+        # before <id>: inside feed or inside an entry — never inside title
+        assert table.lookup_start("id") == frozenset({s_feed, s_entry})
+
+
+class TestCompleteness:
+    """The defining property: every state observed by a sequential run
+    immediately before a token is in the table's set for that token."""
+
+    DTD = """<!DOCTYPE r [
+      <!ELEMENT r (s | t)*>
+      <!ELEMENT s (t?, r*)>
+      <!ELEMENT t (#PCDATA)>
+    ]>"""
+    # r is recursive through s
+
+    XML = "<r><s><t>x</t><r><s><r><t>q</t></r></s></r></s><t>y</t></r>"
+
+    @pytest.mark.parametrize("query", ["/r/s/t", "//t", "//s//t", "/r//r/t", "/r/*/t"])
+    def test_observed_states_are_inferred(self, query):
+        grammar = parse_dtd(self.DTD)
+        automaton = build_automaton([(0, parse_xpath(query))])
+        table = infer_feasible_paths(automaton, build_syntax_tree(grammar))
+
+        state = automaton.initial
+        stack: list[int] = []
+        for tok in lex(self.XML):
+            if tok.is_start:
+                feas = table.lookup_start(tok.name)
+                assert state in feas, f"{query}: state before <{tok.name}> missing"
+                stack.append(state)
+                state = automaton.step(state, tok.name)
+            elif tok.is_end:
+                feas = table.lookup_end(tok.name)
+                assert state in feas, f"{query}: state before </{tok.name}> missing"
+                state = stack.pop()
+            else:
+                assert state in table.lookup_text()
+
+
+class TestPartialTables:
+    def test_missing_tag_is_unknown(self):
+        tree = extract_syntax_tree(lex("<a><b>x</b></a>"))
+        automaton = build_automaton([(0, parse_xpath("//c"))])
+        table = infer_feasible_paths(automaton, tree, complete=False)
+        assert table.lookup_start("c") is None
+        assert table.lookup_end("c") is None
+        assert table.lookup_text() is None  # partial tables never answer text
+
+    def test_known_tag_answers(self):
+        tree = extract_syntax_tree(lex("<a><b>x</b></a>"))
+        automaton = build_automaton([(0, parse_xpath("/a/b"))])
+        table = infer_feasible_paths(automaton, tree, complete=False)
+        assert table.lookup_start("b") == frozenset({automaton.step(automaton.initial, "a")})
+
+    def test_start_states_dispatch_by_token_kind(self, running_setup):
+        automaton, table, n = running_setup
+        assert table.start_states(start_tag("c", 0)) == table.lookup_start("c")
+        assert table.start_states(end_tag("c", 0)) == table.lookup_end("c")
+        assert table.start_states(text_token("x", 0)) == table.lookup_text()

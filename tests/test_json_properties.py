@@ -1,0 +1,111 @@
+"""Property-based tests for the JSON substrate."""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import GapEngine, PPTransducerEngine, SequentialEngine
+from repro.grammar import extract_grammar
+from repro.jsonstream import json_schema_to_grammar, tokenize_json
+from repro.xmlstream import check_well_formed
+
+# JSON values whose member keys are valid element names
+_KEYS = st.sampled_from(["alpha", "beta", "gamma", "delta", "eps"])
+_SCALARS = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(alphabet=st.characters(blacklist_categories=("Cs",)), max_size=12),
+    st.booleans(),
+    st.none(),
+)
+
+_JSON = st.recursive(
+    _SCALARS,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(_KEYS, children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+FAST = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+class TestTokenizerProperties:
+    @FAST
+    @given(_JSON)
+    def test_tokens_are_well_formed(self, value):
+        tokens = tokenize_json(json.dumps(value))
+        assert check_well_formed(tokens) >= 2  # at least the virtual root
+
+    @FAST
+    @given(_JSON)
+    def test_offsets_nondecreasing_with_start_text_ties_only(self, value):
+        tokens = tokenize_json(json.dumps(value))
+        offsets = [t.offset for t in tokens]
+        assert all(b >= a for a, b in zip(offsets, offsets[1:]))
+        for a, b in zip(tokens, tokens[1:]):
+            if a.offset == b.offset:
+                # the only tie: a wrapper START with its own scalar TEXT
+                assert a.is_start and b.is_text
+
+    @FAST
+    @given(_JSON)
+    def test_start_offsets_unique(self, value):
+        tokens = tokenize_json(json.dumps(value))
+        starts = [t.offset for t in tokens if t.is_start]
+        assert len(starts) == len(set(starts))
+
+    @FAST
+    @given(_JSON)
+    def test_scalar_count_preserved(self, value):
+        def scalars(v):
+            if isinstance(v, dict):
+                return sum(scalars(x) for x in v.values())
+            if isinstance(v, list):
+                return sum(scalars(x) for x in v)
+            if v is None:
+                return 0  # null carries no text
+            if isinstance(v, str) and not v.strip():
+                return 0  # whitespace-only text is not emitted
+            return 1
+
+        tokens = tokenize_json(json.dumps(value))
+        texts = sum(1 for t in tokens if t.is_text)
+        assert texts == scalars(value)
+
+
+class TestEngineAgreementOnJson:
+    QUERIES = ["//alpha", "/json/alpha/beta", "/json/*[gamma]/alpha", "//beta//gamma"]
+
+    @FAST
+    @given(_JSON, st.integers(min_value=1, max_value=6))
+    def test_engines_agree(self, value, n_chunks):
+        tokens = tokenize_json(json.dumps(value))
+        seq = SequentialEngine(self.QUERIES).run_tokens(tokens)
+        pp = PPTransducerEngine(self.QUERIES).run_tokens(tokens, n_chunks=n_chunks)
+        assert pp.offsets_by_id == seq.offsets_by_id
+        # speculative GAP with the structure learned from the document
+        # itself (complete grammar for this instance)
+        grammar = extract_grammar(tokens)
+        gap = GapEngine(self.QUERIES, grammar=grammar).run_tokens(tokens, n_chunks=n_chunks)
+        assert gap.offsets_by_id == seq.offsets_by_id
+
+
+class TestSchemaRoundTrip:
+    @FAST
+    @given(_JSON)
+    def test_extracted_grammar_covers_the_document(self, value):
+        # the grammar extracted from a document's tokens accepts them
+        from repro.xmlstream import Validator
+
+        tokens = tokenize_json(json.dumps(value))
+        grammar = extract_grammar(tokens)
+        assert Validator(grammar, strict=True).validate(tokens) >= 1

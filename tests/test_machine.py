@@ -1,0 +1,114 @@
+"""Unit tests for the sequential pushdown transducer (Definition 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transducer import StackUnderflow, WorkCounters, run_sequential
+from repro.xmlstream import lex
+from repro.xpath import EventKind, build_automaton, parse_xpath
+
+from tests.conftest import RUNNING_QUERY, RUNNING_XML
+
+
+def make(query_or_queries):
+    queries = [query_or_queries] if isinstance(query_or_queries, str) else query_or_queries
+    return build_automaton([(i, parse_xpath(q)) for i, q in enumerate(queries)])
+
+
+class TestRunningExample:
+    """The execution trace of Figure 4-d."""
+
+    def test_trace(self):
+        a = make(RUNNING_QUERY)
+        # reproduce the state/stack trace token by token
+        state = a.initial
+        stack: list[int] = []
+        expected_depths = []
+        for tok in lex(RUNNING_XML):
+            if tok.is_start:
+                stack.append(state)
+                state = a.step(state, tok.name)
+            elif tok.is_end:
+                state = stack.pop()
+            expected_depths.append(len(stack))
+        assert state == a.initial  # back to the start after the root closes
+        assert stack == []
+
+    def test_match_at_inner_c(self):
+        a = make(RUNNING_QUERY)
+        res = run_sequential(a, lex(RUNNING_XML))
+        hits = [e for e in res.events if e.kind == EventKind.HIT]
+        assert len(hits) == 1
+        # the match is the <c> at line 5 (inside a/b/a)
+        assert RUNNING_XML[hits[0].offset :].startswith("<c>y")
+
+    def test_final_configuration(self):
+        a = make(RUNNING_QUERY)
+        res = run_sequential(a, lex(RUNNING_XML))
+        assert res.state == a.initial
+        assert res.stack == []
+
+
+class TestEventEmission:
+    XML = "<a><b>x</b><b><c>y</c></b></a>"
+
+    def test_hits_in_document_order(self):
+        a = make(["//b", "//c"])
+        res = run_sequential(a, lex(self.XML))
+        offsets = [e.offset for e in res.events]
+        assert offsets == sorted(offsets)
+
+    def test_anchor_close_events(self):
+        a = make(["/a/b"])
+        res = run_sequential(a, lex(self.XML), anchor_sids=frozenset({0}))
+        kinds = [(e.kind, self.XML[e.offset : e.offset + 4]) for e in res.events]
+        assert kinds == [
+            (EventKind.HIT, "<b>x"),
+            (EventKind.CLOSE, "</b>"),
+            (EventKind.HIT, "<b><"),
+            (EventKind.CLOSE, "</b>"),
+        ]
+
+    def test_close_only_for_anchors(self):
+        a = make(["/a/b"])
+        res = run_sequential(a, lex(self.XML))
+        assert all(e.kind == EventKind.HIT for e in res.events)
+
+    def test_text_is_plain_transition(self):
+        a = make(["/a"])
+        res = run_sequential(a, lex("<a>one<b>two</b>three</a>"))
+        assert len(res.events) == 1  # only the <a> hit
+
+
+class TestResumability:
+    def test_run_from_mid_document_context(self):
+        a = make("/x/y")
+        xml = "<x><y>1</y><y>2</y></x>"
+        full = run_sequential(a, lex(xml))
+        # split at the second <y> (offset 11) and resume with the
+        # context the first half ended in
+        first = run_sequential(a, (t for t in lex(xml) if t.offset < 11))
+        second = run_sequential(
+            a,
+            (t for t in lex(xml) if t.offset >= 11),
+            state=first.state,
+            stack=first.stack,
+        )
+        assert first.events + second.events == full.events
+
+    def test_underflow_raises_with_offset(self):
+        a = make("/x/y")
+        with pytest.raises(StackUnderflow) as exc:
+            run_sequential(a, lex("</x>"))
+        assert exc.value.offset == 0
+
+
+class TestCounters:
+    def test_counts_all_tokens(self):
+        a = make("/a/b")
+        c = WorkCounters()
+        run_sequential(a, lex("<a><b>x</b><b>y</b></a>"), counters=c)
+        # 6 tag tokens + 2 text tokens
+        assert c.stack_tokens == 8
+        assert c.tree_tokens == 0

@@ -1,0 +1,165 @@
+"""Unit tests for segmented mappings and the join phase."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transducer import (
+    ChunkResult,
+    Cohort,
+    JoinError,
+    Segment,
+    SegmentEntry,
+    WorkCounters,
+    join_results,
+)
+from repro.xpath import hit
+
+
+def no_reprocess(begin, end, state, stack, skip_end=False):  # pragma: no cover
+    raise AssertionError("reprocess should not be called")
+
+
+def make_chunk(index, cohorts, begin=0, end=100):
+    return ChunkResult(index=index, begin=begin, end=end, cohorts=cohorts)
+
+
+def single_segment_chunk(index, entries):
+    cohort = Cohort(restart_offset=0)
+    cohort.segments.append(Segment(entries=entries))
+    return make_chunk(index, [cohort])
+
+
+class TestJoinBasics:
+    def test_single_chunk_lookup_by_state(self):
+        chunk = single_segment_chunk(
+            0,
+            {
+                5: SegmentEntry(events=[hit(0, 1)], final_state=7, pushed=(5, 6)),
+                9: SegmentEntry(events=[hit(0, 2)], final_state=8, pushed=()),
+            },
+        )
+        c = WorkCounters()
+        state, stack, events = join_results((5, [], []), [chunk], no_reprocess, c)
+        assert (state, stack) == (7, [5, 6])
+        assert events == [hit(0, 1)]
+
+    def test_chaining_two_chunks(self):
+        c1 = single_segment_chunk(0, {0: SegmentEntry(events=[], final_state=3, pushed=(1,))})
+        c2 = single_segment_chunk(1, {3: SegmentEntry(events=[hit(0, 9)], final_state=4, pushed=(2,))})
+        c = WorkCounters()
+        state, stack, events = join_results((0, [], []), [c1, c2], no_reprocess, c)
+        assert (state, stack) == (4, [1, 2])
+        assert c.join_steps == 2
+
+    def test_divergence_pops_consume_incoming_stack(self):
+        # chunk with two segments: seg0 keyed by start state, then a
+        # divergence pops the incoming top (value 7)
+        cohort = Cohort(restart_offset=0)
+        cohort.segments.append(
+            Segment(entries={2: SegmentEntry(events=[hit(0, 1)])}, end_tag="x", end_offset=40)
+        )
+        cohort.segments.append(
+            Segment(entries={7: SegmentEntry(events=[hit(0, 2)], final_state=7, pushed=())})
+        )
+        chunk = make_chunk(0, [cohort])
+        c = WorkCounters()
+        state, stack, events = join_results((2, [5, 7], []), [chunk], no_reprocess, c)
+        assert state == 7
+        assert stack == [5]  # 7 was popped
+        # chunk-local depths are rebased by the incoming stack height (2)
+        assert events == [hit(0, 1, depth=2), hit(0, 2, depth=2)]
+
+    def test_strict_mode_raises_on_miss(self):
+        chunk = single_segment_chunk(0, {1: SegmentEntry(events=[], final_state=1)})
+        with pytest.raises(JoinError):
+            join_results((99, [], []), [chunk], no_reprocess, WorkCounters(), strict=True)
+
+
+class TestRecovery:
+    def rep(self, log):
+        def reprocess(begin, end, state, stack, skip_end=False):
+            log.append((begin, end, state, skip_end))
+            # pretend we scanned n tokens and ended in state 42
+            return 42, stack, [hit(0, begin)], end - begin
+
+        return reprocess
+
+    def test_whole_chunk_reprocess_when_nothing_matches(self):
+        cohort = Cohort(restart_offset=50)
+        cohort.segments.append(Segment(entries={}))
+        chunk = make_chunk(1, [cohort], begin=50, end=90)
+        log = []
+        c = WorkCounters()
+        state, stack, events = join_results((3, [], []), [chunk], self.rep(log), c)
+        assert log == [(50, 90, 3, False)]
+        assert state == 42
+        assert c.misspeculations == 1
+        assert c.reprocessed_tokens == 40
+
+    def test_restart_cohort_shortcuts_reprocessing(self):
+        # main cohort knows nothing; a restart at offset 70 matches state 42
+        main = Cohort(restart_offset=50)
+        main.segments.append(Segment(entries={}))
+        restart = Cohort(restart_index=10, restart_offset=70)
+        restart.segments.append(
+            Segment(entries={42: SegmentEntry(events=[hit(0, 75)], final_state=6, pushed=(9,))})
+        )
+        chunk = make_chunk(1, [main, restart], begin=50, end=90)
+        log = []
+        c = WorkCounters()
+        state, stack, events = join_results((3, [], []), [chunk], self.rep(log), c)
+        # only [50,70) reprocessed, then the restart mapping took over
+        assert log == [(50, 70, 3, False)]
+        assert state == 6 and stack == [9]
+        assert events == [hit(0, 50), hit(0, 75)]
+
+    def test_partial_main_prefix_is_banked(self):
+        # main cohort validates seg0 then fails at the divergence: the
+        # join resumes *after* the underflowing end tag with the known
+        # popped value
+        main = Cohort(restart_offset=0)
+        main.segments.append(
+            Segment(entries={2: SegmentEntry(events=[hit(0, 5)])}, end_tag="xx", end_offset=40)
+        )
+        main.segments.append(Segment(entries={}))  # pop value 7 missing
+        chunk = make_chunk(1, [main], begin=0, end=100)
+        log = []
+        c = WorkCounters()
+        state, stack, events = join_results((2, [7], []), [chunk], self.rep(log), c)
+        # resume AT the underflowing end tag (offset 40), skipping it,
+        # with the popped state 7
+        assert log == [(40, 100, 7, True)]
+        # the banked prefix is rebased by the incoming stack height (1)
+        assert events == [hit(0, 5, depth=1), hit(0, 40)]
+        assert stack == []  # the incoming 7 was consumed by the divergence
+
+    def test_restart_that_does_not_match_is_skipped(self):
+        main = Cohort(restart_offset=0)
+        main.segments.append(Segment(entries={}))
+        bad = Cohort(restart_index=5, restart_offset=30)
+        bad.segments.append(Segment(entries={99: SegmentEntry(events=[], final_state=1)}))
+        chunk = make_chunk(1, [main, bad], begin=0, end=60)
+        log = []
+        c = WorkCounters()
+        state, _stack, _events = join_results((3, [], []), [chunk], self.rep(log), c)
+        # reprocessed to the restart, found state 42 != 99, finished the tail
+        assert log == [(0, 30, 3, False), (30, 60, 42, False)]
+        assert state == 42
+
+
+class TestChunkResultHelpers:
+    def test_main_and_restarts(self):
+        main = Cohort(restart_offset=0)
+        r1 = Cohort(restart_index=4, restart_offset=40)
+        r2 = Cohort(restart_index=2, restart_offset=20)
+        chunk = make_chunk(0, [main, r1, r2])
+        assert chunk.main is main
+        assert [c.restart_offset for c in chunk.restarts()] == [20, 40]
+
+    def test_mapping_entries_counts_all_segments(self):
+        cohort = Cohort(restart_offset=0)
+        cohort.segments.append(Segment(entries={1: SegmentEntry([]), 2: SegmentEntry([])}))
+        cohort.segments.append(Segment(entries={3: SegmentEntry([])}))
+        chunk = make_chunk(0, [cohort])
+        assert chunk.mapping_entries() == 3

@@ -1,0 +1,275 @@
+"""Property-based tests (hypothesis) over random grammars/documents/queries.
+
+Strategy outline:
+
+* random grammars: elements ``e0..eN`` where each element's content
+  model references higher-numbered elements (guaranteeing finite
+  documents) plus optional ``*``-wrapped back-references (recursion
+  that can always terminate);
+* random conforming documents via the dataset generator;
+* random queries assembled from the grammar's tag vocabulary with
+  child/descendant axes, wildcards, and (child-axis) existence
+  predicates.
+
+Core properties:
+
+1. generated documents validate against their grammar;
+2. per-chunk lexing partitions the sequential token stream for every
+   tag-aligned boundary choice;
+3. all engines — sequential, PP-Transducer, GAP non-speculative,
+   GAP speculative (sampled and learned partial grammars) — produce
+   identical matches, equal to the DOM oracle;
+4. the feasible-path table over-approximates every state the sequential
+   transducer actually visits (completeness — the non-speculative
+   soundness precondition);
+5. the speculative join never loses or invents matches regardless of
+   what was learned.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import GapEngine, PPTransducerEngine, SequentialEngine
+from repro.core import infer_feasible_paths
+from repro.datasets import DocumentGenerator
+from repro.grammar import (
+    Choice,
+    ElementDecl,
+    Grammar,
+    Name,
+    PCData,
+    Repeat,
+    Seq,
+    UNBOUNDED,
+    build_syntax_tree,
+    sample_partial_grammar,
+)
+from repro.xmlstream import Validator, iter_tag_offsets, lex, lex_range
+from repro.xpath import build_automaton, build_document, evaluate_offsets, parse_xpath
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+_TAGS = ["r", "aa", "bb", "cc", "dd", "ee"]
+
+
+@st.composite
+def grammars(draw) -> Grammar:
+    n = draw(st.integers(min_value=2, max_value=6))
+    names = _TAGS[:n]
+    decls: dict[str, ElementDecl] = {}
+    for i, name in enumerate(names):
+        forward = names[i + 1 :]
+        if not forward:
+            decls[name] = ElementDecl(name, PCData())
+            continue
+        k = draw(st.integers(min_value=0, max_value=min(3, len(forward))))
+        children = draw(
+            st.lists(st.sampled_from(forward), min_size=k, max_size=k, unique=True)
+        )
+        parts: list = []
+        for child in children:
+            lo, hi = draw(st.sampled_from([(0, 1), (0, UNBOUNDED), (1, UNBOUNDED), (1, 1)]))
+            item = Name(child)
+            parts.append(item if (lo, hi) == (1, 1) else Repeat(item, lo, hi))
+        # possible recursion: a *-wrapped reference back to an ancestor
+        if i > 0 and draw(st.booleans()):
+            back = draw(st.sampled_from(names[:i]))
+            parts.append(Repeat(Name(back), 0, UNBOUNDED))
+        if not parts:
+            decls[name] = ElementDecl(name, PCData())
+        elif len(parts) == 1:
+            decls[name] = ElementDecl(name, parts[0])
+        else:
+            model = Seq(tuple(parts)) if draw(st.booleans()) else Repeat(
+                Choice(tuple(parts)), 0, UNBOUNDED
+            )
+            decls[name] = ElementDecl(name, model)
+    return Grammar(root=names[0], elements=decls)
+
+
+@st.composite
+def documents(draw):
+    grammar = draw(grammars())
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    gen = DocumentGenerator(grammar, seed=seed, max_depth=8, repeat_range=(0, 3))
+    return grammar, gen.generate(include_prolog=False)
+
+
+@st.composite
+def queries(draw, grammar: Grammar, allow_predicates: bool = True) -> str:
+    tags = grammar.element_names()
+    n_steps = draw(st.integers(min_value=1, max_value=4))
+    parts: list[str] = []
+    for i in range(n_steps):
+        sep = draw(st.sampled_from(["/", "//"])) if i > 0 or draw(st.booleans()) else "/"
+        name = draw(st.sampled_from(tags + ["*"]))
+        pred = ""
+        if allow_predicates and draw(st.integers(0, 3)) == 0:
+            pred_tag = draw(st.sampled_from(tags))
+            pred = f"[{pred_tag}]"
+        parts.append(f"{sep}{name}{pred}")
+    return "".join(parts)
+
+
+FAST = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+
+
+class TestGeneratedDocuments:
+    @FAST
+    @given(documents())
+    def test_documents_conform(self, doc):
+        grammar, xml = doc
+        assert Validator(grammar, strict=True).validate(lex(xml)) >= 1
+
+
+class TestLexerPartition:
+    @FAST
+    @given(documents(), st.integers(min_value=2, max_value=7))
+    def test_any_boundary_choice_partitions(self, doc, step):
+        _grammar, xml = doc
+        offsets = list(iter_tag_offsets(xml))[1:]
+        boundaries = [0, *offsets[::step], len(xml)]
+        boundaries = sorted(set(boundaries))
+        parts = []
+        for a, b in zip(boundaries, boundaries[1:]):
+            parts.extend(lex_range(xml, a, b))
+        assert parts == list(lex(xml))
+
+
+class TestEngineAgreement:
+    @FAST
+    @given(st.data())
+    def test_all_engines_match_the_oracle(self, data):
+        grammar, xml = data.draw(documents())
+        qs = [data.draw(queries(grammar)) for _ in range(3)]
+        n_chunks = data.draw(st.integers(min_value=1, max_value=6))
+
+        seq = SequentialEngine(qs).run(xml)
+        doc = build_document(lex(xml))
+        for q in qs:
+            assert seq.matches[q] == evaluate_offsets(doc, q), q
+
+        pp = PPTransducerEngine(qs).run(xml, n_chunks=n_chunks)
+        assert pp.offsets_by_id == seq.offsets_by_id
+
+        gap = GapEngine(qs, grammar=grammar).run(xml, n_chunks=n_chunks)
+        assert gap.offsets_by_id == seq.offsets_by_id
+
+    @FAST
+    @given(st.data())
+    def test_speculative_engines_match(self, data):
+        grammar, xml = data.draw(documents())
+        qs = [data.draw(queries(grammar)) for _ in range(2)]
+        n_chunks = data.draw(st.integers(min_value=2, max_value=6))
+        seq = SequentialEngine(qs).run(xml)
+
+        fraction = data.draw(st.sampled_from([0.3, 0.6, 0.9]))
+        partial = sample_partial_grammar(grammar, fraction, seed=data.draw(st.integers(0, 99)))
+        spec = GapEngine(qs, grammar=partial).run(xml, n_chunks=n_chunks)
+        assert spec.offsets_by_id == seq.offsets_by_id
+
+    @FAST
+    @given(st.data())
+    def test_learned_grammar_engines_match(self, data):
+        grammar, xml = data.draw(documents())
+        qs = [data.draw(queries(grammar)) for _ in range(2)]
+        # learn from a differently-seeded document of the same grammar
+        prior_seed = data.draw(st.integers(0, 10_000))
+        prior = DocumentGenerator(
+            grammar, seed=prior_seed, max_depth=6, repeat_range=(0, 2)
+        ).generate(include_prolog=False)
+
+        engine = GapEngine(qs)
+        engine.learn(prior)
+        seq = SequentialEngine(qs).run(xml)
+        res = engine.run(xml, n_chunks=4)
+        assert res.offsets_by_id == seq.offsets_by_id
+
+
+class TestInferenceCompleteness:
+    @FAST
+    @given(st.data())
+    def test_observed_states_always_inferred(self, data):
+        grammar, xml = data.draw(documents())
+        qs = [data.draw(queries(grammar, allow_predicates=False)) for _ in range(2)]
+        paths = [parse_xpath(q) for q in qs]
+        automaton = build_automaton(list(enumerate(paths)))
+        table = infer_feasible_paths(automaton, build_syntax_tree(grammar))
+
+        state = automaton.initial
+        stack: list[int] = []
+        for tok in lex(xml):
+            if tok.is_start:
+                assert state in table.lookup_start(tok.name)
+                stack.append(state)
+                state = automaton.step(state, tok.name)
+            elif tok.is_end:
+                assert state in table.lookup_end(tok.name)
+                state = stack.pop()
+            else:
+                assert state in table.lookup_text()
+
+
+class TestValuePredicateProperties:
+    @FAST
+    @given(st.data())
+    def test_value_predicates_match_the_oracle(self, data):
+        grammar = data.draw(grammars())
+        seed = data.draw(st.integers(0, 10_000))
+        # tiny text vocabulary so equality predicates actually fire
+        gen = DocumentGenerator(
+            grammar, seed=seed, max_depth=7, repeat_range=(0, 3),
+            text_factory=lambda name, rng: rng.choice(("aa", "bb", "cc")),
+        )
+        xml = gen.generate(include_prolog=False)
+        tags = grammar.element_names()
+        anchor = data.draw(st.sampled_from(tags))
+        child = data.draw(st.sampled_from(tags))
+        literal = data.draw(st.sampled_from(("aa", "bb", "zz")))
+        op = data.draw(st.sampled_from(("=", "!=")))
+        q = f"//{anchor}[{child} {op} '{literal}']/*"
+
+        seq = SequentialEngine([q]).run(xml)
+        doc = build_document(lex(xml))
+        assert seq.matches[q] == evaluate_offsets(doc, q)
+
+        n_chunks = data.draw(st.integers(1, 5))
+        pp = PPTransducerEngine([q]).run(xml, n_chunks=n_chunks)
+        gap = GapEngine([q], grammar=grammar).run(xml, n_chunks=n_chunks)
+        assert pp.offsets_by_id == seq.offsets_by_id
+        assert gap.offsets_by_id == seq.offsets_by_id
+
+
+class TestDTDRoundTrip:
+    @FAST
+    @given(grammars())
+    def test_to_dtd_reparses_identically(self, grammar):
+        from repro.grammar import parse_dtd
+
+        reparsed = parse_dtd(grammar.to_dtd())
+        assert reparsed.root == grammar.root
+        assert reparsed.elements == grammar.elements
+
+    @FAST
+    @given(grammars())
+    def test_syntax_tree_stable_under_round_trip(self, grammar):
+        from repro.grammar import parse_dtd
+
+        t1 = build_syntax_tree(grammar)
+        t2 = build_syntax_tree(parse_dtd(grammar.to_dtd()))
+        assert sorted(n.path() for n in t1.nodes()) == sorted(n.path() for n in t2.nodes())
+        assert t1.n_cycles() == t2.n_cycles()

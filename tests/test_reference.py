@@ -1,0 +1,98 @@
+"""Unit tests for the DOM-based reference evaluator (the oracle)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmlstream import lex
+from repro.xpath import build_document, evaluate, evaluate_offsets
+
+XML = (
+    "<dp>"
+    "<ar><au>a1</au><tit>t1</tit><jn>j1</jn></ar>"
+    "<ar><au>a2</au><au>a3</au></ar>"
+    "<bk><au>a4</au><tit>t2</tit></bk>"
+    "</dp>"
+)
+
+
+@pytest.fixture
+def doc():
+    return build_document(lex(XML))
+
+
+class TestTreeConstruction:
+    def test_structure(self, doc):
+        assert doc.root.tag == "dp"
+        assert [c.tag for c in doc.root.children] == ["ar", "ar", "bk"]
+
+    def test_offsets_and_spans(self, doc):
+        ar1 = doc.root.children[0]
+        assert XML[ar1.offset : ar1.offset + 4] == "<ar>"
+        assert XML[ar1.end_offset : ar1.end_offset + 5] == "</ar>"
+        assert ar1.end_offset > ar1.offset
+
+    def test_text(self, doc):
+        au = doc.root.children[0].children[0]
+        assert au.text == "a1"
+
+    def test_descendants_in_document_order(self, doc):
+        tags = [e.tag for e in doc.root.descendants()]
+        assert tags == ["ar", "au", "tit", "jn", "ar", "au", "au", "bk", "au", "tit"]
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            build_document(lex("<a><b></a></b>"))
+
+
+class TestEvaluation:
+    def test_child_chain(self, doc):
+        assert [e.text for e in evaluate(doc, "/dp/ar/au")] == ["a1", "a2", "a3"]
+
+    def test_descendant(self, doc):
+        assert len(evaluate(doc, "//au")) == 4
+
+    def test_wildcard(self, doc):
+        assert [e.text for e in evaluate(doc, "/dp/*/tit")] == ["t1", "t2"]
+
+    def test_predicate(self, doc):
+        assert [e.text for e in evaluate(doc, "/dp/ar[tit]/au")] == ["a1"]
+
+    def test_predicate_and_or(self, doc):
+        assert len(evaluate(doc, "/dp/ar[au and tit]")) == 1
+        assert len(evaluate(doc, "/dp/ar[jn or tit]")) == 1
+        assert len(evaluate(doc, "/dp/*[au or tit]")) == 3
+
+    def test_not(self, doc):
+        assert len(evaluate(doc, "/dp/ar[not(tit)]")) == 1
+
+    def test_parent_axis_predicate(self, doc):
+        assert [e.text for e in evaluate(doc, "//au[parent::bk]")] == ["a4"]
+
+    def test_ancestor_main_step(self, doc):
+        lis = evaluate(doc, "//au/ancestor::dp")
+        assert [e.tag for e in lis] == ["dp"]
+
+    def test_document_order_and_dedupe(self, doc):
+        offsets = evaluate_offsets(doc, "//au")
+        assert offsets == sorted(offsets)
+        assert len(set(offsets)) == len(offsets)
+
+    def test_no_matches(self, doc):
+        assert evaluate(doc, "/dp/zz") == []
+
+    def test_root_self_match(self, doc):
+        assert [e.tag for e in evaluate(doc, "/dp")] == ["dp"]
+
+    def test_descendant_predicate(self, doc):
+        assert len(evaluate(doc, "/dp[descendant::jn]")) == 1
+        assert len(evaluate(doc, "/dp[descendant::zz]")) == 0
+
+
+class TestRecursiveData:
+    def test_nested_matches(self):
+        doc = build_document(lex("<li><t><k>1</k></t><li><t><k>2</k></t></li></li>"))
+        ks = evaluate(doc, "//li/t/k")
+        assert [e.text for e in ks] == ["1", "2"]
+        anc = evaluate(doc, "//k/ancestor::li/t/k")
+        assert [e.text for e in anc] == ["1", "2"]

@@ -1,0 +1,180 @@
+"""Unit tests for query rewriting (predicates / reverse axes → sub-queries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xpath import JoinMode, XPathError, compile_queries, compile_query
+from repro.xpath.rewrite import AndExpr, ConstExpr, NotExpr, OrExpr, SubRegistry, Term
+
+
+def sub_paths(cq):
+    return [str(s.path) for s in cq.subqueries]
+
+
+class TestSimpleQueries:
+    def test_plain_path_is_single_sub(self):
+        cq = compile_query("/a/b/c")
+        assert cq.n_sub == 1
+        assert cq.is_simple
+        assert sub_paths(cq) == ["/a/b/c"]
+
+    def test_descendant_path(self):
+        cq = compile_query("//a//b")
+        assert cq.n_sub == 1
+
+
+class TestPredicates:
+    def test_existence_predicate(self):
+        cq = compile_query("/dp/ar[tit]/jn")
+        # main /dp/ar/jn + anchor /dp/ar + predicate /dp/ar/tit
+        assert cq.n_sub == 3
+        assert "/dp/ar/jn" in sub_paths(cq)
+        assert "/dp/ar/tit" in sub_paths(cq)
+        (alt,) = cq.alternatives
+        (anchor,) = alt.anchors
+        term = anchor.expr
+        assert isinstance(term, Term) and term.mode == JoinMode.INSIDE
+
+    def test_anchor_subquery_is_marked(self):
+        cq = compile_query("/dp/ar[tit]/jn")
+        anchors = [s for s in cq.subqueries if s.is_anchor]
+        assert [str(s.path) for s in anchors] == ["/dp/ar"]
+
+    def test_boolean_structure_preserved(self):
+        cq = compile_query("/a[b and (c or not(d))]/e")
+        (alt,) = cq.alternatives
+        expr = alt.anchors[0].expr
+        assert isinstance(expr, AndExpr)
+        assert isinstance(expr.parts[1], OrExpr)
+        assert isinstance(expr.parts[1].parts[1], NotExpr)
+
+    def test_descendant_predicate(self):
+        cq = compile_query("/ds/d[descendant::tit]/an")
+        assert "/ds/d//tit" in sub_paths(cq)
+
+    def test_dot_slash_slash_predicate(self):
+        cq = compile_query("//li[.//k]/t")
+        assert "//li//k" in sub_paths(cq)
+
+    def test_trivial_dot_predicate(self):
+        cq = compile_query("/a[.]/b")
+        (alt,) = cq.alternatives
+        assert alt.anchors[0].expr == ConstExpr(True)
+
+    def test_predicate_on_last_step(self):
+        cq = compile_query("/a/b[c]")
+        assert "/a/b" in sub_paths(cq)
+        assert "/a/b/c" in sub_paths(cq)
+
+
+class TestParentPredicates:
+    def test_parent_on_wildcard_step(self):
+        # XM1 shape: the '*' parent is constrained by name
+        cq = compile_query("/s/r/*/item[parent::af]/name")
+        assert "/s/r/af/item" in sub_paths(cq)
+        (alt,) = cq.alternatives
+        term = alt.anchors[0].expr
+        assert isinstance(term, Term) and term.mode == JoinMode.SAME
+
+    def test_parent_statically_true(self):
+        cq = compile_query("/a/b[parent::a]/c")
+        (alt,) = cq.alternatives
+        assert alt.anchors[0].expr == ConstExpr(True)
+
+    def test_parent_statically_false(self):
+        cq = compile_query("/a/b[parent::z]/c")
+        (alt,) = cq.alternatives
+        assert alt.anchors[0].expr == ConstExpr(False)
+
+    def test_parent_of_root_is_false(self):
+        cq = compile_query("/a[parent::x]")
+        (alt,) = cq.alternatives
+        assert alt.anchors[0].expr == ConstExpr(False)
+
+    def test_parent_after_descendant_axis(self):
+        cq = compile_query("//item[parent::af]/name")
+        assert "//af/item" in sub_paths(cq)
+
+
+class TestAncestorPredicates:
+    def test_ancestor_named_in_prefix(self):
+        cq = compile_query("/a/b/c[ancestor::a]")
+        (alt,) = cq.alternatives
+        assert alt.anchors[0].expr == ConstExpr(True)
+
+    def test_ancestor_via_descendant_step(self):
+        cq = compile_query("//c[ancestor::x]")
+        # x somewhere above a c: //x//c joined at same offset
+        assert "//x//c" in sub_paths(cq)
+
+    def test_ancestor_impossible(self):
+        cq = compile_query("/a/b[ancestor::z]/c")
+        (alt,) = cq.alternatives
+        assert alt.anchors[0].expr == ConstExpr(False)
+
+
+class TestAncestorMainSteps:
+    def test_xm3_shape(self):
+        cq = compile_query("//k/ancestor::li/t/k")
+        # rewrites to //li[.//k]/t/k: main + anchor + predicate
+        paths = sub_paths(cq)
+        assert "//li/t/k" in paths
+        assert "//li//k" in paths
+        assert cq.n_sub == 3
+
+    def test_two_level_ancestor_union(self):
+        cq = compile_query("//a//b/ancestor::x/c")
+        # x may sit above a, or between a and b
+        assert len(cq.alternatives) == 2
+
+    def test_ancestor_first_step_rejected(self):
+        with pytest.raises(XPathError):
+            compile_query("/ancestor::a/b")
+
+    def test_ancestor_after_child_prefix_rejected(self):
+        with pytest.raises(XPathError):
+            compile_query("/a/b/ancestor::x/c")
+
+
+class TestUnsupported:
+    @pytest.mark.parametrize(
+        "q",
+        [
+            "/a/parent::b/c",  # parent main step
+            "/a[b[c]]/d",  # nested predicates
+            "/a[parent::b/c]/d",  # parent:: followed by steps
+        ],
+    )
+    def test_rejected(self, q):
+        with pytest.raises(XPathError):
+            compile_query(q)
+
+
+class TestRegistrySharing:
+    def test_shared_subqueries_across_queries(self):
+        compiled, registry = compile_queries(["/a/b/c", "/a/b/c", "/a/b[c]/d"])
+        # the plain path is interned once
+        all_paths = [str(s.path) for s in registry.subqueries]
+        assert all_paths.count("/a/b/c") == 1
+        assert compiled[0].subqueries[0].sid == compiled[1].subqueries[0].sid
+
+    def test_anchor_and_plain_are_distinct(self):
+        registry = SubRegistry()
+        compile_query("/a/b[c]/d", 0, registry)
+        compile_query("/a/b", 1, registry)
+        # '/a/b' exists twice: once as anchor, once as plain query
+        paths = [(str(s.path), s.is_anchor) for s in registry.subqueries]
+        assert ("/a/b", True) in paths
+        assert ("/a/b", False) in paths
+
+    def test_query_ids_are_positions(self):
+        compiled, _ = compile_queries(["/a/b", "/c/d"])
+        assert [c.query_id for c in compiled] == [0, 1]
+
+    def test_n_sub_counts_own_subqueries_only(self):
+        compiled, registry = compile_queries(["/a/b", "/a[x]/b"])
+        assert compiled[0].n_sub == 1
+        assert compiled[1].n_sub == 3
+        # '/a/b' (shared main), '/a' (anchor), '/a/x' (predicate)
+        assert len(registry.subqueries) == 3

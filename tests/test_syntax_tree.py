@@ -1,0 +1,89 @@
+"""Unit tests for static syntax tree construction (Algorithm 1)."""
+
+from __future__ import annotations
+
+from repro.grammar import build_syntax_tree, parse_dtd
+
+
+class TestRunningExample:
+    """Figure 6 of the paper: grammar a(b+, c); b(a+)."""
+
+    def test_structure(self, running_grammar):
+        tree = build_syntax_tree(running_grammar)
+        root = tree.root
+        assert root.tag == "a"
+        assert sorted(c.tag for c in root.children) == ["b", "c"]
+        b = root.find_child("b")
+        # recursion b -> a is a cycle back-pointer, not a child node
+        assert b.children == []
+        assert [n.tag for n in b.cycle] == ["a"]
+        assert b.cycle[0] is root
+
+    def test_node_count_matches_figure(self, running_grammar):
+        # Figure 6-b: nodes a, b, c — recursion adds no nodes
+        tree = build_syntax_tree(running_grammar)
+        assert len(tree) == 3
+        assert tree.n_cycles() == 1
+
+    def test_pcdata_flag(self, running_grammar):
+        tree = build_syntax_tree(running_grammar)
+        c = tree.root.find_child("c")
+        assert c.pcdata and c.is_leaf
+        assert not tree.root.pcdata
+
+
+class TestContextSensitivity:
+    def test_same_tag_two_contexts_gets_two_nodes(self, feed_grammar):
+        # Figure 1: id under feed and id under entry are distinct nodes
+        tree = build_syntax_tree(feed_grammar)
+        ids = tree.nodes_by_tag()["id"]
+        assert len(ids) == 2
+        assert sorted(n.parent.tag for n in ids) == ["entry", "feed"]
+
+    def test_paths(self, feed_grammar):
+        tree = build_syntax_tree(feed_grammar)
+        paths = sorted(n.path() for n in tree.nodes())
+        assert paths == [
+            "/feed",
+            "/feed/entry",
+            "/feed/entry/id",
+            "/feed/entry/title",
+            "/feed/id",
+        ]
+
+
+class TestRecursionShapes:
+    def test_self_recursion(self):
+        g = parse_dtd("<!ELEMENT li (t?, li*)> <!ELEMENT t (#PCDATA)>")
+        tree = build_syntax_tree(g)
+        assert tree.root.cycle == [tree.root]
+        assert len(tree) == 2
+
+    def test_mutual_recursion_through_chain(self):
+        g = parse_dtd(
+            "<!ELEMENT a (b?)> <!ELEMENT b (c?)> <!ELEMENT c (b?, d?)> <!ELEMENT d (#PCDATA)>"
+        )
+        tree = build_syntax_tree(g)
+        c = tree.root.find_child("b").find_child("c")
+        assert [n.tag for n in c.cycle] == ["b"]
+        assert c.find_child("d") is not None
+
+    def test_depth_and_max_depth(self):
+        g = parse_dtd("<!ELEMENT a (b)> <!ELEMENT b (c)> <!ELEMENT c (#PCDATA)>")
+        tree = build_syntax_tree(g)
+        assert tree.max_depth() == 3
+        c = tree.root.find_child("b").find_child("c")
+        assert c.depth() == 3
+        assert [n.tag for n in c.ancestors()] == ["b", "a"]
+
+
+class TestPartialGrammar:
+    def test_undeclared_child_becomes_leaf(self):
+        g = parse_dtd("<!ELEMENT a (b, c)> <!ELEMENT b (#PCDATA)>")
+        tree = build_syntax_tree(g)
+        c = tree.root.find_child("c")
+        assert c is not None and c.is_leaf
+
+    def test_tags_set(self, running_grammar):
+        tree = build_syntax_tree(running_grammar)
+        assert tree.tags() == frozenset({"a", "b", "c"})

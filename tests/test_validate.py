@@ -1,0 +1,156 @@
+"""Unit tests for well-formedness checking and DTD validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grammar import parse_dtd
+from repro.grammar.model import Choice, Name, PCData, Repeat, Seq, UNBOUNDED
+from repro.xmlstream import (
+    ValidationError,
+    Validator,
+    check_well_formed,
+    compile_content_model,
+    lex,
+)
+
+
+class TestWellFormed:
+    def test_accepts_valid(self):
+        assert check_well_formed(lex("<a><b>x</b><b>y</b></a>")) == 6
+
+    @pytest.mark.parametrize(
+        "xml",
+        [
+            "<a><b>x</a></b>",  # crossed nesting
+            "<a>x</a><b>y</b>",  # two roots
+            "</a>",  # unmatched end
+        ],
+    )
+    def test_rejects_malformed(self, xml):
+        with pytest.raises(ValidationError):
+            check_well_formed(lex(xml))
+
+    def test_rejects_unclosed(self):
+        with pytest.raises(ValidationError):
+            check_well_formed(lex("<a><b>x</b>"))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_well_formed([])
+
+
+class TestContentModelNFA:
+    def run(self, model, children):
+        nfa = compile_content_model(model)
+        states = nfa.initial()
+        for c in children:
+            states = nfa.step(states, c)
+            if not states:
+                return False
+        return nfa.is_accepting(states)
+
+    def test_sequence(self):
+        m = Seq((Name("a"), Name("b")))
+        assert self.run(m, ["a", "b"])
+        assert not self.run(m, ["a"])
+        assert not self.run(m, ["b", "a"])
+        assert not self.run(m, ["a", "b", "b"])
+
+    def test_choice(self):
+        m = Choice((Name("a"), Name("b")))
+        assert self.run(m, ["a"])
+        assert self.run(m, ["b"])
+        assert not self.run(m, [])
+        assert not self.run(m, ["a", "b"])
+
+    def test_plus_and_star(self):
+        plus = Repeat(Name("a"), 1, UNBOUNDED)
+        assert not self.run(plus, [])
+        assert self.run(plus, ["a"]) and self.run(plus, ["a"] * 5)
+        star = Repeat(Name("a"), 0, UNBOUNDED)
+        assert self.run(star, [])
+        assert self.run(star, ["a"] * 3)
+
+    def test_optional(self):
+        m = Seq((Repeat(Name("a"), 0, 1), Name("b")))
+        assert self.run(m, ["b"])
+        assert self.run(m, ["a", "b"])
+        assert not self.run(m, ["a", "a", "b"])
+
+    def test_nested_repeat(self):
+        # ((a, b)+)* — pairs of a,b
+        inner = Repeat(Seq((Name("a"), Name("b"))), 1, UNBOUNDED)
+        m = Repeat(inner, 0, UNBOUNDED)
+        assert self.run(m, [])
+        assert self.run(m, ["a", "b", "a", "b"])
+        assert not self.run(m, ["a", "a"])
+        assert not self.run(m, ["a", "b", "a"])
+
+    def test_paper_running_example_model(self):
+        # a(b+, c)
+        m = Seq((Repeat(Name("b"), 1, UNBOUNDED), Name("c")))
+        assert self.run(m, ["b", "c"])
+        assert self.run(m, ["b", "b", "b", "c"])
+        assert not self.run(m, ["c"])
+        assert not self.run(m, ["b"])
+        assert not self.run(m, ["c", "b"])
+
+    def test_mixed_content_allows_pcdata(self):
+        m = Repeat(Choice((PCData(), Name("i"))), 0, UNBOUNDED)
+        nfa = compile_content_model(m)
+        assert nfa.allows_pcdata
+        assert self.run(m, ["i", "i"])
+        assert self.run(m, [])
+
+
+class TestValidator:
+    DTD = """<!DOCTYPE feed [
+      <!ELEMENT feed (entry+, id)>
+      <!ELEMENT entry (id?, title)>
+      <!ELEMENT id (#PCDATA)>
+      <!ELEMENT title (#PCDATA)>
+    ]>"""
+
+    def v(self):
+        return Validator(parse_dtd(self.DTD))
+
+    def test_accepts_conforming(self):
+        xml = "<feed><entry><title>t</title></entry><id>i</id></feed>"
+        assert self.v().validate(lex(xml)) == 4
+
+    def test_rejects_wrong_root(self):
+        with pytest.raises(ValidationError, match="document element"):
+            self.v().validate(lex("<entry><title>t</title></entry>"))
+
+    def test_rejects_wrong_child(self):
+        with pytest.raises(ValidationError, match="not allowed"):
+            self.v().validate(lex("<feed><title>t</title><id>i</id></feed>"))
+
+    def test_rejects_wrong_order(self):
+        xml = "<feed><id>i</id><entry><title>t</title></entry></feed>"
+        with pytest.raises(ValidationError):
+            self.v().validate(lex(xml))
+
+    def test_rejects_incomplete_content(self):
+        with pytest.raises(ValidationError, match="incomplete"):
+            self.v().validate(lex("<feed><entry><title>t</title></entry></feed>"))
+
+    def test_rejects_text_in_element_content(self):
+        xml = "<feed>oops<entry><title>t</title></entry><id>i</id></feed>"
+        with pytest.raises(ValidationError, match="character data"):
+            self.v().validate(lex(xml))
+
+    def test_rejects_undeclared_element_when_strict(self):
+        xml = "<feed><entry><title>t</title></entry><id>i</id><zz/></feed>"
+        with pytest.raises(ValidationError):
+            self.v().validate(lex(xml))
+
+    def test_nonstrict_accepts_undeclared_subtrees(self):
+        g = parse_dtd("<!ELEMENT a (b, c?)> <!ELEMENT b (#PCDATA)>")
+        xml = "<a><b>x</b><c><weird><deep>y</deep></weird></c></a>"
+        assert Validator(g, strict=False).validate(lex(xml)) > 0
+
+    def test_any_content(self):
+        g = parse_dtd("<!ELEMENT a ANY> <!ELEMENT b (#PCDATA)>")
+        assert Validator(g).validate(lex("<a>text<b>x</b>more</a>")) == 2

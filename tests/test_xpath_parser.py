@@ -1,0 +1,136 @@
+"""Unit tests for the XPath parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xpath import Axis, WILDCARD, XPathError, parse_relative_path, parse_xpath
+from repro.xpath.ast import PredAnd, PredNot, PredOr, PredPath
+
+
+def steps_of(q):
+    return [(s.axis, s.name) for s in parse_xpath(q).steps]
+
+
+class TestBasicPaths:
+    def test_child_chain(self):
+        assert steps_of("/a/b/c") == [
+            (Axis.CHILD, "a"),
+            (Axis.CHILD, "b"),
+            (Axis.CHILD, "c"),
+        ]
+
+    def test_leading_descendant(self):
+        assert steps_of("//a/b") == [(Axis.DESCENDANT, "a"), (Axis.CHILD, "b")]
+
+    def test_mid_descendant(self):
+        assert steps_of("/a//b") == [(Axis.CHILD, "a"), (Axis.DESCENDANT, "b")]
+
+    def test_wildcard(self):
+        assert steps_of("/a/*/c")[1] == (Axis.CHILD, WILDCARD)
+
+    def test_explicit_axes(self):
+        assert steps_of("/descendant::a") == [(Axis.DESCENDANT, "a")]
+        assert steps_of("/a/ancestor::b")[1] == (Axis.ANCESTOR, "b")
+        assert steps_of("//child::a") == [(Axis.DESCENDANT, "a")]
+
+    def test_names_with_punctuation(self):
+        assert steps_of("/a-b/c_d/e.f") == [
+            (Axis.CHILD, "a-b"),
+            (Axis.CHILD, "c_d"),
+            (Axis.CHILD, "e.f"),
+        ]
+
+    def test_round_trip_str(self):
+        for q in ("/a/b/c", "//a//b", "/a/*/c", "/a[b]/c", "/a[b and not(c)]/d"):
+            assert str(parse_xpath(q)) == q
+
+
+class TestPredicates:
+    def test_simple_existence(self):
+        path = parse_xpath("/a[b]/c")
+        (pred,) = path.steps[0].predicates
+        assert isinstance(pred, PredPath)
+        assert not pred.path.absolute
+        assert pred.path.steps[0].name == "b"
+
+    def test_and_or_precedence(self):
+        path = parse_xpath("/a[b and c or d]/e")
+        (pred,) = path.steps[0].predicates
+        assert isinstance(pred, PredOr)
+        assert isinstance(pred.parts[0], PredAnd)
+
+    def test_parens(self):
+        path = parse_xpath("/a[b and (c or d)]/e")
+        (pred,) = path.steps[0].predicates
+        assert isinstance(pred, PredAnd)
+        assert isinstance(pred.parts[1], PredOr)
+
+    def test_not(self):
+        path = parse_xpath("/a[not(b)]/c")
+        (pred,) = path.steps[0].predicates
+        assert isinstance(pred, PredNot)
+
+    def test_reverse_axes_in_predicates(self):
+        path = parse_xpath("/a/b[parent::a]")
+        (pred,) = path.steps[1].predicates
+        assert pred.path.steps[0].axis == Axis.PARENT
+
+    def test_descendant_predicate_path(self):
+        path = parse_xpath("/a[descendant::x or .//y]/b")
+        (pred,) = path.steps[0].predicates
+        assert isinstance(pred, PredOr)
+
+    def test_multiple_predicates_on_one_step(self):
+        path = parse_xpath("/a[b][c]/d")
+        assert len(path.steps[0].predicates) == 2
+
+    def test_keyword_prefix_names(self):
+        # 'android' starts with 'and'; 'order' starts with 'or'
+        path = parse_xpath("/a[android or order]/b")
+        (pred,) = path.steps[0].predicates
+        assert isinstance(pred, PredOr)
+
+
+class TestRelativePaths:
+    def test_relative(self):
+        p = parse_relative_path("b/c")
+        assert not p.absolute
+        assert len(p.steps) == 2
+
+    def test_dot_descendant(self):
+        p = parse_relative_path(".//k")
+        assert p.steps[0].axis == Axis.SELF
+        assert p.steps[1].axis == Axis.DESCENDANT
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "q",
+        [
+            "a/b",  # not absolute
+            "/a/",  # trailing slash
+            "/a[b",  # unclosed predicate
+            "/a]/b",  # stray bracket
+            "/following::a",  # unsupported axis
+            "//parent::a",  # '//' before reverse axis
+            "",
+        ],
+    )
+    def test_rejected(self, q):
+        with pytest.raises(XPathError):
+            parse_xpath(q)
+
+
+class TestWildcardPredicates:
+    def test_any_child_predicate(self):
+        from repro import SequentialEngine
+        from repro.xmlstream import lex
+        from repro.xpath import build_document, evaluate_offsets
+
+        xml = "<r><a><b>x</b></a><a>leafy</a><a><c/></a></r>"
+        q = "/r/a[*]"
+        doc = build_document(lex(xml))
+        seq = SequentialEngine([q]).run(xml)
+        assert seq.matches[q] == evaluate_offsets(doc, q)
+        assert len(seq.matches[q]) == 2  # the two a's with element children

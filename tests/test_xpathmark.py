@@ -1,0 +1,80 @@
+"""Tests for the Table-4 query registry and multi-query set generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import ALL_DATASETS, TABLE4, dataset_by_name, generate_query_set
+from repro.xpath import compile_query, parse_xpath
+
+
+class TestTable4:
+    def test_covers_all_datasets_of_the_paper(self):
+        assert {t.dataset for t in TABLE4} == {
+            "nasa", "lineitem", "protein", "dblp", "xmark",
+        }
+
+    @pytest.mark.parametrize("t", TABLE4, ids=lambda t: t.qid)
+    def test_queries_parse(self, t):
+        parse_xpath(t.query)
+
+    @pytest.mark.parametrize("t", TABLE4, ids=lambda t: t.qid)
+    def test_n_sub_pinned(self, t):
+        assert compile_query(t.query).n_sub == t.n_sub
+
+    def test_predicate_queries_have_multiple_subs(self):
+        by_id = {t.qid: t for t in TABLE4}
+        assert by_id["DP3"].n_sub > 10  # the big disjunction
+        assert by_id["XM2"].n_sub > 5
+        assert by_id["NS1"].n_sub == 1
+
+    def test_dataset_lookup(self):
+        assert dataset_by_name("dblp").name == "dblp"
+        with pytest.raises(KeyError):
+            dataset_by_name("nope")
+
+
+class TestQuerySetGeneration:
+    @pytest.mark.parametrize("name", sorted(ALL_DATASETS))
+    def test_sets_are_distinct_and_parse(self, name):
+        ds = ALL_DATASETS[name]
+        queries = generate_query_set(ds, 20)
+        assert len(queries) == len(set(queries)) == 20
+        for q in queries:
+            parse_xpath(q)
+
+    def test_deterministic(self):
+        ds = ALL_DATASETS["dblp"]
+        assert generate_query_set(ds, 15) == generate_query_set(ds, 15)
+
+    def test_seed_shuffles(self):
+        ds = ALL_DATASETS["dblp"]
+        a = generate_query_set(ds, 20, seed=0)
+        b = generate_query_set(ds, 20, seed=1)
+        assert set(a) == set(b)  # the head pool is deterministic
+        assert a != b
+
+    def test_large_sets(self):
+        ds = ALL_DATASETS["nasa"]
+        queries = generate_query_set(ds, 60)
+        assert len(set(queries)) == 60
+
+    def test_requesting_too_many_raises(self):
+        ds = ALL_DATASETS["lineitem"]
+        with pytest.raises(ValueError):
+            generate_query_set(ds, 10_000)
+
+    def test_requesting_zero_raises(self):
+        with pytest.raises(ValueError):
+            generate_query_set(ALL_DATASETS["dblp"], 0)
+
+    @pytest.mark.parametrize("name", ["dblp", "nasa"])
+    def test_generated_sets_run_correctly(self, name, small_documents):
+        from repro import GapEngine, SequentialEngine
+
+        ds = ALL_DATASETS[name]
+        queries = generate_query_set(ds, 12)
+        seq = SequentialEngine(queries).run(small_documents[name])
+        gap = GapEngine(queries, grammar=ds.grammar).run(small_documents[name], n_chunks=5)
+        assert gap.offsets_by_id == seq.offsets_by_id
+        assert seq.total_matches > 0

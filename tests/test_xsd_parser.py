@@ -1,0 +1,231 @@
+"""Unit tests for the XML Schema reader and the attribute-aware tree parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grammar import (
+    AnyContent,
+    Choice,
+    Empty,
+    Name,
+    PCData,
+    Repeat,
+    Seq,
+    UNBOUNDED,
+    XSDParseError,
+    build_syntax_tree,
+    is_xsd,
+    parse_xsd,
+)
+from repro.xmlstream import LexError, Validator, lex, parse_tree
+
+
+FEED_XSD = """<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="feed">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="entry" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="id" type="xs:string" minOccurs="0"/>
+              <xs:element name="title" type="xs:string"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="id" type="xs:string"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"""
+
+
+class TestTreeParser:
+    def test_attributes_and_nesting(self):
+        t = parse_tree('<a x="1" y = \'two\'><b/><b z="3">text</b></a>')
+        assert t.tag == "a"
+        assert t.attrs == {"x": "1", "y": "two"}
+        assert len(t.findall("b")) == 2
+        assert t.children[1].attrs == {"z": "3"}
+        assert t.children[1].text == "text"
+
+    def test_prefixed_find(self):
+        t = parse_tree('<xs:schema><xs:element name="e"/></xs:schema>')
+        assert t.local == "schema"
+        assert t.find("element").get("name") == "e"
+
+    def test_prolog_and_comments_skipped(self):
+        t = parse_tree('<?xml version="1.0"?><!-- c --><a><!-- inner --><b/></a>')
+        assert t.tag == "a" and len(t.children) == 1
+
+    def test_iter(self):
+        t = parse_tree("<a><b><c/></b><d/></a>")
+        assert [n.tag for n in t.iter()] == ["a", "b", "c", "d"]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<a><b></a></b>",
+            "<a x=1></a>",  # unquoted
+            '<a x="1></a>',  # unterminated value
+            "<a></a><b></b>",  # two roots
+            "<a>",
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(LexError):
+            parse_tree(bad)
+
+
+class TestSniffing:
+    def test_is_xsd(self):
+        assert is_xsd(FEED_XSD)
+        assert not is_xsd("<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]>")
+
+
+class TestXSDLowering:
+    def test_feed_schema_equals_feed_dtd(self):
+        g = parse_xsd(FEED_XSD)
+        assert g.root == "feed"
+        assert g.children_of("feed") == frozenset({"entry", "id"})
+        assert g.children_of("entry") == frozenset({"id", "title"})
+        assert g.allows_pcdata("id") and g.allows_pcdata("title")
+        assert g.is_complete()
+        # Algorithm 1 works on it like on a DTD grammar
+        tree = build_syntax_tree(g)
+        assert len(tree.nodes_by_tag()["id"]) == 2
+
+    def test_occurs_mapping(self):
+        g = parse_xsd(FEED_XSD)
+        feed = g.elements["feed"].model
+        assert isinstance(feed, Seq)
+        entry_part, id_part = feed.parts
+        assert entry_part == Repeat(Name("entry"), 1, UNBOUNDED)  # maxOccurs=unbounded
+        assert id_part == Name("id")
+        entry = g.elements["entry"].model
+        assert entry.parts[0] == Repeat(Name("id"), 0, 1)  # minOccurs=0
+
+    def test_named_types_and_refs(self):
+        xsd = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="lib" type="LibType"/>
+          <xs:element name="book" type="BookType"/>
+          <xs:complexType name="LibType">
+            <xs:sequence>
+              <xs:element ref="book" minOccurs="0" maxOccurs="unbounded"/>
+            </xs:sequence>
+          </xs:complexType>
+          <xs:complexType name="BookType">
+            <xs:choice>
+              <xs:element name="title" type="xs:string"/>
+              <xs:element name="isbn" type="xs:string"/>
+            </xs:choice>
+          </xs:complexType>
+        </xs:schema>"""
+        g = parse_xsd(xsd)
+        assert g.root == "lib"
+        assert g.children_of("lib") == frozenset({"book"})
+        assert isinstance(g.elements["book"].model, Choice)
+
+    def test_root_selection(self):
+        xsd = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="a" type="xs:string"/>
+          <xs:element name="b" type="xs:string"/>
+        </xs:schema>"""
+        assert parse_xsd(xsd).root == "a"
+        assert parse_xsd(xsd, root_element="b").root == "b"
+        with pytest.raises(XSDParseError):
+            parse_xsd(xsd, root_element="zz")
+
+    def test_mixed_content(self):
+        xsd = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="p">
+            <xs:complexType mixed="true">
+              <xs:sequence>
+                <xs:element name="em" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+              </xs:sequence>
+            </xs:complexType>
+          </xs:element>
+        </xs:schema>"""
+        g = parse_xsd(xsd)
+        assert g.allows_pcdata("p")
+        assert g.children_of("p") == frozenset({"em"})
+
+    def test_empty_and_any(self):
+        xsd = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="root">
+            <xs:complexType>
+              <xs:sequence>
+                <xs:element name="nil"><xs:complexType/></xs:element>
+                <xs:element name="open">
+                  <xs:complexType><xs:sequence><xs:any/></xs:sequence></xs:complexType>
+                </xs:element>
+              </xs:sequence>
+            </xs:complexType>
+          </xs:element>
+        </xs:schema>"""
+        g = parse_xsd(xsd)
+        assert isinstance(g.elements["nil"].model, Empty)
+        assert isinstance(g.elements["open"].model, AnyContent)
+
+    def test_xs_all_over_approximates(self):
+        xsd = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="r">
+            <xs:complexType>
+              <xs:all>
+                <xs:element name="x" type="xs:string"/>
+                <xs:element name="y" type="xs:string"/>
+              </xs:all>
+            </xs:complexType>
+          </xs:element>
+        </xs:schema>"""
+        g = parse_xsd(xsd)
+        # both orders validate under the lowered model
+        v = Validator(g)
+        v.validate(lex("<r><x>1</x><y>2</y></r>"))
+        v.validate(lex("<r><y>2</y><x>1</x></r>"))
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            '<xs:group name="g"/>',
+            '<xs:include schemaLocation="x.xsd"/>',
+            '<xs:element name="e" substitutionGroup="head" type="xs:string"/>',
+        ],
+    )
+    def test_unsupported_constructs_raise(self, body):
+        xsd = (
+            '<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">'
+            '<xs:element name="r"><xs:complexType><xs:sequence>'
+            f"{body if 'element' in body else ''}"
+            "</xs:sequence></xs:complexType></xs:element>"
+            f"{body if 'element' not in body else ''}"
+            "</xs:schema>"
+        )
+        with pytest.raises(XSDParseError):
+            parse_xsd(xsd)
+
+    def test_not_a_schema(self):
+        with pytest.raises(XSDParseError):
+            parse_xsd("<html><body/></html>")
+
+
+class TestEngineIntegration:
+    def test_gap_engine_accepts_xsd_text(self):
+        from repro import GapEngine, SequentialEngine
+
+        xml = (
+            "<feed><entry><title>a</title></entry>"
+            "<entry><id>e2</id><title>b</title></entry><id>f</id></feed>"
+        )
+        qs = ["/feed/entry/id", "//title"]
+        engine = GapEngine(qs, grammar=FEED_XSD)
+        assert engine.mode == "nonspec"
+        assert engine.run(xml, n_chunks=3).matches == SequentialEngine(qs).run(xml).matches
+
+    def test_validator_accepts_generated_from_xsd_grammar(self):
+        from repro.datasets import DocumentGenerator
+
+        g = parse_xsd(FEED_XSD)
+        xml = DocumentGenerator(g, seed=4).generate(include_prolog=False)
+        assert Validator(g).validate(lex(xml)) > 0
