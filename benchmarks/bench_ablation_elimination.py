@@ -50,13 +50,14 @@ def ablation():
 
 
 def test_ablation_path_elimination(ablation, benchmark):
+    headers = ["version", "speedup", "start paths", "avg live paths", "path steps",
+               "eliminated", "stack tokens"]
     table = format_table(
-        ["version", "speedup", "start paths", "avg live paths", "path steps",
-         "eliminated", "stack tokens"],
+        headers,
         ablation,
         title="Ablation — dynamic path elimination (DBLP, 20 queries, 20 cores)",
     )
-    emit("ablation_elimination", table)
+    emit("ablation_elimination", table, headers=headers, rows=ablation)
 
     by_v = {row[0]: row for row in ablation}
     # elimination collapses the starting path count and the path load

@@ -46,13 +46,14 @@ def ablation():
 
 
 def test_ablation_datastructure_switching(ablation, benchmark):
+    headers = ["dataset/version", "speedup", "stack tokens", "tree tokens",
+               "switches", "switches/chunk"]
     table = format_table(
-        ["dataset/version", "speedup", "stack tokens", "tree tokens",
-         "switches", "switches/chunk"],
+        headers,
         ablation,
         title="Ablation — runtime data-structure switching (20 queries, 20 cores)",
     )
-    emit("ablation_switching", table)
+    emit("ablation_switching", table, headers=headers, rows=ablation)
 
     by_key = {row[0]: row for row in ablation}
     for name in DATASETS:

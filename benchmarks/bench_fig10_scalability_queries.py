@@ -10,7 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import generate_document, make_engine, run_experiment
-from repro.bench.reporting import format_series
+from repro.bench.reporting import format_table, series_table
 from repro.datasets import dataset_by_name, generate_query_set
 
 from conftest import N_CORES, emit
@@ -33,7 +33,7 @@ def fig10_series():
 
 
 def test_fig10_scalability_over_queries(fig10_series, benchmark):
-    table = format_series(
+    headers, rows = series_table(
         "queries",
         list(QUERY_COUNTS),
         {
@@ -41,9 +41,12 @@ def test_fig10_scalability_over_queries(fig10_series, benchmark):
             "GAP-NonSpec": fig10_series["gap-nonspec"],
             "GAP-Spec(40%)": fig10_series["gap-spec40"],
         },
+    )
+    table = format_table(
+        headers, rows,
         title="Figure 10 — scalability over number of queries (20 simulated cores)",
     )
-    emit("fig10_scalability_queries", table)
+    emit("fig10_scalability_queries", table, headers=headers, rows=rows)
 
     gap = fig10_series["gap-nonspec"]
     spec = fig10_series["gap-spec40"]

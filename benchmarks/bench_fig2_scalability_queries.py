@@ -17,7 +17,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import generate_document, make_engine, run_experiment
-from repro.bench.reporting import format_series
+from repro.bench.reporting import format_table, series_table
 from repro.datasets import dataset_by_name, generate_query_set
 
 from conftest import N_CORES, emit
@@ -40,13 +40,16 @@ def fig2_series():
 
 
 def test_fig2_scalability_comparison(fig2_series, benchmark):
-    table = format_series(
+    headers, rows = series_table(
         "queries",
         list(QUERY_COUNTS),
         {"GAP (our approach)": fig2_series["gap-nonspec"], "PP-Transducer (VLDB13)": fig2_series["pp"]},
+    )
+    table = format_table(
+        headers, rows,
         title="Figure 2 — scalability comparison (speedup on 20 simulated cores)",
     )
-    emit("fig2_scalability", table)
+    emit("fig2_scalability", table, headers=headers, rows=rows)
 
     pp = fig2_series["pp"]
     gap = fig2_series["gap-nonspec"]

@@ -40,12 +40,13 @@ def fig8_right():
 
 
 def test_fig8_multi_query_speedups(fig8_right, benchmark):
+    headers = ["group", *VERSIONS]
     table = format_table(
-        ["group", *VERSIONS],
+        headers,
         fig8_right,
         title="Figure 8 (right) — multi-query speedup on 20 simulated cores",
     )
-    emit("fig8_multi_query", table)
+    emit("fig8_multi_query", table, headers=headers, rows=fig8_right)
 
     geo = {v: fig8_right[-1][1 + i] for i, v in enumerate(VERSIONS)}
     # the paper's headline: the PP/GAP gap widens for multi-query work

@@ -41,12 +41,13 @@ def fig8_left():
 
 
 def test_fig8_single_query_speedups(fig8_left, benchmark):
+    headers = ["query", *VERSIONS]
     table = format_table(
-        ["query", *VERSIONS],
+        headers,
         fig8_left,
         title="Figure 8 (left) — single-query speedup on 20 simulated cores",
     )
-    emit("fig8_single_query", table)
+    emit("fig8_single_query", table, headers=headers, rows=fig8_left)
 
     by_query = {row[0]: row[1:] for row in fig8_left}
     pp, nonspec, s20, s40, s80 = by_query["geomean"]

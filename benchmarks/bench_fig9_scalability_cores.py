@@ -15,7 +15,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import generate_document, make_engine, run_version
-from repro.bench.reporting import format_series
+from repro.bench.reporting import format_table, series_table
 from repro.core.engine import SequentialEngine
 from repro.datasets import dataset_by_name, generate_query_set
 
@@ -49,7 +49,7 @@ def fig9_series():
 
 
 def test_fig9_scalability_over_cores(fig9_series, benchmark):
-    table = format_series(
+    headers, rows = series_table(
         "cores",
         list(CORE_COUNTS),
         {
@@ -57,9 +57,9 @@ def test_fig9_scalability_over_cores(fig9_series, benchmark):
             "GAP-NonSpec": fig9_series["gap-nonspec"],
             "GAP-Spec(40%)": fig9_series["gap-spec40"],
         },
-        title="Figure 9 — scalability over number of cores",
     )
-    emit("fig9_scalability_cores", table)
+    table = format_table(headers, rows, title="Figure 9 — scalability over number of cores")
+    emit("fig9_scalability_cores", table, headers=headers, rows=rows)
 
     for v in ("pp", "gap-nonspec"):
         s = fig9_series[v]

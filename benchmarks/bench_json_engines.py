@@ -110,12 +110,13 @@ def json_runs():
 
 def test_json_engines(json_runs, benchmark):
     text, tokens, rows = json_runs
+    headers = ["engine", "speedup(20c)", "start paths", "stack tokens", "tree tokens"]
     table = format_table(
-        ["engine", "speedup(20c)", "start paths", "stack tokens", "tree tokens"],
+        headers,
         rows,
         title=f"Extension — JSON querying ({len(text) // 1024} KiB, {len(tokens)} tokens)",
     )
-    emit("json_engines", table)
+    emit("json_engines", table, headers=headers, rows=rows)
 
     by_name = {row[0]: row for row in rows}
     assert by_name["gap-nonspec"][1] > by_name["pp"][1]

@@ -64,12 +64,13 @@ def comparison():
 
 
 def test_preparse_memory_footprint(comparison, benchmark):
+    headers = ["dataset", "doc KiB", "DOM KiB", "stream bytes", "DOM/stream"]
     table = format_table(
-        ["dataset", "doc KiB", "DOM KiB", "stream bytes", "DOM/stream"],
+        headers,
         comparison,
         title="Section 2.1 — pre-parse (DOM) vs on-the-fly memory footprint",
     )
-    emit("preparse_baseline", table)
+    emit("preparse_baseline", table, headers=headers, rows=comparison)
 
     for _name, doc_kib, dom_kib, _stream, ratio in comparison:
         # the DOM costs the same order as the document itself...

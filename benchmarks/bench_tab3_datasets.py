@@ -41,12 +41,13 @@ def table3():
 
 
 def test_tab3_dataset_statistics(table3, benchmark):
+    headers = ["dataset", "KiB", "#tags", "dmax", "paper dmax", "davg", "paper davg"]
     table = format_table(
-        ["dataset", "KiB", "#tags", "dmax", "paper dmax", "davg", "paper davg"],
+        headers,
         table3,
         title="Table 3 — XML dataset statistics (scale {:.0f})".format(SCALE),
     )
-    emit("tab3_datasets", table)
+    emit("tab3_datasets", table, headers=headers, rows=table3)
 
     for name, _kib, _tags, dmax, p_dmax, davg, p_davg in table3:
         if name == "xmark":

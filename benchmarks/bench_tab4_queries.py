@@ -37,12 +37,13 @@ def table4():
 
 
 def test_tab4_query_corpus(table4, benchmark):
+    headers = ["query", "dataset", "structure", "#sub", "#matches"]
     table = format_table(
-        ["query", "dataset", "structure", "#sub", "#matches"],
+        headers,
         table4,
         title="Table 4 — XPath queries (matches on the synthetic corpus)",
     )
-    emit("tab4_queries", table)
+    emit("tab4_queries", table, headers=headers, rows=table4)
 
     by_id = {row[0]: row for row in table4}
     for t in TABLE4:

@@ -60,12 +60,13 @@ def table5():
 
 
 def test_tab5_starting_paths(table5, benchmark):
+    headers = ["workload", *VERSIONS]
     table = format_table(
-        ["workload", *VERSIONS],
+        headers,
         table5,
         title="Table 5 — average number of starting execution paths",
     )
-    emit("tab5_starting_paths", table)
+    emit("tab5_starting_paths", table, headers=headers, rows=table5)
 
     by_label = {row[0]: dict(zip(VERSIONS, row[1:])) for row in table5}
     single = by_label["single geomean"]

@@ -65,12 +65,13 @@ def table6():
 
 
 def test_tab6_speculation_accuracy_and_cost(table6, benchmark):
+    headers = ["workload", "cost(20%)", "acc(20%)", "cost(40%)", "acc(40%)"]
     table = format_table(
-        ["workload", "cost(20%)", "acc(20%)", "cost(40%)", "acc(40%)"],
+        headers,
         table6,
         title="Table 6 — speculation accuracy and reprocessing cost",
     )
-    emit("tab6_speculation", table)
+    emit("tab6_speculation", table, headers=headers, rows=table6)
 
     by_label = {row[0]: row[1:] for row in table6}
     for label, (cost20, acc20, cost40, acc40) in by_label.items():

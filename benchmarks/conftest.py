@@ -9,7 +9,10 @@ evaluation (DESIGN.md §4).  Conventions:
   the numbers and reports runtimes;
 * each driver prints its table/series (visible with ``-s``) *and*
   writes it to ``benchmarks/results/<artifact>.txt`` so the output
-  survives pytest's capture;
+  survives pytest's capture; drivers that pass their structured
+  ``headers``/``rows`` additionally get ``results/<artifact>.json``
+  (via :mod:`repro.obs.metrics`) so the perf trajectory is
+  machine-readable;
 * scales are chosen so the whole suite completes in minutes on one
   core while keeping documents large enough that fixed per-chunk costs
   are marginal (the paper's regime).
@@ -17,7 +20,9 @@ evaluation (DESIGN.md §4).  Conventions:
 
 from __future__ import annotations
 
+import json
 import pathlib
+from collections.abc import Sequence
 
 import pytest
 
@@ -27,12 +32,34 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 N_CORES = 20
 
 
-def emit(artifact: str, text: str) -> None:
-    """Print a regenerated table and persist it under results/."""
+def emit(
+    artifact: str,
+    text: str,
+    headers: Sequence[str] | None = None,
+    rows: Sequence[Sequence[object]] | None = None,
+) -> None:
+    """Print a regenerated table and persist it under results/.
+
+    With ``headers``/``rows`` also writes ``results/<artifact>.json``:
+    the raw table plus its cells as ``repro_bench_value`` gauges from
+    the metrics registry, so cross-PR perf trajectories need no ASCII
+    parsing.
+    """
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{artifact}.txt"
     path.write_text(text + "\n", encoding="utf-8")
+    if rows is not None:
+        from repro.obs.metrics import table_registry
+
+        payload = {
+            "artifact": artifact,
+            "headers": [str(h) for h in (headers or [])],
+            "rows": [list(r) for r in rows],
+            **table_registry(artifact, list(headers or []), rows).to_json(),
+        }
+        json_path = RESULTS_DIR / f"{artifact}.json"
+        json_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
 
 @pytest.fixture(scope="session")

@@ -30,6 +30,15 @@ from .core.engine import (
 )
 from .core.inference import FeasibleTable, infer_feasible_paths
 from .core.speculative import GrammarLearner
+from .obs import (
+    MetricsRegistry,
+    NullTracer,
+    Span,
+    Tracer,
+    chrome_trace,
+    collect_run_metrics,
+    configure_logging,
+)
 from .grammar.dtd_parser import parse_dtd
 from .grammar.xsd_parser import parse_xsd
 from .grammar.model import Grammar
@@ -45,11 +54,18 @@ __all__ = [
     "GapEngine",
     "Grammar",
     "GrammarLearner",
+    "MetricsRegistry",
+    "NullTracer",
     "PPTransducerEngine",
     "QueryResult",
     "SequentialEngine",
+    "Span",
+    "Tracer",
     "__version__",
     "build_syntax_tree",
+    "chrome_trace",
+    "collect_run_metrics",
+    "configure_logging",
     "element_at",
     "infer_feasible_paths",
     "parse_dtd",

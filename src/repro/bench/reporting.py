@@ -10,7 +10,14 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-__all__ = ["format_table", "print_table", "format_series", "print_series", "banner"]
+__all__ = [
+    "format_table",
+    "print_table",
+    "format_series",
+    "print_series",
+    "series_table",
+    "banner",
+]
 
 
 def banner(title: str) -> str:
@@ -47,6 +54,17 @@ def print_table(
     print(format_table(headers, rows, title))
 
 
+def series_table(
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+) -> tuple[list[str], list[list[object]]]:
+    """Figure data → ``(headers, rows)``: one x column + one per series."""
+    headers = [x_label, *series.keys()]
+    rows = [[x, *(series[name][i] for name in series)] for i, x in enumerate(xs)]
+    return headers, rows
+
+
 def format_series(
     x_label: str,
     xs: Sequence[object],
@@ -54,8 +72,7 @@ def format_series(
     title: str | None = None,
 ) -> str:
     """Render figure data: one x column plus one column per series."""
-    headers = [x_label, *series.keys()]
-    rows = [[x, *(series[name][i] for name in series)] for i, x in enumerate(xs)]
+    headers, rows = series_table(x_label, xs, series)
     return format_table(headers, rows, title)
 
 

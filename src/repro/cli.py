@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four commands mirror the library's workflow:
+Five commands mirror the library's workflow:
 
 ``query``
     Run XPath queries over an XML *or JSON* file (sniffed by content)
@@ -22,17 +22,40 @@ Four commands mirror the library's workflow:
     Run a workload through the sequential engine, the PP-Transducer
     and GAP, and report the simulated N-core speedups (the benchmark
     harness in miniature).
+
+``profile``
+    Run a query with tracing on and print the per-chunk timeline
+    (duration, tokens, mode switches per chunk); optionally write
+    Chrome-tracing JSON (``--trace-out``, loadable in
+    ``chrome://tracing`` / Perfetto) and a metrics snapshot
+    (``--metrics-out``).
+
+``query``, ``speedup`` and ``profile`` share the observability flags:
+``--trace`` (print a span summary), ``--trace-out FILE``,
+``--metrics-out FILE`` (Prometheus text, or JSON when FILE ends with
+``.json``), ``--log-level LEVEL`` and ``--backend
+{serial,thread,process}``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .core.engine import GapEngine, PPTransducerEngine, SequentialEngine, element_at
 from .core.inference import infer_feasible_paths
 from .datasets import ALL_DATASETS, dataset_by_name, generate_query_set
 from .grammar import build_syntax_tree, is_xsd, parse_dtd, parse_xsd
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    collect_run_metrics,
+    configure_logging,
+    format_timeline,
+    write_chrome_trace,
+)
+from .obs.tracer import NULL_TRACER
 from .parallel import SimulatedCluster
 
 __all__ = ["main"]
@@ -66,6 +89,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="prior document(s) to learn a partial grammar from (speculative mode)")
     q.add_argument("--text", action="store_true", help="decode matched elements' text")
     q.add_argument("--stats", action="store_true", help="print execution statistics")
+    _add_obs_args(q)
     q.set_defaults(func=_cmd_query)
 
     i = sub.add_parser("inspect", help="show grammar/automaton/feasible-table info")
@@ -86,8 +110,35 @@ def _build_parser() -> argparse.ArgumentParser:
     s.add_argument("-Q", "--n-queries", type=int, default=10)
     s.add_argument("-s", "--scale", type=float, default=10.0)
     s.add_argument("-c", "--cores", type=int, default=20)
+    _add_obs_args(s)
     s.set_defaults(func=_cmd_speedup)
+
+    p = sub.add_parser("profile", help="run a query traced; print a per-chunk timeline")
+    p.add_argument("file", help="XML or JSON document (use '-' for stdin)")
+    p.add_argument("-q", "--query", action="append", required=True, dest="queries",
+                   help="XPath query (repeatable)")
+    p.add_argument("-g", "--grammar", help="DTD or XSD file (default: the document's inline DTD, if any)")
+    p.add_argument("-e", "--engine", choices=("gap", "pp", "seq"), default="gap")
+    p.add_argument("-n", "--chunks", type=int, default=8, help="parallel chunks (default 8)")
+    p.add_argument("--learn", action="append", default=[], metavar="FILE",
+                   help="prior document(s) to learn a partial grammar from (speculative mode)")
+    _add_obs_args(p)
+    p.set_defaults(func=_cmd_profile)
     return parser
+
+
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    """The shared observability flags (query / speedup / profile)."""
+    p.add_argument("--trace", action="store_true",
+                   help="record spans and print a phase timing summary")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write Chrome-tracing JSON (chrome://tracing / Perfetto); implies --trace")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="write run metrics (Prometheus text; JSON when FILE ends with .json)")
+    p.add_argument("--log-level", metavar="LEVEL",
+                   help="enable repro logging at LEVEL (DEBUG, INFO, ...)")
+    p.add_argument("--backend", choices=("serial", "thread", "process"),
+                   help="execution backend for the parallel phase (default: serial)")
 
 
 def _read(path: str) -> str:
@@ -109,10 +160,95 @@ def _looks_like_json(text: str) -> bool:
     return text.lstrip()[:1] in ("{", "[")
 
 
+def _format_stat(value: float) -> str:
+    """Ints as ints, floats at full precision (no ``%g`` truncation)."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+# -- observability plumbing shared by query/speedup/profile -----------------
+
+
+def _obs_prepare(args: argparse.Namespace, force_trace: bool = False):
+    """Apply --log-level and build the run's tracer."""
+    if args.log_level:
+        configure_logging(args.log_level)
+    if force_trace or args.trace or args.trace_out:
+        return Tracer()
+    return NULL_TRACER
+
+
+def _write_metrics(registry: MetricsRegistry, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        if path.endswith(".json"):
+            json.dump(registry.to_json(), fh, indent=2)
+            fh.write("\n")
+        else:
+            fh.write(registry.to_prometheus())
+
+
+def _obs_emit(args: argparse.Namespace, tracer, registry: MetricsRegistry | None) -> None:
+    """Write --trace-out / --metrics-out and print the --trace summary."""
+    if args.trace and tracer.enabled:
+        print("# trace (seconds by phase)")
+        by_phase: dict[str, float] = {}
+        for span in tracer.spans:
+            if span.cat == "phase":
+                by_phase[span.name] = by_phase.get(span.name, 0.0) + span.duration
+        for name, total in sorted(by_phase.items(), key=lambda kv: -kv[1]):
+            print(f"  {name}: {total:.6f}")
+    if args.trace_out:
+        write_chrome_trace(tracer.spans, args.trace_out)
+        print(f"# trace written to {args.trace_out}")
+    if args.metrics_out and registry is not None:
+        _write_metrics(registry, args.metrics_out)
+        print(f"# metrics written to {args.metrics_out}")
+
+
 # ---------------------------------------------------------------------------
 
 
+def _build_query_engine(args: argparse.Namespace, content: str, as_json: bool, tracer):
+    """Construct the engine the query/profile commands share."""
+    if args.engine == "seq":
+        return SequentialEngine(args.queries, backend=args.backend, tracer=tracer)
+    if args.engine == "pp":
+        return PPTransducerEngine(
+            args.queries, n_chunks=args.chunks, backend=args.backend, tracer=tracer
+        )
+    grammar = None
+    if args.grammar:
+        grammar = _load_grammar(_read(args.grammar))
+    elif not as_json and "<!DOCTYPE" in content[:65536] and not args.learn:
+        grammar = parse_dtd(content)
+    engine = GapEngine(
+        args.queries, grammar=grammar, n_chunks=args.chunks,
+        backend=args.backend, tracer=tracer,
+    )
+    for prior in args.learn:
+        prior_text = _read(prior)
+        if _looks_like_json(prior_text):
+            from .jsonstream import tokenize_json
+
+            engine.learn_tokens(tokenize_json(prior_text))
+        else:
+            engine.learn(prior_text)
+    return engine
+
+
+def _execute(engine, args: argparse.Namespace, content: str, tokens):
+    if tokens is not None:
+        if args.engine == "seq":
+            return engine.run_tokens(tokens)
+        return engine.run_tokens(tokens, n_chunks=args.chunks)
+    if args.engine == "seq":
+        return engine.run(content)
+    return engine.run(content, n_chunks=args.chunks)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    tracer = _obs_prepare(args)
     content = _read(args.file)
     as_json = _looks_like_json(content)
     tokens = None
@@ -121,35 +257,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
         tokens = tokenize_json(content)
 
-    def execute(engine):
-        if tokens is not None:
-            return engine.run_tokens(tokens) if args.engine == "seq" else engine.run_tokens(
-                tokens, n_chunks=args.chunks
-            )
-        return engine.run(content) if args.engine == "seq" else engine.run(
-            content, n_chunks=args.chunks
-        )
-
-    if args.engine == "seq":
-        result = execute(SequentialEngine(args.queries))
-    elif args.engine == "pp":
-        result = execute(PPTransducerEngine(args.queries, n_chunks=args.chunks))
-    else:
-        grammar = None
-        if args.grammar:
-            grammar = _load_grammar(_read(args.grammar))
-        elif not as_json and "<!DOCTYPE" in content[:65536] and not args.learn:
-            grammar = parse_dtd(content)
-        engine = GapEngine(args.queries, grammar=grammar, n_chunks=args.chunks)
-        for prior in args.learn:
-            prior_text = _read(prior)
-            if _looks_like_json(prior_text):
-                from .jsonstream import tokenize_json
-
-                engine.learn_tokens(tokenize_json(prior_text))
-            else:
-                engine.learn(prior_text)
-        result = execute(engine)
+    with _build_query_engine(args, content, as_json, tracer) as engine:
+        result = _execute(engine, args, content, tokens)
+    if args.engine == "gap":
         print(f"# engine: gap ({engine.mode})")
 
     for query, offsets in result.matches.items():
@@ -167,7 +277,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.stats:
         print("# stats")
         for key, value in result.stats.summary().items():
-            print(f"  {key}: {value:g}")
+            print(f"  {key}: {_format_stat(value)}")
+
+    registry = None
+    if args.metrics_out:
+        registry = collect_run_metrics(
+            result.stats, matches=result.matches, spans=tracer.spans
+        )
+    _obs_emit(args, tracer, registry)
     return 0
 
 
@@ -213,19 +330,25 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_speedup(args: argparse.Namespace) -> int:
+    tracer = _obs_prepare(args)
     ds = dataset_by_name(args.dataset)
     queries = generate_query_set(ds, args.n_queries)
     xml = ds.generate(scale=args.scale, seed=0)
     print(f"{args.dataset}: {len(xml) // 1024} KiB, {args.n_queries} queries, "
           f"{args.cores} simulated cores")
 
-    seq = SequentialEngine(queries).run(xml)
+    registry = MetricsRegistry() if args.metrics_out else None
+    with SequentialEngine(queries, tracer=tracer) as seq_engine:
+        seq = seq_engine.run(xml)
     cluster = SimulatedCluster(args.cores)
     for name, engine in (
-        ("pp", PPTransducerEngine(queries, n_chunks=args.cores)),
-        ("gap", GapEngine(queries, grammar=ds.grammar, n_chunks=args.cores)),
+        ("pp", PPTransducerEngine(queries, n_chunks=args.cores,
+                                  backend=args.backend, tracer=tracer)),
+        ("gap", GapEngine(queries, grammar=ds.grammar, n_chunks=args.cores,
+                          backend=args.backend, tracer=tracer)),
     ):
-        res = engine.run(xml)
+        with engine:
+            res = engine.run(xml)
         if res.offsets_by_id != seq.offsets_by_id:
             raise RuntimeError(f"{name} results diverged from sequential")
         report = cluster.schedule(
@@ -234,6 +357,46 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
         print(f"  {name:4s} speedup {report.speedup:6.2f}x  "
               f"(starting paths {res.stats.avg_starting_paths:6.1f}, "
               f"efficiency {report.efficiency:4.0%})")
+        if registry is not None:
+            for key, value in report.as_dict().items():
+                registry.gauge(f"repro_sim_{key}", "Simulated-cluster scheduling output",
+                               engine=name).set(value)
+            collect_run_metrics(res.stats, registry=registry)
+    _obs_emit(args, tracer, registry)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    tracer = _obs_prepare(args, force_trace=True)
+    content = _read(args.file)
+    as_json = _looks_like_json(content)
+    tokens = None
+    if as_json:
+        from .jsonstream import tokenize_json
+
+        with tracer.span("lex", cat="phase") as sp:
+            tokens = tokenize_json(content)
+            sp.args["tokens"] = len(tokens)
+
+    with _build_query_engine(args, content, as_json, tracer) as engine:
+        result = _execute(engine, args, content, tokens)
+
+    mode = f"gap ({engine.mode})" if args.engine == "gap" else args.engine
+    wall = 0.0
+    if tracer.spans:
+        wall = max(s.t1 for s in tracer.spans) - min(s.t0 for s in tracer.spans)
+    print(f"# profile: {args.file} ({len(content)} bytes), engine {mode}, "
+          f"{args.chunks} chunks, backend {args.backend or 'serial'}")
+    print(f"# matches: {result.total_matches} across {len(args.queries)} query(ies); "
+          f"wall {wall * 1e3:.2f} ms")
+    print(format_timeline(tracer.spans))
+
+    registry = None
+    if args.metrics_out:
+        registry = collect_run_metrics(
+            result.stats, matches=result.matches, spans=tracer.spans
+        )
+    _obs_emit(args, tracer, registry)
     return 0
 
 

@@ -36,7 +36,8 @@ from ..grammar.dtd_parser import parse_dtd
 from ..grammar.model import Grammar
 from ..grammar.xsd_parser import is_xsd, parse_xsd
 from ..grammar.syntax_tree import StaticSyntaxTree, build_syntax_tree
-from ..parallel.backend import Backend
+from ..obs.tracer import NULL_TRACER, Tracer
+from ..parallel.backend import Backend, get_backend
 from ..transducer.pipeline import (
     ParallelPipeline,
     ParallelRunResult,
@@ -109,13 +110,25 @@ class _EngineBase:
     ``minimize`` swaps the merged DFA for its minimal equivalent — an
     extension knob (the paper's systems share the unminimised
     construction); see :func:`repro.xpath.automaton.minimize_automaton`.
+
+    ``backend`` accepts either a :class:`~repro.parallel.backend.Backend`
+    instance (the caller owns and closes it) or a backend *name*
+    (``"serial"``/``"thread"``/``"process"``), in which case the engine
+    constructs and **owns** the backend: :meth:`close` — or using the
+    engine as a context manager — shuts its pool down.
+
+    ``tracer`` is a :class:`~repro.obs.tracer.Tracer` collecting
+    wall-clock spans for every run; the default
+    :data:`~repro.obs.tracer.NULL_TRACER` records nothing at
+    effectively zero cost.
     """
 
     def __init__(
         self,
         queries: list[str],
-        backend: Backend | None = None,
+        backend: Backend | str | None = None,
         minimize: bool = False,
+        tracer: Tracer | None = None,
     ) -> None:
         if not queries:
             raise EngineError("at least one query is required")
@@ -123,7 +136,25 @@ class _EngineBase:
         self.compiled, self.registry = compile_queries(self.queries)
         self.automaton = build_automaton(self.registry.automaton_inputs(), minimize=minimize)
         self.anchor_sids = self.registry.anchor_sids()
-        self.backend = backend
+        self._owns_backend = isinstance(backend, str)
+        self.backend = get_backend(backend) if isinstance(backend, str) else backend
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    def close(self) -> None:
+        """Release the engine's backend pool, if the engine owns one.
+
+        Backends passed in as instances stay open (their creator owns
+        their lifecycle); backends the engine constructed from a name
+        are shut down here.  Idempotent.
+        """
+        if self._owns_backend and self.backend is not None:
+            self.backend.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     @property
     def has_value_predicates(self) -> bool:
@@ -194,10 +225,11 @@ class SequentialEngine(_EngineBase):
     """Single-threaded on-the-fly evaluation (the speedup baseline)."""
 
     def run(self, text: str) -> QueryResult:
-        return self._result(
-            run_sequential_pipeline(text, self.automaton, self.anchor_sids),
-            decoder=self._text_decoder(text),
-        )
+        with self.tracer.span("sequential", cat="phase") as sp:
+            run = run_sequential_pipeline(text, self.automaton, self.anchor_sids)
+            if self.tracer.enabled:
+                sp.args.update(tokens=run.counters.total_tokens, bytes=len(text))
+        return self._result(run, decoder=self._text_decoder(text))
 
     def run_tokens(self, tokens: list) -> QueryResult:
         """Evaluate over a pre-tokenised stream (e.g. JSON tokens)."""
@@ -262,13 +294,16 @@ class PPTransducerEngine(_EngineBase):
         self,
         queries: list[str],
         n_chunks: int = 4,
-        backend: Backend | None = None,
+        backend: Backend | str | None = None,
         minimize: bool = False,
+        tracer: Tracer | None = None,
     ) -> None:
-        super().__init__(queries, backend, minimize=minimize)
+        super().__init__(queries, backend, minimize=minimize, tracer=tracer)
         self.n_chunks = n_chunks
         self.policy = BaselinePolicy(self.automaton)
-        self._pipeline = ParallelPipeline(self.automaton, self.policy, self.anchor_sids, backend)
+        self._pipeline = ParallelPipeline(
+            self.automaton, self.policy, self.anchor_sids, self.backend, self.tracer
+        )
 
     def run(self, text: str, n_chunks: int | None = None) -> QueryResult:
         return self._result(
@@ -321,10 +356,11 @@ class GapEngine(_EngineBase):
         n_chunks: int = 4,
         eliminate: str = ELIMINATE_PAPER,
         switch_to_stack: bool = True,
-        backend: Backend | None = None,
+        backend: Backend | str | None = None,
         minimize: bool = False,
+        tracer: Tracer | None = None,
     ) -> None:
-        super().__init__(queries, backend, minimize=minimize)
+        super().__init__(queries, backend, minimize=minimize, tracer=tracer)
         if mode not in ("auto", "nonspec", "spec"):
             raise EngineError(f"unknown mode {mode!r} (expected auto/nonspec/spec)")
         self.n_chunks = n_chunks
@@ -366,7 +402,10 @@ class GapEngine(_EngineBase):
         """Extract partial grammar from a prior input (Algorithm 3)."""
         if self._complete:
             raise EngineError("learning is only meaningful without a complete grammar")
-        self.learner.observe(xml_text)
+        with self.tracer.span("learn", cat="phase") as sp:
+            self.learner.observe(xml_text)
+            if self.tracer.enabled:
+                sp.args.update(bytes=len(xml_text), documents=self.learner.documents_observed)
         self._table = None  # invalidate
 
     @property
@@ -377,14 +416,17 @@ class GapEngine(_EngineBase):
     def table(self) -> FeasibleTable:
         """The feasible path table (built lazily, cached)."""
         if self._table is None:
-            if self._tree is not None:
-                self._table = infer_feasible_paths(
-                    self.automaton, self._tree, complete=self._complete
-                )
-            elif self.learner.tree is not None:
-                self._table = self.learner.table(self.automaton)
-            else:
-                self._table = empty_speculative_table()
+            with self.tracer.span("infer", cat="phase") as sp:
+                if self._tree is not None:
+                    self._table = infer_feasible_paths(
+                        self.automaton, self._tree, complete=self._complete
+                    )
+                elif self.learner.tree is not None:
+                    self._table = self.learner.table(self.automaton)
+                else:
+                    self._table = empty_speculative_table()
+                if self.tracer.enabled:
+                    sp.args.update(entries=len(self._table), complete=self._complete)
         return self._table
 
     # -- execution --------------------------------------------------------
@@ -396,7 +438,9 @@ class GapEngine(_EngineBase):
             eliminate=self.eliminate,
             switch_to_stack=self.switch_to_stack,
         )
-        return ParallelPipeline(self.automaton, policy, self.anchor_sids, self.backend)
+        return ParallelPipeline(
+            self.automaton, policy, self.anchor_sids, self.backend, self.tracer
+        )
 
     def run(
         self, text: str, n_chunks: int | None = None, learn: bool = False
@@ -433,7 +477,10 @@ class GapEngine(_EngineBase):
         """Speculative-mode learning from a pre-tokenised prior input."""
         if self._complete:
             raise EngineError("learning is only meaningful without a complete grammar")
-        self.learner.observe_tokens(tokens)
+        with self.tracer.span("learn", cat="phase") as sp:
+            self.learner.observe_tokens(tokens)
+            if self.tracer.enabled:
+                sp.args.update(tokens=len(tokens), documents=self.learner.documents_observed)
         self._table = None
 
 

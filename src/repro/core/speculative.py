@@ -20,6 +20,7 @@ restart-path revival in the chunk runner; this module only produces the
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Iterable
 
 from ..grammar.extraction import extract_syntax_tree
@@ -30,6 +31,8 @@ from ..xmlstream.tokens import Token
 from .inference import FeasibleTable, infer_feasible_paths
 
 __all__ = ["GrammarLearner", "empty_speculative_table"]
+
+logger = logging.getLogger("repro.core.speculative")
 
 
 class GrammarLearner:
@@ -55,6 +58,11 @@ class GrammarLearner:
     def observe_tokens(self, tokens: Iterable[Token]) -> None:
         self._tree = extract_syntax_tree(tokens, prior=self._tree)
         self._documents += 1
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "observed document %d: partial syntax tree has %d node(s)",
+                self._documents, len(self._tree),
+            )
 
     def observe_prefix(self, xml_text: str, fraction: float) -> None:
         """Observe only a leading fraction of a document.

@@ -1,0 +1,66 @@
+"""Observability: tracing spans, metrics, exporters and logging.
+
+The paper's whole argument is quantitative (Tables 5/6, Figures 8-10
+are profiles of starting paths, switches and misspeculation cost), so
+this package gives every run a measurable shape:
+
+* :mod:`repro.obs.tracer` — context-manager **spans** with wall-clock
+  durations and counter snapshots (``split``, ``lex``, ``chunk[i]``,
+  ``join``, ``reprocess``, ``learn``, ``infer``), collected by a
+  :class:`Tracer` and disabled at zero cost by the default
+  :class:`NullTracer`;
+* :mod:`repro.obs.metrics` — a counter/gauge/histogram **registry**
+  with Prometheus text exposition and JSON export;
+* :mod:`repro.obs.export` — **Chrome-tracing JSON** (loadable in
+  ``chrome://tracing`` / Perfetto) and the per-chunk timeline table
+  behind ``repro profile``;
+* :mod:`repro.obs.logsetup` — stdlib :mod:`logging` wiring for the
+  ``repro`` logger hierarchy (package ``NullHandler`` by default,
+  ``configure_logging`` for CLI ``--log-level``).
+
+Quick start::
+
+    from repro import GapEngine, Tracer
+
+    tracer = Tracer()
+    engine = GapEngine(["//item/name"], grammar=dtd, tracer=tracer)
+    result = engine.run(xml_text, n_chunks=8)
+    for span in tracer.spans:
+        print(span.name, f"{span.duration * 1e3:.2f} ms", span.args)
+"""
+
+from .logsetup import configure_logging, get_logger
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_run_metrics,
+    table_registry,
+)
+from .export import (
+    chrome_trace,
+    chunk_timeline,
+    format_timeline,
+    write_chrome_trace,
+)
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "chunk_timeline",
+    "collect_run_metrics",
+    "configure_logging",
+    "format_timeline",
+    "get_logger",
+    "table_registry",
+    "write_chrome_trace",
+]

@@ -53,6 +53,19 @@ class SimReport:
         """Speedup / cores — parallel efficiency."""
         return self.speedup / self.n_cores if self.n_cores else 0.0
 
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict (inputs + derived) for metrics/JSON export."""
+        return {
+            "n_cores": self.n_cores,
+            "n_chunks": self.n_chunks,
+            "parallel_time": self.parallel_time,
+            "serial_time": self.serial_time,
+            "sequential_time": self.sequential_time,
+            "total_time": self.total_time,
+            "speedup": self.speedup,
+            "efficiency": self.efficiency,
+        }
+
 
 class SimulatedCluster:
     """An N-core machine model driven by measured work counters."""

@@ -31,11 +31,14 @@ makes reprocessing selective.
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from ..xpath.events import MatchEvent
 from .counters import WorkCounters
+
+logger = logging.getLogger("repro.transducer.join")
 
 __all__ = [
     "SegmentEntry",
@@ -102,13 +105,20 @@ class Cohort:
 
 @dataclass(slots=True)
 class ChunkResult:
-    """All cohorts of one chunk, plus its work counters."""
+    """All cohorts of one chunk, plus its work counters.
+
+    ``spans`` carries any tracing spans the worker recorded while
+    processing the chunk (:mod:`repro.obs.tracer`); because the whole
+    result is pickled back from process-pool workers, spans survive the
+    process boundary and get merged into the coordinating tracer.
+    """
 
     index: int
     begin: int
     end: int
     cohorts: list[Cohort] = field(default_factory=list)
     counters: WorkCounters = field(default_factory=WorkCounters)
+    spans: list = field(default_factory=list)
 
     @property
     def main(self) -> Cohort | None:
@@ -239,6 +249,11 @@ def join_results(
                 f"(state={state}, stack depth={len(stack)}) in non-speculative mode"
             )
         counters.misspeculations += 1
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "misspeculation at chunk %d [%d, %d) (state=%d, stack depth=%d)",
+                chunk.index, chunk.begin, chunk.end, state, len(stack),
+            )
         state, stack = _recover(chunk, outcome, state, stack, events, reprocess, counters)
     return state, stack, events
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from dataclasses import dataclass, field
 
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..parallel.backend import Backend, SerialBackend
 from ..xpath.automaton import QueryAutomaton
 from ..xpath.events import MatchEvent
@@ -60,6 +61,9 @@ class _Ctx:
     automaton: QueryAutomaton
     policy: PathPolicy
     anchor_sids: frozenset[int]
+    #: record per-worker spans (lex + chunk) and ship them back in the
+    #: ChunkResult; False keeps the untraced path byte-for-byte intact
+    trace: bool = False
 
 
 def _skip_leading_end(tokens, begin: int):
@@ -74,9 +78,35 @@ def _skip_leading_end(tokens, begin: int):
 def _run_one_chunk(ctx: _Ctx, chunk: Chunk) -> ChunkResult:
     """Worker body: lex and execute one chunk (module-level: picklable)."""
     runner = ChunkRunner(ctx.automaton, ctx.policy, ctx.anchor_sids)
-    tokens = lex_range(ctx.text, chunk.begin, chunk.end)
     start = frozenset((ctx.automaton.initial,)) if chunk.index == 0 else None
-    return runner.run_chunk(tokens, chunk.index, chunk.begin, chunk.end, start_states=start)
+    if not ctx.trace:
+        tokens = lex_range(ctx.text, chunk.begin, chunk.end)
+        return runner.run_chunk(tokens, chunk.index, chunk.begin, chunk.end, start_states=start)
+
+    # traced path: one lane per worker; lexing is materialised so the
+    # lex span measures tokenisation separately from transduction
+    tracer = Tracer(tid=chunk.index + 1)
+    with tracer.span(f"chunk[{chunk.index}]", cat="chunk") as sp:
+        with tracer.span("lex", cat="chunk") as lex_sp:
+            tokens = list(lex_range(ctx.text, chunk.begin, chunk.end))
+            lex_sp.args["tokens"] = len(tokens)
+        result = runner.run_chunk(
+            tokens, chunk.index, chunk.begin, chunk.end, start_states=start
+        )
+        _snapshot_chunk_counters(sp, result.counters)
+    result.spans = tracer.spans
+    return result
+
+
+def _snapshot_chunk_counters(span, counters: WorkCounters) -> None:
+    """Attach the per-chunk counter snapshot a timeline row needs."""
+    span.args.update(
+        tokens=counters.total_tokens,
+        switches=counters.switches,
+        starting_paths=counters.starting_paths,
+        divergences=counters.divergences,
+        paths_eliminated=counters.paths_eliminated,
+    )
 
 
 class ParallelPipeline:
@@ -88,11 +118,13 @@ class ParallelPipeline:
         policy: PathPolicy,
         anchor_sids: frozenset[int] = frozenset(),
         backend: Backend | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.automaton = automaton
         self.policy = policy
         self.anchor_sids = anchor_sids
         self.backend = backend or SerialBackend()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def run_tokens(self, tokens: list, n_chunks: int) -> ParallelRunResult:
         """Execute the three phases over a materialised token list.
@@ -129,15 +161,18 @@ class ParallelPipeline:
         cuts = sorted(cuts_set)
         edges = [0, *cuts, len(tokens)]
 
+        tracer = self.tracer
         runner = ChunkRunner(self.automaton, self.policy, self.anchor_sids)
         results: list[ChunkResult] = []
         for ci, (i0, i1) in enumerate(zip(edges, edges[1:])):
             begin = offsets[i0]
             end = offsets[i1] if i1 < len(tokens) else end_sentinel
             start = frozenset((self.automaton.initial,)) if ci == 0 else None
-            results.append(
-                runner.run_chunk(tokens[i0:i1], ci, begin, end, start_states=start)
-            )
+            with tracer.span(f"chunk[{ci}]", cat="chunk") as sp:
+                r = runner.run_chunk(tokens[i0:i1], ci, begin, end, start_states=start)
+                if tracer.enabled:
+                    _snapshot_chunk_counters(sp, r.counters)
+            results.append(r)
 
         totals = WorkCounters()
         per_chunk: list[WorkCounters] = []
@@ -146,57 +181,78 @@ class ParallelPipeline:
             totals.merge(r.counters)
 
         def reprocess(begin: int, end: int, state: int, stack: list[int], skip_end: bool):
-            lo = bisect_left(offsets, begin)
-            hi = bisect_left(offsets, end)
-            sub = tokens[lo:hi]
-            if skip_end and sub and sub[0].is_end and sub[0].offset == begin:
-                sub = sub[1:]
-            sub_counters = WorkCounters()
-            res = run_sequential(
-                self.automaton, sub, self.anchor_sids,
-                state=state, stack=stack, counters=sub_counters,
-            )
+            with tracer.span("reprocess", cat="phase") as sp:
+                lo = bisect_left(offsets, begin)
+                hi = bisect_left(offsets, end)
+                sub = tokens[lo:hi]
+                if skip_end and sub and sub[0].is_end and sub[0].offset == begin:
+                    sub = sub[1:]
+                sub_counters = WorkCounters()
+                res = run_sequential(
+                    self.automaton, sub, self.anchor_sids,
+                    state=state, stack=stack, counters=sub_counters,
+                )
+                sp.args.update(begin=begin, end=end, tokens=sub_counters.stack_tokens)
             return res.state, res.stack, res.events, sub_counters.stack_tokens
 
         strict = not self.policy.speculative
-        state, _stack, events = join_results(
-            (self.automaton.initial, [], []), results, reprocess, totals, strict=strict
-        )
+        with tracer.span("join", cat="phase") as sp:
+            state, _stack, events = join_results(
+                (self.automaton.initial, [], []), results, reprocess, totals, strict=strict
+            )
+            sp.args.update(
+                misspeculations=totals.misspeculations,
+                reprocessed_tokens=totals.reprocessed_tokens,
+            )
         return ParallelRunResult(
             events=events, final_state=state, counters=totals, chunk_counters=per_chunk
         )
 
     def run(self, text: str, n_chunks: int) -> ParallelRunResult:
         """Execute the three phases over ``text`` with ``n_chunks`` workers."""
-        chunks = split_chunks(text, n_chunks)
-        ctx = _Ctx(text, self.automaton, self.policy, self.anchor_sids)
-        results = self.backend.map_with_context(ctx, _run_one_chunk, chunks)
+        tracer = self.tracer
+        with tracer.span("split", cat="phase") as sp:
+            chunks = split_chunks(text, n_chunks)
+            sp.args["n_chunks"] = len(chunks)
+        ctx = _Ctx(text, self.automaton, self.policy, self.anchor_sids,
+                   trace=tracer.enabled)
+        with tracer.span("parallel", cat="phase"):
+            results = self.backend.map_with_context(ctx, _run_one_chunk, chunks)
 
         totals = WorkCounters()
         per_chunk: list[WorkCounters] = []
         for r in results:
             per_chunk.append(r.counters)
             totals.merge(r.counters)
+            if r.spans:
+                tracer.extend(r.spans)
 
         def reprocess(begin: int, end: int, state: int, stack: list[int], skip_end: bool):
-            sub_counters = WorkCounters()
-            tokens = lex_range(text, begin, end)
-            if skip_end:
-                tokens = _skip_leading_end(tokens, begin)
-            res = run_sequential(
-                self.automaton,
-                tokens,
-                self.anchor_sids,
-                state=state,
-                stack=stack,
-                counters=sub_counters,
-            )
+            with tracer.span("reprocess", cat="phase") as sp:
+                sub_counters = WorkCounters()
+                tokens = lex_range(text, begin, end)
+                if skip_end:
+                    tokens = _skip_leading_end(tokens, begin)
+                res = run_sequential(
+                    self.automaton,
+                    tokens,
+                    self.anchor_sids,
+                    state=state,
+                    stack=stack,
+                    counters=sub_counters,
+                )
+                sp.args.update(begin=begin, end=end, tokens=sub_counters.stack_tokens)
             return res.state, res.stack, res.events, sub_counters.stack_tokens
 
         strict = not self.policy.speculative
-        state, _stack, events = join_results(
-            (self.automaton.initial, [], []), results, reprocess, totals, strict=strict
-        )
+        with tracer.span("join", cat="phase") as sp:
+            state, _stack, events = join_results(
+                (self.automaton.initial, [], []), results, reprocess, totals, strict=strict
+            )
+            sp.args.update(
+                misspeculations=totals.misspeculations,
+                reprocessed_tokens=totals.reprocessed_tokens,
+            )
         return ParallelRunResult(
             events=events, final_state=state, counters=totals, chunk_counters=per_chunk
         )

@@ -33,6 +33,7 @@ counters drive the simulated-cluster speedup model (DESIGN.md §2).
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
@@ -45,6 +46,8 @@ from .mapping import ChunkResult, Cohort, Segment
 from .policies import ELIMINATE_ALWAYS, ELIMINATE_NEVER, PathPolicy
 
 __all__ = ["ChunkRunner"]
+
+logger = logging.getLogger("repro.transducer.runner")
 
 
 @dataclass(slots=True)
@@ -71,6 +74,8 @@ class ChunkRunner:
         self._close_accepts: list[tuple[int, ...]] = [
             tuple(sid for sid in acc if sid in anchor_sids) for acc in automaton.accepts
         ]
+        # DEBUG logging is sampled once per chunk, not per token
+        self._debug = False
 
     # ------------------------------------------------------------------
 
@@ -91,6 +96,7 @@ class ChunkRunner:
         policy = self.policy
         automaton = self.automaton
         accepts = automaton.accepts
+        self._debug = logger.isEnabledFor(logging.DEBUG)
         counters = WorkCounters(chunks=1, bytes_lexed=end - begin)
         result = ChunkResult(index=index, begin=begin, end=end, counters=counters)
 
@@ -226,11 +232,18 @@ class ChunkRunner:
                 counters.degraded_lookups += 1
             return
         live_states: set[int] = set()
+        eliminated = 0
         for lc in cohorts:
             kept = [g for g in lc.groups if g.state in feas]
-            counters.paths_eliminated += len(lc.groups) - len(kept)
+            eliminated += len(lc.groups) - len(kept)
             lc.groups = kept
             live_states.update(g.state for g in kept)
+        counters.paths_eliminated += eliminated
+        if self._debug and eliminated:
+            logger.debug(
+                "scenario-3 check before <%s> at %d: eliminated %d path(s), %d live",
+                tag, offset, eliminated, len(live_states),
+            )
         if policy.speculative:
             # replace semantics: revive feasible states not currently live
             # as a fresh restart cohort (Section 5.2)
@@ -277,6 +290,12 @@ class ChunkRunner:
             else:
                 kept = [g for g in groups if g.state in feas]
                 counters.paths_eliminated += len(groups) - len(kept)
+                if self._debug and len(kept) < len(groups):
+                    logger.debug(
+                        "scenario-2 check at divergence </%s> at %d: "
+                        "eliminated %d path(s), %d live",
+                        tag, offset, len(groups) - len(kept), len(kept),
+                    )
                 groups = kept
 
         close_accepts = self._close_accepts

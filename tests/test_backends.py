@@ -62,3 +62,39 @@ class TestEnginesAcrossBackends:
         backend = ProcessBackend(max_workers=2)
         engine = GapEngine(self.QUERIES, grammar=FEED_DTD, backend=backend)
         assert engine.run(FEED_XML, n_chunks=3).offsets_by_id == self.expected()
+
+
+class TestBackendOwnership:
+    """Engines own (and close) backends built from a name, not instances."""
+
+    QUERIES = ["//id"]
+
+    def test_engine_owns_named_backend(self):
+        engine = GapEngine(self.QUERIES, grammar=FEED_DTD, backend="thread")
+        engine.run(FEED_XML, n_chunks=2)
+        assert engine.backend._pool is not None
+        engine.close()
+        assert engine.backend._pool is None
+        engine.close()  # idempotent
+
+    def test_context_manager_closes_owned_backend(self):
+        with GapEngine(self.QUERIES, grammar=FEED_DTD, backend="thread") as engine:
+            result = engine.run(FEED_XML, n_chunks=2)
+            assert result.total_matches > 0
+        assert engine.backend._pool is None
+
+    def test_caller_owned_instance_stays_open(self):
+        backend = ThreadBackend(max_workers=2)
+        try:
+            with GapEngine(self.QUERIES, grammar=FEED_DTD, backend=backend) as engine:
+                engine.run(FEED_XML, n_chunks=2)
+            # the engine must not shut down a backend it was handed
+            assert backend._pool is not None
+            assert backend.map_with_context(2, _double, [1, 2]) == [2, 4]
+        finally:
+            backend.close()
+
+    def test_default_backend_close_is_noop(self):
+        with GapEngine(self.QUERIES, grammar=FEED_DTD) as engine:
+            engine.run(FEED_XML, n_chunks=2)
+        assert engine.backend is None

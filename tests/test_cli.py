@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import _format_stat, main
 
 from tests.conftest import FEED_DTD, FEED_XML
 
@@ -75,6 +77,40 @@ class TestQueryCommand:
         rc = main(["query", feed_file, "-q", "not a query"])
         assert rc == 1
 
+    def test_trace_flag_prints_phase_summary(self, feed_file, capsys):
+        rc = main(["query", feed_file, "-q", "//id", "--trace"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "# trace (seconds by phase)" in out
+        assert "join:" in out
+
+    def test_thread_backend_flag(self, feed_file, capsys):
+        rc = main(["query", feed_file, "-q", "//id", "--backend", "thread"])
+        assert rc == 0
+        assert "2 match(es)" in capsys.readouterr().out
+
+
+class TestFormatStat:
+    def test_integral_floats_print_as_ints(self):
+        # the old f"{v:g}" truncated large ints to 1.23457e+08
+        assert _format_stat(123456789.0) == "123456789"
+        assert _format_stat(32.0) == "32"
+        assert _format_stat(0.0) == "0"
+
+    def test_non_integral_floats_keep_full_precision(self):
+        assert _format_stat(0.3333333333333333) == "0.3333333333333333"
+        assert _format_stat(1.5) == "1.5"
+
+    def test_stats_output_has_no_scientific_notation(self, capsys, tmp_path):
+        p = tmp_path / "big.xml"
+        p.write_text(FEED_XML)
+        rc = main(["query", str(p), "-q", "//id", "-e", "seq", "--stats"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for line in out.splitlines():
+            if line.startswith("  "):
+                assert "e+" not in line and "e-" not in line
+
 
 class TestInspectCommand:
     def test_inspect_dtd(self, dtd_file, capsys):
@@ -118,6 +154,61 @@ class TestSpeedupCommand:
         out = capsys.readouterr().out
         assert rc == 0
         assert "pp " in out and "gap " in out and "speedup" in out
+
+
+class TestProfileCommand:
+    def test_timeline_printed(self, feed_file, capsys):
+        rc = main(["profile", feed_file, "-q", "/feed/entry/id", "-n", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "# profile:" in out and "3 chunks" in out
+        assert "# matches: 1 across 1 query(ies)" in out
+        # the timeline table: phases plus one row per chunk
+        assert "span" in out and "dur ms" in out
+        for row in ("split", "parallel", "join", "chunk[0]", "chunk[1]", "chunk[2]"):
+            assert row in out, row
+
+    def test_trace_out_writes_chrome_json(self, feed_file, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        rc = main(["profile", feed_file, "-q", "//id", "--trace-out", str(trace)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"# trace written to {trace}" in out
+        data = json.loads(trace.read_text())
+        events = data["traceEvents"]
+        assert {e["ph"] for e in events} == {"M", "X"}
+        assert any(e["name"].startswith("chunk[") for e in events)
+
+    def test_metrics_out_prometheus_and_json(self, feed_file, tmp_path, capsys):
+        prom = tmp_path / "m.prom"
+        rc = main(["profile", feed_file, "-q", "//id", "--metrics-out", str(prom)])
+        assert rc == 0
+        text = prom.read_text()
+        assert "# TYPE repro_chunks_total counter" in text
+        assert "# TYPE repro_chunk_seconds histogram" in text
+        assert 'repro_matches_total{query="//id"} 2' in text
+
+        mjson = tmp_path / "m.json"
+        rc = main(["profile", feed_file, "-q", "//id", "--metrics-out", str(mjson)])
+        assert rc == 0
+        data = json.loads(mjson.read_text())
+        names = {m["name"] for m in data["metrics"]}
+        assert "repro_chunks_total" in names
+        capsys.readouterr()
+
+    def test_profile_json_document(self, tmp_path, capsys):
+        p = tmp_path / "data.json"
+        p.write_text('{"items": [{"id": 1}, {"id": 2}]}')
+        rc = main(["profile", str(p), "-q", "//id", "-n", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "lex" in out and "chunk[0]" in out
+
+    def test_profile_seq_engine(self, feed_file, capsys):
+        rc = main(["profile", feed_file, "-q", "//id", "-e", "seq"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sequential" in out
 
 
 class TestJsonQueries:

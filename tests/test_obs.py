@@ -1,0 +1,367 @@
+"""Tests for the observability layer: tracer, metrics, exporters, logging."""
+
+from __future__ import annotations
+
+import json
+import logging
+import pickle
+import re
+
+import pytest
+
+from repro import GapEngine, SequentialEngine
+from repro.obs import (
+    MetricsRegistry,
+    NullTracer,
+    Span,
+    Tracer,
+    chrome_trace,
+    chunk_timeline,
+    collect_run_metrics,
+    configure_logging,
+    format_timeline,
+    get_logger,
+)
+from repro.obs.metrics import table_registry
+from repro.obs.tracer import NULL_TRACER
+from repro.parallel import SerialBackend, ThreadBackend
+from repro.parallel.backend import ProcessBackend
+
+from tests.conftest import FEED_DTD, FEED_XML
+
+
+class TestTracer:
+    def test_span_records_duration_and_args(self):
+        tracer = Tracer()
+        with tracer.span("split", n_chunks=4) as sp:
+            sp.args["extra"] = 7
+        assert len(tracer.spans) == 1
+        span = tracer.spans[0]
+        assert span.name == "split"
+        assert span.t1 >= span.t0
+        assert span.duration >= 0.0
+        assert span.args == {"n_chunks": 4, "extra": 7}
+
+    def test_nesting_tracked_by_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        # inner closes first, so it is appended first
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_by_name_and_total(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("lex"):
+                pass
+        assert len(tracer.by_name("lex")) == 3
+        assert tracer.total("lex") == pytest.approx(
+            sum(s.duration for s in tracer.spans)
+        )
+        assert tracer.total("nope") == 0.0
+
+    def test_chunk_spans_sorted_by_lane(self):
+        tracer = Tracer()
+        tracer.extend([
+            Span("chunk[1]", t0=2.0, t1=3.0, cat="chunk", tid=2),
+            Span("join", t0=4.0, t1=5.0, cat="phase", tid=0),
+            Span("chunk[0]", t0=1.0, t1=2.5, cat="chunk", tid=1),
+        ])
+        assert [s.name for s in tracer.chunk_spans()] == ["chunk[0]", "chunk[1]"]
+
+    def test_spans_pickle(self):
+        span = Span("chunk[3]", t0=1.0, t1=2.0, cat="chunk", tid=4,
+                    args={"tokens": 10})
+        clone = pickle.loads(pickle.dumps(span))
+        assert clone == span
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("split", n_chunks=4) as sp:
+            sp.args["tokens"] = 99  # discarded
+        assert tracer.spans == ()
+        assert tracer.by_name("split") == []
+        assert tracer.total("split") == 0.0
+        assert tracer.chunk_spans() == []
+
+    def test_handle_is_shared(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")
+        assert not tracer.enabled
+
+    def test_engine_default_is_null(self):
+        engine = GapEngine(["//id"], grammar=FEED_DTD)
+        assert engine.tracer is NULL_TRACER
+
+
+class TestTracedEngines:
+    QUERIES = ["/feed/entry/id", "//title"]
+
+    def test_traced_run_matches_untraced(self):
+        plain = GapEngine(self.QUERIES, grammar=FEED_DTD)
+        ref = plain.run(FEED_XML, n_chunks=3)
+
+        tracer = Tracer()
+        traced = GapEngine(self.QUERIES, grammar=FEED_DTD, tracer=tracer)
+        res = traced.run(FEED_XML, n_chunks=3)
+
+        # tracing must not perturb results or work accounting
+        assert res.offsets_by_id == ref.offsets_by_id
+        assert res.stats.counters.as_dict() == ref.stats.counters.as_dict()
+        # ... and the untraced engine collected nothing
+        assert plain.tracer.spans == ()
+
+    def test_phase_and_chunk_spans_collected(self):
+        tracer = Tracer()
+        engine = GapEngine(self.QUERIES, grammar=FEED_DTD, tracer=tracer)
+        engine.run(FEED_XML, n_chunks=3)
+        names = {s.name for s in tracer.spans}
+        assert {"infer", "split", "parallel", "join"} <= names
+        chunks = tracer.chunk_spans()
+        assert [s.name for s in chunks] == ["chunk[0]", "chunk[1]", "chunk[2]"]
+        # workers snapshot their counters onto the chunk spans
+        assert all("tokens" in s.args for s in chunks)
+        assert sum(s.args["tokens"] for s in chunks) == \
+            engine.run(FEED_XML, n_chunks=3).stats.counters.total_tokens
+
+    def test_sequential_engine_span(self):
+        tracer = Tracer()
+        engine = SequentialEngine(["//id"], tracer=tracer)
+        engine.run(FEED_XML)
+        (span,) = tracer.by_name("sequential")
+        assert span.args["bytes"] == len(FEED_XML)
+        assert span.args["tokens"] > 0
+
+    def test_learn_span(self):
+        tracer = Tracer()
+        engine = GapEngine(["//id"], tracer=tracer)
+        engine.learn(FEED_XML)
+        (span,) = tracer.by_name("learn")
+        assert span.args["documents"] == 1
+
+    @pytest.mark.parametrize("backend_cls", [SerialBackend, ThreadBackend])
+    def test_worker_spans_merge_across_backends(self, backend_cls):
+        with backend_cls() as backend:
+            tracer = Tracer()
+            engine = GapEngine(self.QUERIES, grammar=FEED_DTD,
+                               backend=backend, tracer=tracer)
+            engine.run(FEED_XML, n_chunks=3)
+        chunks = tracer.chunk_spans()
+        assert len(chunks) == 3
+        # each chunk ran on its own lane (1 + chunk index)
+        assert [s.tid for s in chunks] == [1, 2, 3]
+        # workers nest a lex span inside each chunk span
+        assert len(tracer.by_name("lex")) == 3
+
+    @pytest.mark.slow
+    def test_worker_spans_survive_process_pickling(self):
+        with ProcessBackend(max_workers=2) as backend:
+            tracer = Tracer()
+            engine = GapEngine(self.QUERIES, grammar=FEED_DTD,
+                               backend=backend, tracer=tracer)
+            res = engine.run(FEED_XML, n_chunks=3)
+        chunks = tracer.chunk_spans()
+        assert [s.name for s in chunks] == ["chunk[0]", "chunk[1]", "chunk[2]"]
+        assert all(s.duration > 0 for s in chunks)
+        assert res.total_matches > 0
+
+
+PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"                          # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""     # labels
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"
+    r" (-?\d+(\.\d+)?([eE][-+]?\d+)?|[+-]Inf|NaN)$"       # value
+)
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_x_total", "help text")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_get_or_create_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_tokens_total", mode="stack")
+        b = reg.counter("repro_tokens_total", mode="stack")
+        c = reg.counter("repro_tokens_total", mode="tree")
+        assert a is b and a is not c
+        assert len(reg) == 2
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("repro_x_total")
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad name")
+        with pytest.raises(ValueError):
+            reg.counter("repro_ok", **{"bad-label": "x"})
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_h_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.cumulative_counts() == [1, 3, 4]
+        assert h.count == 5
+        assert h.sum == pytest.approx(56.05)
+        text = reg.to_prometheus()
+        assert 'repro_h_seconds_bucket{le="+Inf"} 5' in text
+        assert "repro_h_seconds_count 5" in text
+
+    def test_prometheus_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total", "a help", mode="stack").inc(3)
+        reg.gauge("repro_g", "g help").set(1.5)
+        reg.histogram("repro_h_seconds", buckets=(1.0,)).observe(0.5)
+        text = reg.to_prometheus()
+        assert text.endswith("\n")
+        lines = text.strip().split("\n")
+        assert "# HELP repro_a_total a help" in lines
+        assert "# TYPE repro_a_total counter" in lines
+        assert "# TYPE repro_h_seconds histogram" in lines
+        assert 'repro_a_total{mode="stack"} 3' in lines
+        assert "repro_g 1.5" in lines
+        for line in lines:
+            if line.startswith("#"):
+                continue
+            assert PROM_SAMPLE.match(line), line
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_m_total", query='//a[b="x"]').inc()
+        text = reg.to_prometheus()
+        assert 'query="//a[b=\\"x\\"]"' in text
+
+    def test_to_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total", "a help").inc(2)
+        reg.histogram("repro_h_seconds", buckets=(1.0,)).observe(0.5)
+        data = json.loads(json.dumps(reg.to_json()))
+        by_name = {m["name"]: m for m in data["metrics"]}
+        assert by_name["repro_a_total"]["value"] == 2
+        assert by_name["repro_a_total"]["type"] == "counter"
+        assert by_name["repro_h_seconds"]["count"] == 1
+        assert by_name["repro_h_seconds"]["buckets"] == {"1": 1}
+
+    def test_collect_run_metrics(self):
+        tracer = Tracer()
+        engine = GapEngine(["//id"], grammar=FEED_DTD, tracer=tracer)
+        res = engine.run(FEED_XML, n_chunks=3)
+        reg = collect_run_metrics(res.stats, matches=res.matches,
+                                  spans=tracer.spans)
+        samples = {
+            (m.name, tuple(sorted(m.labels.items()))): m for m in reg
+        }
+        tokens = (
+            samples[("repro_tokens_total", (("mode", "stack"),))].value
+            + samples[("repro_tokens_total", (("mode", "tree"),))].value
+        )
+        assert tokens == res.stats.counters.total_tokens
+        assert samples[("repro_chunks_total", ())].value == 3
+        assert samples[("repro_matches_total", (("query", "//id"),))].value == \
+            res.count("//id")
+        hist = samples[("repro_chunk_seconds", ())]
+        assert hist.count == 3
+        text = reg.to_prometheus()
+        assert 'repro_phase_seconds_total{phase="join"}' in text
+
+    def test_table_registry(self):
+        reg = table_registry("tab5", ["workload", "pp", "gap"],
+                             [["single XM", 9.2, 1.4], ["note", "n/a", 2.1]])
+        text = reg.to_prometheus()
+        assert 'repro_bench_value{artifact="tab5",col="pp",row="single XM"} 9.2' in text
+        # non-numeric cells are skipped
+        assert '"n/a"' not in text
+        assert 'col="gap",row="note"} 2.1' in text
+
+
+class TestChromeTrace:
+    def _spans(self):
+        return [
+            Span("split", t0=10.0, t1=10.5, cat="phase", tid=0),
+            Span("chunk[0]", t0=10.5, t1=11.0, cat="chunk", tid=1,
+                 args={"tokens": 42}),
+        ]
+
+    def test_schema(self):
+        doc = chrome_trace(self._spans())
+        data = json.loads(json.dumps(doc))  # must be JSON-serializable
+        events = data["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert {e["args"]["name"] for e in meta} == {"driver", "worker-0"}
+        assert len(slices) == 2
+        for e in slices:
+            assert set(e) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+            assert isinstance(e["ts"], (int, float))
+            assert isinstance(e["dur"], (int, float))
+        by_name = {e["name"]: e for e in slices}
+        # timestamps are microseconds relative to the earliest span
+        assert by_name["split"]["ts"] == 0
+        assert by_name["split"]["dur"] == pytest.approx(0.5e6)
+        assert by_name["chunk[0]"]["ts"] == pytest.approx(0.5e6)
+        assert by_name["chunk[0]"]["args"] == {"tokens": 42}
+
+    def test_empty_spans(self):
+        assert chrome_trace([]) == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def test_timeline_table(self):
+        headers, rows = chunk_timeline(self._spans())
+        assert headers[0] == "span"
+        assert [r[0] for r in rows] == ["split", "chunk[0]"]
+        assert rows[1][3] == 42  # tokens column
+        text = format_timeline(self._spans())
+        assert "chunk[0]" in text and "tokens" in text
+
+    def test_timeline_indents_nested_spans(self):
+        spans = [
+            Span("chunk[0]", t0=0.0, t1=1.0, cat="chunk", tid=1),
+            Span("lex", t0=0.1, t1=0.4, cat="phase", tid=1, depth=1),
+        ]
+        _, rows = chunk_timeline(spans)
+        assert rows[1][0] == "  lex"
+
+
+class TestLogging:
+    def test_package_logger_has_null_handler(self):
+        handlers = logging.getLogger("repro").handlers
+        assert any(isinstance(h, logging.NullHandler) for h in handlers)
+
+    def test_configure_logging_and_debug_events(self):
+        import io
+
+        stream = io.StringIO()
+        logger = logging.getLogger("repro")
+        old_level = logger.level
+        handler = configure_logging("DEBUG", stream=stream)
+        try:
+            for query in ("//id", "/feed/entry/id", "//title"):
+                engine = GapEngine([query], grammar=FEED_DTD)
+                engine.run(FEED_XML, n_chunks=4)
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(old_level)
+        out = stream.getvalue()
+        assert "scenario-" in out  # path-elimination events logged
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("CHATTY")
+
+    def test_get_logger_namespacing(self):
+        assert get_logger("transducer.join").name == "repro.transducer.join"
