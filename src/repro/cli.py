@@ -34,7 +34,10 @@ Five commands mirror the library's workflow:
 ``--trace`` (print a span summary), ``--trace-out FILE``,
 ``--metrics-out FILE`` (Prometheus text, or JSON when FILE ends with
 ``.json``), ``--log-level LEVEL`` and ``--backend
-{serial,thread,process}``.
+{serial,thread,process}`` — plus the resilience flags
+``--chunk-timeout``, ``--max-retries`` and ``--inject-faults`` (see
+``docs/ROBUSTNESS.md``): giving any of them supervises the parallel
+phase with per-chunk timeouts, bounded retries and a serial fallback.
 """
 
 from __future__ import annotations
@@ -90,6 +93,7 @@ def _build_parser() -> argparse.ArgumentParser:
     q.add_argument("--text", action="store_true", help="decode matched elements' text")
     q.add_argument("--stats", action="store_true", help="print execution statistics")
     _add_obs_args(q)
+    _add_resilience_args(q)
     q.set_defaults(func=_cmd_query)
 
     i = sub.add_parser("inspect", help="show grammar/automaton/feasible-table info")
@@ -111,6 +115,7 @@ def _build_parser() -> argparse.ArgumentParser:
     s.add_argument("-s", "--scale", type=float, default=10.0)
     s.add_argument("-c", "--cores", type=int, default=20)
     _add_obs_args(s)
+    _add_resilience_args(s)
     s.set_defaults(func=_cmd_speedup)
 
     p = sub.add_parser("profile", help="run a query traced; print a per-chunk timeline")
@@ -123,8 +128,42 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--learn", action="append", default=[], metavar="FILE",
                    help="prior document(s) to learn a partial grammar from (speculative mode)")
     _add_obs_args(p)
+    _add_resilience_args(p)
     p.set_defaults(func=_cmd_profile)
     return parser
+
+
+def _add_resilience_args(p: argparse.ArgumentParser) -> None:
+    """The shared resilience flags (query / speedup / profile).
+
+    Supervision engages when any of the three is given; all-defaults
+    runs keep the unsupervised fast path.
+    """
+    p.add_argument("--chunk-timeout", type=float, metavar="SECONDS",
+                   help="per-attempt deadline for one chunk (default 5.0 when "
+                        "supervision is on; a hung chunk blocks at most "
+                        "chunk-timeout x (max-retries + 1))")
+    p.add_argument("--max-retries", type=int, metavar="N",
+                   help="retry attempts per failed chunk before the serial "
+                        "fallback (default 2 when supervision is on)")
+    p.add_argument("--inject-faults", metavar="SPEC",
+                   help="deterministic fault injection for chunk workers, e.g. "
+                        "'chunk:2:raise,chunk:4:hang' (see docs/ROBUSTNESS.md; "
+                        "also readable from the REPRO_FAULTS environment variable)")
+
+
+def _resilience_from_args(args: argparse.Namespace):
+    """Build the (RetryPolicy | None, fault spec | None) pair for a command."""
+    if (args.chunk_timeout is None and args.max_retries is None
+            and args.inject_faults is None):
+        return None, None
+    from .parallel import RetryPolicy
+
+    policy = RetryPolicy(
+        max_retries=2 if args.max_retries is None else args.max_retries,
+        chunk_timeout=5.0 if args.chunk_timeout is None else args.chunk_timeout,
+    )
+    return policy, args.inject_faults
 
 
 def _add_obs_args(p: argparse.ArgumentParser) -> None:
@@ -211,11 +250,13 @@ def _obs_emit(args: argparse.Namespace, tracer, registry: MetricsRegistry | None
 
 def _build_query_engine(args: argparse.Namespace, content: str, as_json: bool, tracer):
     """Construct the engine the query/profile commands share."""
+    resilience, faults = _resilience_from_args(args)
     if args.engine == "seq":
         return SequentialEngine(args.queries, backend=args.backend, tracer=tracer)
     if args.engine == "pp":
         return PPTransducerEngine(
-            args.queries, n_chunks=args.chunks, backend=args.backend, tracer=tracer
+            args.queries, n_chunks=args.chunks, backend=args.backend, tracer=tracer,
+            resilience=resilience, faults=faults,
         )
     grammar = None
     if args.grammar:
@@ -225,6 +266,7 @@ def _build_query_engine(args: argparse.Namespace, content: str, as_json: bool, t
     engine = GapEngine(
         args.queries, grammar=grammar, n_chunks=args.chunks,
         backend=args.backend, tracer=tracer,
+        resilience=resilience, faults=faults,
     )
     for prior in args.learn:
         prior_text = _read(prior)
@@ -338,14 +380,17 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
           f"{args.cores} simulated cores")
 
     registry = MetricsRegistry() if args.metrics_out else None
+    resilience, faults = _resilience_from_args(args)
     with SequentialEngine(queries, tracer=tracer) as seq_engine:
         seq = seq_engine.run(xml)
     cluster = SimulatedCluster(args.cores)
     for name, engine in (
         ("pp", PPTransducerEngine(queries, n_chunks=args.cores,
-                                  backend=args.backend, tracer=tracer)),
+                                  backend=args.backend, tracer=tracer,
+                                  resilience=resilience, faults=faults)),
         ("gap", GapEngine(queries, grammar=ds.grammar, n_chunks=args.cores,
-                          backend=args.backend, tracer=tracer)),
+                          backend=args.backend, tracer=tracer,
+                          resilience=resilience, faults=faults)),
     ):
         with engine:
             res = engine.run(xml)

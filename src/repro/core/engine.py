@@ -38,6 +38,8 @@ from ..grammar.xsd_parser import is_xsd, parse_xsd
 from ..grammar.syntax_tree import StaticSyntaxTree, build_syntax_tree
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..parallel.backend import Backend, get_backend
+from ..parallel.faults import FaultPlane, parse_fault_spec
+from ..parallel.resilience import RetryPolicy
 from ..transducer.pipeline import (
     ParallelPipeline,
     ParallelRunResult,
@@ -121,6 +123,15 @@ class _EngineBase:
     wall-clock spans for every run; the default
     :data:`~repro.obs.tracer.NULL_TRACER` records nothing at
     effectively zero cost.
+
+    ``resilience`` is a :class:`~repro.parallel.resilience.RetryPolicy`
+    supervising the parallel phase (per-chunk timeout, bounded retry,
+    serial fallback); ``None`` (the default) runs unsupervised.
+    ``faults`` is a :class:`~repro.parallel.faults.FaultPlane` or spec
+    string injecting deterministic faults into chunk workers — the
+    testing plane the resilience layer recovers from.  Both are
+    accepted on every engine for uniform construction; the sequential
+    engine has no parallel phase and ignores them.
     """
 
     def __init__(
@@ -129,6 +140,8 @@ class _EngineBase:
         backend: Backend | str | None = None,
         minimize: bool = False,
         tracer: Tracer | None = None,
+        resilience: RetryPolicy | None = None,
+        faults: FaultPlane | str | None = None,
     ) -> None:
         if not queries:
             raise EngineError("at least one query is required")
@@ -139,6 +152,8 @@ class _EngineBase:
         self._owns_backend = isinstance(backend, str)
         self.backend = get_backend(backend) if isinstance(backend, str) else backend
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.resilience = resilience
+        self.faults = parse_fault_spec(faults) if isinstance(faults, str) else faults
 
     def close(self) -> None:
         """Release the engine's backend pool, if the engine owns one.
@@ -297,12 +312,16 @@ class PPTransducerEngine(_EngineBase):
         backend: Backend | str | None = None,
         minimize: bool = False,
         tracer: Tracer | None = None,
+        resilience: RetryPolicy | None = None,
+        faults: FaultPlane | str | None = None,
     ) -> None:
-        super().__init__(queries, backend, minimize=minimize, tracer=tracer)
+        super().__init__(queries, backend, minimize=minimize, tracer=tracer,
+                         resilience=resilience, faults=faults)
         self.n_chunks = n_chunks
         self.policy = BaselinePolicy(self.automaton)
         self._pipeline = ParallelPipeline(
-            self.automaton, self.policy, self.anchor_sids, self.backend, self.tracer
+            self.automaton, self.policy, self.anchor_sids, self.backend, self.tracer,
+            resilience=self.resilience, faults=self.faults,
         )
 
     def run(self, text: str, n_chunks: int | None = None) -> QueryResult:
@@ -359,8 +378,11 @@ class GapEngine(_EngineBase):
         backend: Backend | str | None = None,
         minimize: bool = False,
         tracer: Tracer | None = None,
+        resilience: RetryPolicy | None = None,
+        faults: FaultPlane | str | None = None,
     ) -> None:
-        super().__init__(queries, backend, minimize=minimize, tracer=tracer)
+        super().__init__(queries, backend, minimize=minimize, tracer=tracer,
+                         resilience=resilience, faults=faults)
         if mode not in ("auto", "nonspec", "spec"):
             raise EngineError(f"unknown mode {mode!r} (expected auto/nonspec/spec)")
         self.n_chunks = n_chunks
@@ -439,7 +461,8 @@ class GapEngine(_EngineBase):
             switch_to_stack=self.switch_to_stack,
         )
         return ParallelPipeline(
-            self.automaton, policy, self.anchor_sids, self.backend, self.tracer
+            self.automaton, policy, self.anchor_sids, self.backend, self.tracer,
+            resilience=self.resilience, faults=self.faults,
         )
 
     def run(

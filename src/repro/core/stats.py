@@ -93,4 +93,7 @@ class RunStats:
             "reprocessing_cost": self.reprocessing_cost,
             "degraded_lookups": float(self.counters.degraded_lookups),
             "mapping_entries": float(self.counters.mapping_entries),
+            "retries": float(self.counters.retries),
+            "timeouts": float(self.counters.timeouts),
+            "fallbacks": float(self.counters.fallbacks),
         }

@@ -303,6 +303,12 @@ def collect_run_metrics(
     reg.counter("repro_misspeculations_total",
                 "Join-time misspeculations detected").inc(c.misspeculations)
     reg.counter("repro_join_steps_total", "Join-phase linking steps").inc(c.join_steps)
+    reg.counter("repro_retries_total",
+                "Chunk attempts re-scheduled by the resilience layer").inc(c.retries)
+    reg.counter("repro_timeouts_total",
+                "Chunk attempts that exceeded the chunk timeout").inc(c.timeouts)
+    reg.counter("repro_fallbacks_total",
+                "Chunks re-executed on the serial fallback").inc(c.fallbacks)
     reg.gauge("repro_mapping_entries", "Mapping entries at chunk completion").set(c.mapping_entries)
     reg.gauge("repro_avg_starting_paths",
               "Average starting execution paths per chunk (Table 5)").set(stats.avg_starting_paths)
@@ -321,6 +327,13 @@ def collect_run_metrics(
                 reg.histogram("repro_chunk_seconds",
                               "Wall-clock duration of one chunk's parallel-phase work"
                               ).observe(span.duration)
+        elif span.cat == "resilience":
+            # retry[i] / fallback[i] spans aggregate per kind, not per
+            # chunk — chunk indexes would be unbounded label cardinality
+            kind = span.name.split("[", 1)[0]
+            reg.counter("repro_resilience_seconds_total",
+                        "Wall-clock time spent in recovery, by kind",
+                        kind=kind).inc(span.duration)
         else:
             reg.counter("repro_phase_seconds_total",
                         "Wall-clock time spent per pipeline phase",

@@ -62,6 +62,12 @@ class WorkCounters:
     mapping_entries: int = 0
     #: join-phase linking steps
     join_steps: int = 0
+    #: chunk attempts re-scheduled by the resilience layer
+    retries: int = 0
+    #: chunk attempts that exceeded the chunk timeout
+    timeouts: int = 0
+    #: chunks re-executed on the serial fallback after retries ran out
+    fallbacks: int = 0
 
     def merge(self, other: "WorkCounters") -> None:
         """Add ``other`` into ``self`` (workers → run totals)."""

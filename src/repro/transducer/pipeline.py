@@ -22,10 +22,12 @@ the PP-Transducer (Ogden et al., VLDB'13); with the GAP policies from
 from __future__ import annotations
 
 from bisect import bisect_left
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..parallel.backend import Backend, SerialBackend
+from ..parallel.faults import FaultPlane, NO_FAULTS, apply_faults, parse_fault_spec
+from ..parallel.resilience import ResilienceReport, RetryPolicy, supervised_map
 from ..xpath.automaton import QueryAutomaton
 from ..xpath.events import MatchEvent
 from ..xmlstream.chunking import Chunk, split_chunks
@@ -64,6 +66,10 @@ class _Ctx:
     #: record per-worker spans (lex + chunk) and ship them back in the
     #: ChunkResult; False keeps the untraced path byte-for-byte intact
     trace: bool = False
+    #: fault-injection plane applied inside the worker body; ``None``
+    #: still honours ``REPRO_FAULTS``, ``NO_FAULTS`` disables injection
+    #: entirely (the resilience fallback runs with the latter)
+    faults: FaultPlane | None = None
 
 
 def _skip_leading_end(tokens, begin: int):
@@ -75,13 +81,17 @@ def _skip_leading_end(tokens, begin: int):
     yield from it
 
 
-def _run_one_chunk(ctx: _Ctx, chunk: Chunk) -> ChunkResult:
+def _run_one_chunk(ctx: _Ctx, chunk: Chunk, attempt: int = 0) -> ChunkResult:
     """Worker body: lex and execute one chunk (module-level: picklable)."""
+    corrupt = apply_faults(ctx.faults, chunk.index, attempt)
     runner = ChunkRunner(ctx.automaton, ctx.policy, ctx.anchor_sids)
     start = frozenset((ctx.automaton.initial,)) if chunk.index == 0 else None
     if not ctx.trace:
         tokens = lex_range(ctx.text, chunk.begin, chunk.end)
-        return runner.run_chunk(tokens, chunk.index, chunk.begin, chunk.end, start_states=start)
+        result = runner.run_chunk(
+            tokens, chunk.index, chunk.begin, chunk.end, start_states=start
+        )
+        return _corrupt_result(result) if corrupt else result
 
     # traced path: one lane per worker; lexing is materialised so the
     # lex span measures tokenisation separately from transduction
@@ -95,7 +105,44 @@ def _run_one_chunk(ctx: _Ctx, chunk: Chunk) -> ChunkResult:
         )
         _snapshot_chunk_counters(sp, result.counters)
     result.spans = tracer.spans
+    return _corrupt_result(result) if corrupt else result
+
+
+def _run_one_chunk_attempt(ctx: _Ctx, work: tuple[Chunk, int]) -> ChunkResult:
+    """Supervised worker body: ``work`` carries the attempt number.
+
+    The attempt rides with the item (rather than living in driver-side
+    state) so fault rules keyed on it behave identically in-process and
+    across a process pool's pickling boundary.
+    """
+    chunk, attempt = work
+    return _run_one_chunk(ctx, chunk, attempt)
+
+
+def _corrupt_result(result: ChunkResult) -> ChunkResult:
+    """Mangle a chunk result the way a ``corrupt`` fault promises.
+
+    The damage is chosen to be *detectable* by
+    :func:`_validate_chunk_result` — a wrong chunk identity and a
+    missing mapping — mimicking a worker that replied out of protocol.
+    """
+    result.index = -result.index - 1
+    result.cohorts = []
     return result
+
+
+def _validate_chunk_result(result: object, chunk: Chunk) -> str | None:
+    """Mapping-completeness check for one chunk result (``None`` = ok)."""
+    if not isinstance(result, ChunkResult):
+        return f"expected a ChunkResult, got {type(result).__name__}"
+    if result.index != chunk.index:
+        return f"chunk index mismatch (got {result.index}, expected {chunk.index})"
+    if (result.begin, result.end) != (chunk.begin, chunk.end):
+        return (f"chunk range mismatch (got [{result.begin}, {result.end}), "
+                f"expected [{chunk.begin}, {chunk.end}))")
+    if result.main is None:
+        return "result carries no main cohort (empty mapping)"
+    return None
 
 
 def _snapshot_chunk_counters(span, counters: WorkCounters) -> None:
@@ -110,7 +157,17 @@ def _snapshot_chunk_counters(span, counters: WorkCounters) -> None:
 
 
 class ParallelPipeline:
-    """Reusable split/parallel/join driver for one automaton + policy."""
+    """Reusable split/parallel/join driver for one automaton + policy.
+
+    ``resilience`` turns on chunk-level supervision of the parallel
+    phase (per-attempt timeout, bounded retry with backoff, serial
+    fallback — see :mod:`repro.parallel.resilience`); ``faults`` is a
+    :class:`~repro.parallel.faults.FaultPlane` (or spec string) injected
+    into the chunk workers.  With supervision on, the join also accepts
+    an incomplete mapping by falling back to the selective-reprocessing
+    recovery path instead of raising, so a degraded chunk costs
+    re-execution of (at most) itself, never its siblings.
+    """
 
     def __init__(
         self,
@@ -119,12 +176,16 @@ class ParallelPipeline:
         anchor_sids: frozenset[int] = frozenset(),
         backend: Backend | None = None,
         tracer: Tracer | None = None,
+        resilience: RetryPolicy | None = None,
+        faults: FaultPlane | str | None = None,
     ) -> None:
         self.automaton = automaton
         self.policy = policy
         self.anchor_sids = anchor_sids
         self.backend = backend or SerialBackend()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.resilience = resilience
+        self.faults = parse_fault_spec(faults) if isinstance(faults, str) else faults
 
     def run_tokens(self, tokens: list, n_chunks: int) -> ParallelRunResult:
         """Execute the three phases over a materialised token list.
@@ -215,9 +276,20 @@ class ParallelPipeline:
             chunks = split_chunks(text, n_chunks)
             sp.args["n_chunks"] = len(chunks)
         ctx = _Ctx(text, self.automaton, self.policy, self.anchor_sids,
-                   trace=tracer.enabled)
+                   trace=tracer.enabled, faults=self.faults)
+        report: ResilienceReport | None = None
         with tracer.span("parallel", cat="phase"):
-            results = self.backend.map_with_context(ctx, _run_one_chunk, chunks)
+            if self.resilience is not None:
+                fallback_ctx = replace(ctx, faults=NO_FAULTS)
+                results, report = supervised_map(
+                    self.backend, ctx, _run_one_chunk_attempt, chunks,
+                    self.resilience,
+                    validate=_validate_chunk_result,
+                    fallback=lambda chunk: _run_one_chunk(fallback_ctx, chunk),
+                    tracer=tracer,
+                )
+            else:
+                results = self.backend.map_with_context(ctx, _run_one_chunk, chunks)
 
         totals = WorkCounters()
         per_chunk: list[WorkCounters] = []
@@ -226,6 +298,10 @@ class ParallelPipeline:
             totals.merge(r.counters)
             if r.spans:
                 tracer.extend(r.spans)
+        if report is not None:
+            totals.retries += report.retries
+            totals.timeouts += report.timeouts
+            totals.fallbacks += report.fallbacks
 
         def reprocess(begin: int, end: int, state: int, stack: list[int], skip_end: bool):
             with tracer.span("reprocess", cat="phase") as sp:
@@ -244,7 +320,10 @@ class ParallelPipeline:
                 sp.args.update(begin=begin, end=end, tokens=sub_counters.stack_tokens)
             return res.state, res.stack, res.events, sub_counters.stack_tokens
 
-        strict = not self.policy.speculative
+        # supervision relaxes the strict join: an incomplete mapping is
+        # then recovered by targeted reprocessing (the speculative
+        # machinery) rather than failing the whole run
+        strict = not self.policy.speculative and self.resilience is None
         with tracer.span("join", cat="phase") as sp:
             state, _stack, events = join_results(
                 (self.automaton.initial, [], []), results, reprocess, totals, strict=strict

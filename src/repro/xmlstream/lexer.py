@@ -127,9 +127,10 @@ def lex_range(text: str, start: int, end: int) -> Iterator[Token]:
 def iter_tag_offsets(text: str, start: int = 0) -> Iterator[int]:
     """Yield offsets of top-level ``<`` characters from ``start`` on.
 
-    Offsets inside comments, CDATA sections, processing instructions and
-    the DOCTYPE declaration are skipped — those are positions a chunk
-    boundary must not land on.  Used by the split phase.
+    Offsets inside comments, CDATA sections, processing instructions,
+    the DOCTYPE declaration and quoted attribute values are skipped —
+    those are positions a chunk boundary must not land on.  Used by the
+    split phase.
     """
     i = start
     n = len(text)
@@ -145,7 +146,14 @@ def iter_tag_offsets(text: str, start: int = 0) -> Iterator[int]:
             i = n if close == -1 else close + 2
         else:
             yield i
-            i += 1
+            if nxt == "/":
+                close = text.find(">", i + 2)
+                i = n if close == -1 else close + 1
+            else:
+                # skip the whole tag: a quoted attribute value may
+                # contain '<', which must not become a boundary
+                k = _skip_attributes(text, _name_end(text, i + 1))
+                i = k + 1 if k < n else n
 
 
 def _name_end(text: str, i: int) -> int:

@@ -1,0 +1,167 @@
+"""Chunk-boundary edge cases: cuts that must never happen, splits that must.
+
+The split phase's contract is that every interior chunk boundary is the
+offset of a *real* top-level tag, so per-chunk lexing partitions the
+sequential token stream.  The documents here concentrate everything
+that can defeat a naive ``find('<')``: ``>`` and ``<`` inside quoted
+attribute values, fake tags inside comments and CDATA sections,
+processing instructions, a DOCTYPE prolog with an internal subset, and
+documents so small that most requested chunks collapse to empty.
+
+For each tiny document the partition property is checked over *every*
+split the boundary set admits: each single interior boundary, every
+contiguous prefix, the finest split (all boundaries at once), and every
+requested chunk count from 1 to beyond the tag count.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import GapEngine, PPTransducerEngine, SequentialEngine
+from repro.xmlstream import iter_tag_offsets, lex, lex_range
+from repro.xmlstream.chunking import Chunk, split_at_offsets, split_chunks
+
+#: name -> document; each one hides at least one '<' or '>' where a
+#: boundary must not land
+NASTY_DOCS = {
+    "comment-with-angles": '<a><!-- x > y < z --><b>t</b></a>',
+    "cdata-fake-tags": '<a><![CDATA[ <fake>text</fake> ]]><b>t</b></a>',
+    "attr-gt": '<a><b attr="x>y">t</b></a>',
+    "attr-lt-single-quote": "<a><b attr='<z>'>t</b><c>u</c></a>",
+    "attr-lt-double-quote": '<a><b attr="</b><b>">t</b><c>u</c></a>',
+    "empty-cdata": "<a><![CDATA[]]><b/></a>",
+    "comments-everywhere": "<a><!--c--><b><!--c-->t</b><!--c--></a>",
+    "processing-instruction": "<a><?pi data?><b>t</b></a>",
+    "self-closing-run": "<a><b/><c/><b/></a>",
+    "doctype-prolog": ("<?xml version='1.0'?>"
+                       "<!DOCTYPE a [ <!ELEMENT a (b*)> <!ELEMENT b (#PCDATA)> ]>"
+                       "<a><b>t</b></a>"),
+}
+
+DOC_PARAMS = pytest.mark.parametrize(
+    "xml", list(NASTY_DOCS.values()), ids=list(NASTY_DOCS))
+
+#: complete grammar for the tag vocabulary of every nasty document
+NASTY_DTD = """<!DOCTYPE a [
+  <!ELEMENT a (b|c)*>
+  <!ELEMENT b (#PCDATA)>
+  <!ELEMENT c (#PCDATA)>
+]>"""
+
+QUERIES = ["/a/b", "//c", "//*"]
+
+
+def _interior(xml: str) -> list[int]:
+    return [o for o in iter_tag_offsets(xml) if o > 0]
+
+
+def _splits(xml: str):
+    """Every boundary selection the partition property must survive."""
+    interior = _interior(xml)
+    yield from ([b] for b in interior)                       # each cut alone
+    yield from (interior[:k] for k in range(2, len(interior) + 1))  # prefixes
+    if len(interior) > 1:
+        yield interior                                       # finest split
+        yield from ([a, b] for a, b in itertools.combinations(interior, 2))
+
+
+class TestBoundaryPlacement:
+    @DOC_PARAMS
+    def test_offsets_are_exactly_the_tag_offsets(self, xml):
+        """Every yielded offset starts a real tag — no offset inside a
+        comment, CDATA section, PI, DOCTYPE or attribute value — and no
+        real tag is missed."""
+        tag_offsets = sorted({t.offset for t in lex(xml) if not t.is_text})
+        assert list(iter_tag_offsets(xml)) == tag_offsets
+
+    @DOC_PARAMS
+    def test_every_split_partitions_the_token_stream(self, xml):
+        sequential = list(lex(xml))
+        for boundaries in _splits(xml):
+            edges = [0, *boundaries, len(xml)]
+            parts = []
+            for a, b in zip(edges, edges[1:]):
+                parts.extend(lex_range(xml, a, b))
+            assert parts == sequential, boundaries
+
+    @DOC_PARAMS
+    def test_split_chunks_all_counts(self, xml):
+        sequential = list(lex(xml))
+        for n_chunks in range(1, len(list(iter_tag_offsets(xml))) + 3):
+            chunks = split_chunks(xml, n_chunks)
+            assert chunks[0].begin == 0 and chunks[-1].end == len(xml)
+            parts = []
+            for prev, cur in zip(chunks, chunks[1:]):
+                assert prev.end == cur.begin  # contiguous, gap-free
+            for c in chunks:
+                assert len(c) > 0             # empty chunks collapse instead
+                parts.extend(lex_range(xml, c.begin, c.end))
+            assert [c.index for c in chunks] == list(range(len(chunks)))
+            assert parts == sequential, n_chunks
+
+
+class TestEngineAgreementOnNastyDocs:
+    @DOC_PARAMS
+    def test_all_engines_all_chunk_counts(self, xml):
+        seq = SequentialEngine(QUERIES).run(xml)
+        pp_engine = PPTransducerEngine(QUERIES)
+        gap_engine = GapEngine(QUERIES, grammar=NASTY_DTD)
+        for n_chunks in range(1, len(list(iter_tag_offsets(xml))) + 3):
+            assert pp_engine.run(xml, n_chunks=n_chunks).offsets_by_id == \
+                seq.offsets_by_id, ("pp", n_chunks)
+            assert gap_engine.run(xml, n_chunks=n_chunks).offsets_by_id == \
+                seq.offsets_by_id, ("gap", n_chunks)
+
+
+class TestSplitValidation:
+    def test_rejects_nonpositive_chunk_count(self):
+        with pytest.raises(ValueError):
+            split_chunks("<a/>", 0)
+
+    def test_empty_document_yields_no_chunks(self):
+        assert split_chunks("", 4) == []
+
+    def test_single_chunk_covers_everything(self):
+        xml = NASTY_DOCS["attr-lt-single-quote"]
+        assert split_chunks(xml, 1) == [Chunk(0, 0, len(xml))]
+
+    @pytest.mark.parametrize("boundaries", [
+        [5, 5],       # not strictly increasing
+        [7, 3],       # decreasing
+        [0, 4],       # touches the left edge
+        [4, 10],      # touches the right edge
+    ])
+    def test_split_at_offsets_rejects_bad_boundaries(self, boundaries):
+        with pytest.raises(ValueError):
+            split_at_offsets(10, boundaries)
+
+    def test_split_at_offsets_empty_boundaries(self):
+        assert split_at_offsets(10, []) == [Chunk(0, 0, 10)]
+
+    def test_more_chunks_than_tags_collapses(self):
+        xml = "<a><b/></a>"
+        chunks = split_chunks(xml, 64)
+        assert 1 <= len(chunks) <= 3
+        assert all(len(c) > 0 for c in chunks)
+
+
+class TestMidConstructCutsAreImpossible:
+    """Explicit negatives: the offsets a boundary must never take."""
+
+    @pytest.mark.parametrize("name,bad_substring", [
+        ("comment-with-angles", "<!--"),
+        ("cdata-fake-tags", "<![CDATA["),
+        ("attr-lt-single-quote", "'<z>'"),
+        ("attr-lt-double-quote", '"</b><b>"'),
+        ("processing-instruction", "<?pi"),
+        ("doctype-prolog", "<!DOCTYPE"),
+    ])
+    def test_no_boundary_inside_construct(self, name, bad_substring):
+        xml = NASTY_DOCS[name]
+        lo = xml.index(bad_substring)
+        hi = lo + len(bad_substring)
+        for offset in iter_tag_offsets(xml):
+            assert not (lo < offset < hi), (offset, bad_substring)

@@ -1,0 +1,197 @@
+"""Differential test oracle: engines vs the Python standard library.
+
+Every other correctness test in the suite ultimately compares the
+engines against this repo's *own* DOM oracle
+(:func:`repro.xpath.evaluate_offsets`) — a shared-fate oracle.  This
+suite cross-checks against an independent implementation:
+``xml.etree.ElementTree``'s XPath subset (lxml is not available in the
+test image).
+
+Method: random small documents are generated from random DTD-shaped
+grammars (and from partial grammars sampled via
+:func:`repro.grammar.sample_partial_grammar` for the speculative
+engine), random structural queries are drawn from the subset both
+sides support — element names, ``*``, ``/``, ``//``, and child-axis
+existence predicates ``[tag]`` — and the match sets must agree across
+chunk counts 1, 2 and 7.
+
+Element identity across the two implementations is the element's
+document-order ordinal: the engines report start-tag byte offsets
+(ranked via the lexer's start-token order), ElementTree reports element
+objects (ranked via ``iter()`` under a synthetic wrapper root, which
+also makes absolute queries expressible — ``/a/b`` becomes ``./a/b``
+relative to the wrapper).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import GapEngine, PPTransducerEngine, SequentialEngine
+from repro.datasets import DocumentGenerator
+from repro.grammar import Grammar, sample_partial_grammar
+from repro.parallel import RetryPolicy
+from repro.xmlstream import lex
+
+from tests.conftest import FEED_DTD, FEED_XML
+from tests.test_properties import grammars
+
+#: the chunk counts the issue pins down: degenerate, minimal, and a
+#: count that does not divide typical document sizes evenly
+CHUNK_COUNTS = (1, 2, 7)
+
+MODERATE = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+# ---------------------------------------------------------------------------
+# the stdlib oracle
+# ---------------------------------------------------------------------------
+
+
+def et_oracle(xml: str, query: str) -> set[int]:
+    """Evaluate ``query`` over ``xml`` with ElementTree.
+
+    Returns the document-order ordinals of the matched elements.  The
+    document is parsed under a synthetic wrapper root so absolute
+    queries translate directly: ``/a`` → ``./a``, ``//a`` → ``.//a``
+    (ElementTree forbids a bare leading ``//``).
+    """
+    wrapper = ET.fromstring(f"<et_wrap>{xml}</et_wrap>")
+    ordinal = {id(el): i for i, el in enumerate(wrapper.iter()) if el is not wrapper}
+    # wrapper.iter() yields the wrapper first: shift ordinals down by one
+    ordinal = {k: v - 1 for k, v in ordinal.items()}
+    return {ordinal[id(el)] for el in wrapper.findall("." + query)}
+
+
+def engine_ordinals(xml: str, offsets: list[int]) -> set[int]:
+    """Map an engine's start-tag byte offsets to document-order ordinals."""
+    rank = {tok.offset: i for i, tok in enumerate(t for t in lex(xml) if t.is_start)}
+    return {rank[off] for off in offsets}
+
+
+def assert_engines_match_oracle(xml: str, queries_list: list[str],
+                                grammar: Grammar | None = None,
+                                partial: Grammar | None = None) -> None:
+    expected = {q: et_oracle(xml, q) for q in queries_list}
+
+    seq = SequentialEngine(queries_list).run(xml)
+    for q in queries_list:
+        assert engine_ordinals(xml, seq.matches[q]) == expected[q], (q, "seq")
+
+    for n_chunks in CHUNK_COUNTS:
+        pp = PPTransducerEngine(queries_list).run(xml, n_chunks=n_chunks)
+        for q in queries_list:
+            assert engine_ordinals(xml, pp.matches[q]) == expected[q], (q, "pp", n_chunks)
+        gap = GapEngine(queries_list, grammar=grammar).run(xml, n_chunks=n_chunks)
+        for q in queries_list:
+            assert engine_ordinals(xml, gap.matches[q]) == expected[q], (q, "gap", n_chunks)
+        if partial is not None:
+            spec = GapEngine(queries_list, grammar=partial).run(xml, n_chunks=n_chunks)
+            for q in queries_list:
+                assert engine_ordinals(xml, spec.matches[q]) == expected[q], (
+                    q, "gap-spec", n_chunks)
+
+
+# ---------------------------------------------------------------------------
+# strategies: the ET-supported query subset
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def structural_queries(draw, grammar: Grammar) -> str:
+    tags = grammar.element_names()
+    n_steps = draw(st.integers(min_value=1, max_value=4))
+    parts: list[str] = []
+    for i in range(n_steps):
+        sep = draw(st.sampled_from(["/", "//"]))
+        name = draw(st.sampled_from(tags + ["*"]))
+        pred = ""
+        if draw(st.integers(0, 3)) == 0:
+            pred = f"[{draw(st.sampled_from(tags))}]"
+        parts.append(f"{sep}{name}{pred}")
+    return "".join(parts)
+
+
+@st.composite
+def sampled_documents(draw):
+    grammar = draw(grammars())
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    gen = DocumentGenerator(grammar, seed=seed, max_depth=7, repeat_range=(0, 3))
+    return grammar, gen.generate(include_prolog=False)
+
+
+# ---------------------------------------------------------------------------
+# fixed sanity cases (fast, deterministic, easy to debug on failure)
+# ---------------------------------------------------------------------------
+
+
+class TestOracleTranslation:
+    def test_known_feed_document(self):
+        wrapper = ET.fromstring(f"<et_wrap>{FEED_XML}</et_wrap>")
+        elements = [el for el in wrapper.iter() if el is not wrapper]
+        assert [el.tag for el in elements[:3]] == ["feed", "entry", "title"]
+
+        for query in ("/feed/entry/id", "//id", "//entry/title", "/feed/*",
+                      "//entry[id]", "//*[title]", "/entry", "//feed", "//*"):
+            seq = SequentialEngine([query]).run(FEED_XML)
+            assert engine_ordinals(FEED_XML, seq.matches[query]) == et_oracle(
+                FEED_XML, query), query
+
+    def test_feed_engines_all_chunk_counts(self):
+        queries_list = ["/feed/entry/id", "//title", "//entry[id]", "/feed/*"]
+        assert_engines_match_oracle(FEED_XML, queries_list, grammar=FEED_DTD)
+
+    def test_empty_match_is_empty_everywhere(self):
+        assert et_oracle(FEED_XML, "//nosuch") == set()
+        seq = SequentialEngine(["//nosuch"]).run(FEED_XML)
+        assert seq.matches["//nosuch"] == []
+
+
+# ---------------------------------------------------------------------------
+# the property-based differential sweep
+# ---------------------------------------------------------------------------
+
+
+class TestDifferentialOracle:
+    @MODERATE
+    @given(st.data())
+    def test_engines_match_stdlib_across_chunk_counts(self, data):
+        grammar, xml = data.draw(sampled_documents())
+        queries_list = [data.draw(structural_queries(grammar)) for _ in range(2)]
+        assert_engines_match_oracle(xml, queries_list, grammar=grammar)
+
+    @MODERATE
+    @given(st.data())
+    def test_speculative_engine_matches_stdlib(self, data):
+        grammar, xml = data.draw(sampled_documents())
+        queries_list = [data.draw(structural_queries(grammar)) for _ in range(2)]
+        fraction = data.draw(st.sampled_from([0.3, 0.6, 0.9]))
+        partial = sample_partial_grammar(grammar, fraction,
+                                         seed=data.draw(st.integers(0, 99)))
+        expected = {q: et_oracle(xml, q) for q in queries_list}
+        for n_chunks in CHUNK_COUNTS:
+            res = GapEngine(queries_list, grammar=partial).run(xml, n_chunks=n_chunks)
+            for q in queries_list:
+                assert engine_ordinals(xml, res.matches[q]) == expected[q], (q, n_chunks)
+
+    @MODERATE
+    @given(st.data())
+    def test_supervised_faulted_run_matches_stdlib(self, data):
+        """The full claim: injection + recovery still equals the oracle."""
+        grammar, xml = data.draw(sampled_documents())
+        query = data.draw(structural_queries(grammar))
+        expected = et_oracle(xml, query)
+        policy = RetryPolicy(max_retries=2, chunk_timeout=5.0,
+                             backoff_base=0.0005, backoff_max=0.002)
+        engine = GapEngine([query], grammar=grammar, resilience=policy,
+                           faults="any:raise:p=0.4:seed=11")
+        for n_chunks in CHUNK_COUNTS:
+            res = engine.run(xml, n_chunks=n_chunks)
+            assert engine_ordinals(xml, res.matches[query]) == expected, (query, n_chunks)
