@@ -1,0 +1,60 @@
+"""Dense-kernel throughput artifact: table-driven vs object-graph.
+
+Not a paper figure — the engineering artifact behind the CI regression
+gate.  Reuses the exact methodology of ``repro bench``
+(:mod:`repro.bench.kernel_bench`: pre-lexed chunks, interleaved
+repeats, min-of-R) so the emitted table and the gated baseline
+(``BENCH_3.json``) are directly comparable, and emits one row per
+workload via :func:`conftest.emit` for the perf trajectory.
+
+Run with ``pytest benchmarks/bench_kernel.py -s`` (no
+pytest-benchmark needed; the measurement loop is self-timing).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.kernel_bench import measure_kernel_throughput
+
+from benchmarks.conftest import emit
+
+#: (dataset, scale, n_chunks, n_queries) — XMark is the gated baseline
+#: workload; DBLP adds a flat, text-heavy counterpoint
+WORKLOADS = [
+    ("xmark", 4.0, 8, 4),
+    ("dblp", 4.0, 8, 4),
+]
+
+
+@pytest.fixture(scope="module")
+def records():
+    return [
+        measure_kernel_throughput(dataset=ds, scale=scale, n_chunks=n,
+                                  n_queries=q, repeats=3)
+        for ds, scale, n, q in WORKLOADS
+    ]
+
+
+@pytest.mark.bench
+def test_kernel_throughput(records):
+    headers = ["dataset", "tokens", "object tok/s", "dense tok/s", "dense/object"]
+    rows = [
+        [
+            r["dataset"],
+            r["tokens"],
+            round(r["object_tokens_per_s"]),
+            round(r["dense_tokens_per_s"]),
+            round(r["dense_over_object"], 2),
+        ]
+        for r in records
+    ]
+    width = [12, 8, 14, 14, 13]
+    lines = ["".join(str(h).ljust(w) for h, w in zip(headers, width))]
+    lines += ["".join(str(c).ljust(w) for c, w in zip(row, width)) for row in rows]
+    emit("kernel_throughput", "\n".join(lines), headers=headers, rows=rows)
+
+    for r in records:
+        # the dense kernel must never be slower than the interpreter it
+        # replaces; the stronger 2x floor is gated via BENCH_3.json
+        assert r["dense_over_object"] > 1.0, r["dataset"]

@@ -1,0 +1,213 @@
+"""Kernel microbenchmark + regression gate (``repro bench``).
+
+Measures raw chunk-executor throughput — the dense table-driven kernel
+(:class:`repro.core.kernel.DenseRunner`) against the object-graph
+interpreter (:class:`repro.transducer.runner.ChunkRunner`) — on the
+XMark speedup workload, and gates CI on the ratio between them.
+
+Methodology:
+
+* the document is generated deterministically (``(scale, seed)``), the
+  query set is the speedup benchmark's generated set, and the grammar
+  is the dataset's DTD (non-speculative GAP policy, the paper's main
+  configuration);
+* chunks are pre-split and **pre-lexed**: both kernels execute the
+  same materialised token lists, so the measurement isolates
+  transduction (the part the kernels implement) from tokenisation
+  (shared code);
+* each kernel runs the whole chunk set ``repeats`` times; the best
+  wall-clock time is kept (standard microbenchmark practice — the
+  minimum is the least noisy estimator of the achievable time);
+* before timing, one full-pipeline run per kernel cross-checks that
+  both produce identical matches — a benchmark of a wrong kernel is
+  worthless.
+
+The gate compares the **dense/object throughput ratio** against the
+recorded baseline (``BENCH_3.json``), not absolute tokens/s: the ratio
+cancels host-speed differences, so the same baseline file gates laptop
+and CI runs alike.  An absolute floor can be recorded in the baseline
+(``min_ratio``) — the acceptance criterion that the dense kernel stay
+at least 2× the object kernel is encoded there.
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+
+from ..core.engine import GapEngine
+from ..core.gap_transducer import GapPolicy
+from ..core.kernel import DenseRunner
+from ..datasets import dataset_by_name, generate_query_set
+from ..transducer.runner import ChunkRunner
+from ..xmlstream.chunking import split_chunks
+from ..xmlstream.lexer import lex_range
+
+__all__ = ["measure_kernel_throughput", "gate_failures", "run_bench"]
+
+#: tolerated relative drop of the dense/object ratio vs the baseline
+DEFAULT_THRESHOLD = 0.15
+
+
+def measure_kernel_throughput(
+    dataset: str = "xmark",
+    scale: float = 4.0,
+    n_chunks: int = 8,
+    n_queries: int = 4,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Time both kernels on one workload; return the comparison record."""
+    ds = dataset_by_name(dataset)
+    text = ds.generate(scale=scale, seed=seed)
+    queries = generate_query_set(ds, n_queries)
+
+    # correctness cross-check through the full pipeline before timing
+    dense_run = GapEngine(queries, grammar=ds.grammar, kernel="dense").run(
+        text, n_chunks=n_chunks
+    )
+    object_run = GapEngine(queries, grammar=ds.grammar, kernel="object").run(
+        text, n_chunks=n_chunks
+    )
+    if dense_run.matches != object_run.matches:
+        raise RuntimeError("kernel mismatch: dense and object matches diverged")
+
+    # reuse one engine's compiled automaton/table for the raw-kernel timing
+    engine = GapEngine(queries, grammar=ds.grammar)
+    policy = GapPolicy(engine.automaton, engine.table)
+    chunks = split_chunks(text, n_chunks)
+    chunk_tokens = [list(lex_range(text, c.begin, c.end)) for c in chunks]
+    n_tokens = sum(len(toks) for toks in chunk_tokens)
+    initial = frozenset((engine.automaton.initial,))
+
+    def run_all(runner) -> float:
+        t0 = perf_counter()
+        for chunk, toks in zip(chunks, chunk_tokens):
+            start = initial if chunk.index == 0 else None
+            runner.run_chunk(toks, chunk.index, chunk.begin, chunk.end,
+                             start_states=start)
+        return perf_counter() - t0
+
+    dense = DenseRunner(engine.automaton, policy, engine.anchor_sids)
+    obj = ChunkRunner(engine.automaton, policy, engine.anchor_sids)
+    # interleave the repeats so drift (thermal, page cache) hits both
+    dense_times: list[float] = []
+    object_times: list[float] = []
+    for _ in range(repeats):
+        object_times.append(run_all(obj))
+        dense_times.append(run_all(dense))
+    t_dense = min(dense_times)
+    t_object = min(object_times)
+
+    return {
+        "benchmark": "kernel_throughput",
+        "dataset": dataset,
+        "scale": scale,
+        "n_chunks": n_chunks,
+        "n_queries": n_queries,
+        "repeats": repeats,
+        "tokens": n_tokens,
+        "bytes": len(text),
+        "matches": sum(len(v) for v in dense_run.matches.values()),
+        "dense_seconds": t_dense,
+        "object_seconds": t_object,
+        "dense_tokens_per_s": n_tokens / t_dense,
+        "object_tokens_per_s": n_tokens / t_object,
+        "dense_over_object": t_object / t_dense,
+    }
+
+
+def gate_failures(
+    current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Regression checks of ``current`` against ``baseline`` (empty = pass)."""
+    failures: list[str] = []
+    ratio = current["dense_over_object"]
+    base_ratio = baseline.get("dense_over_object")
+    if base_ratio is not None:
+        floor = base_ratio * (1.0 - threshold)
+        if ratio < floor:
+            failures.append(
+                f"dense/object throughput ratio regressed: {ratio:.2f}x < "
+                f"{floor:.2f}x (baseline {base_ratio:.2f}x - {threshold:.0%})"
+            )
+    min_ratio = baseline.get("min_ratio")
+    if min_ratio is not None and ratio < min_ratio:
+        failures.append(
+            f"dense/object throughput ratio {ratio:.2f}x below the recorded "
+            f"floor {min_ratio:.2f}x"
+        )
+    return failures
+
+
+def format_report(record: dict) -> str:
+    lines = [
+        f"kernel throughput — {record['dataset']} scale {record['scale']}, "
+        f"{record['n_chunks']} chunks, {record['n_queries']} queries, "
+        f"{record['tokens']} tokens",
+        f"  object kernel: {record['object_tokens_per_s']:12,.0f} tokens/s "
+        f"({record['object_seconds'] * 1e3:8.2f} ms)",
+        f"  dense kernel:  {record['dense_tokens_per_s']:12,.0f} tokens/s "
+        f"({record['dense_seconds'] * 1e3:8.2f} ms)",
+        f"  dense/object:  {record['dense_over_object']:.2f}x",
+    ]
+    return "\n".join(lines)
+
+
+def run_bench(
+    dataset: str = "xmark",
+    scale: float = 4.0,
+    n_chunks: int = 8,
+    n_queries: int = 4,
+    repeats: int = 3,
+    out: str | None = None,
+    gate: bool = False,
+    baseline_path: str = "BENCH_3.json",
+    threshold: float = DEFAULT_THRESHOLD,
+    update_baseline: bool = False,
+) -> int:
+    """CLI body for ``repro bench``; returns the process exit code."""
+    record = measure_kernel_throughput(
+        dataset=dataset, scale=scale, n_chunks=n_chunks,
+        n_queries=n_queries, repeats=repeats,
+    )
+    print(format_report(record))
+
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"# results written to {out}")
+
+    if update_baseline:
+        # preserve a recorded floor across refreshes
+        try:
+            with open(baseline_path, encoding="utf-8") as fh:
+                previous = json.load(fh)
+        except (OSError, ValueError):
+            previous = {}
+        if "min_ratio" in previous:
+            record["min_ratio"] = previous["min_ratio"]
+        with open(baseline_path, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"# baseline updated: {baseline_path}")
+
+    if gate:
+        try:
+            with open(baseline_path, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except OSError as exc:
+            print(f"gate: cannot read baseline {baseline_path}: {exc}")
+            return 1
+        failures = gate_failures(record, baseline, threshold)
+        if failures:
+            for failure in failures:
+                print(f"gate FAIL: {failure}")
+            return 1
+        print(
+            f"gate OK: dense/object {record['dense_over_object']:.2f}x "
+            f"(baseline {baseline.get('dense_over_object', float('nan')):.2f}x, "
+            f"threshold {threshold:.0%})"
+        )
+    return 0

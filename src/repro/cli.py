@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Five commands mirror the library's workflow:
+Six commands mirror the library's workflow:
 
 ``query``
     Run XPath queries over an XML *or JSON* file (sniffed by content)
@@ -22,6 +22,12 @@ Five commands mirror the library's workflow:
     Run a workload through the sequential engine, the PP-Transducer
     and GAP, and report the simulated N-core speedups (the benchmark
     harness in miniature).
+
+``bench``
+    Measure dense vs object kernel throughput on a benchmark dataset
+    and (with ``--gate``) fail if the dense/object ratio regressed
+    against the recorded baseline (``BENCH_3.json``) — the CI
+    performance gate (see ``docs/PERFORMANCE.md``).
 
 ``profile``
     Run a query with tracing on and print the per-chunk timeline
@@ -92,6 +98,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="prior document(s) to learn a partial grammar from (speculative mode)")
     q.add_argument("--text", action="store_true", help="decode matched elements' text")
     q.add_argument("--stats", action="store_true", help="print execution statistics")
+    _add_kernel_arg(q)
     _add_obs_args(q)
     _add_resilience_args(q)
     q.set_defaults(func=_cmd_query)
@@ -114,6 +121,7 @@ def _build_parser() -> argparse.ArgumentParser:
     s.add_argument("-Q", "--n-queries", type=int, default=10)
     s.add_argument("-s", "--scale", type=float, default=10.0)
     s.add_argument("-c", "--cores", type=int, default=20)
+    _add_kernel_arg(s)
     _add_obs_args(s)
     _add_resilience_args(s)
     s.set_defaults(func=_cmd_speedup)
@@ -127,10 +135,40 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", "--chunks", type=int, default=8, help="parallel chunks (default 8)")
     p.add_argument("--learn", action="append", default=[], metavar="FILE",
                    help="prior document(s) to learn a partial grammar from (speculative mode)")
+    _add_kernel_arg(p)
     _add_obs_args(p)
     _add_resilience_args(p)
     p.set_defaults(func=_cmd_profile)
+
+    b = sub.add_parser(
+        "bench",
+        help="measure dense vs object kernel throughput; optionally gate on a baseline",
+    )
+    b.add_argument("dataset", nargs="?", default="xmark", choices=sorted(ALL_DATASETS))
+    b.add_argument("-s", "--scale", type=float, default=4.0)
+    b.add_argument("-n", "--chunks", type=int, default=8)
+    b.add_argument("-Q", "--n-queries", type=int, default=4)
+    b.add_argument("-r", "--repeats", type=int, default=3)
+    b.add_argument("-o", "--out", metavar="FILE",
+                   help="write the measurement record as JSON")
+    b.add_argument("--gate", action="store_true",
+                   help="fail (exit 1) if the dense/object throughput ratio "
+                        "regressed more than --threshold vs the baseline")
+    b.add_argument("--baseline", default="BENCH_3.json", metavar="FILE",
+                   help="recorded baseline for --gate/--update-baseline "
+                        "(default: BENCH_3.json)")
+    b.add_argument("--threshold", type=float, default=0.15,
+                   help="tolerated relative ratio drop for --gate (default 0.15)")
+    b.add_argument("--update-baseline", action="store_true",
+                   help="record this measurement as the new baseline")
+    b.set_defaults(func=_cmd_bench)
     return parser
+
+
+def _add_kernel_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--kernel", choices=("dense", "object"), default="dense",
+                   help="chunk executor: dense table-driven kernel (default) or "
+                        "the object-graph oracle")
 
 
 def _add_resilience_args(p: argparse.ArgumentParser) -> None:
@@ -256,7 +294,7 @@ def _build_query_engine(args: argparse.Namespace, content: str, as_json: bool, t
     if args.engine == "pp":
         return PPTransducerEngine(
             args.queries, n_chunks=args.chunks, backend=args.backend, tracer=tracer,
-            resilience=resilience, faults=faults,
+            resilience=resilience, faults=faults, kernel=args.kernel,
         )
     grammar = None
     if args.grammar:
@@ -266,7 +304,7 @@ def _build_query_engine(args: argparse.Namespace, content: str, as_json: bool, t
     engine = GapEngine(
         args.queries, grammar=grammar, n_chunks=args.chunks,
         backend=args.backend, tracer=tracer,
-        resilience=resilience, faults=faults,
+        resilience=resilience, faults=faults, kernel=args.kernel,
     )
     for prior in args.learn:
         prior_text = _read(prior)
@@ -387,10 +425,12 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
     for name, engine in (
         ("pp", PPTransducerEngine(queries, n_chunks=args.cores,
                                   backend=args.backend, tracer=tracer,
-                                  resilience=resilience, faults=faults)),
+                                  resilience=resilience, faults=faults,
+                                  kernel=args.kernel)),
         ("gap", GapEngine(queries, grammar=ds.grammar, n_chunks=args.cores,
                           backend=args.backend, tracer=tracer,
-                          resilience=resilience, faults=faults)),
+                          resilience=resilience, faults=faults,
+                          kernel=args.kernel)),
     ):
         with engine:
             res = engine.run(xml)
@@ -409,6 +449,23 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
             collect_run_metrics(res.stats, registry=registry)
     _obs_emit(args, tracer, registry)
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.kernel_bench import run_bench
+
+    return run_bench(
+        dataset=args.dataset,
+        scale=args.scale,
+        n_chunks=args.chunks,
+        n_queries=args.n_queries,
+        repeats=args.repeats,
+        out=args.out,
+        gate=args.gate,
+        baseline_path=args.baseline,
+        threshold=args.threshold,
+        update_baseline=args.update_baseline,
+    )
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:

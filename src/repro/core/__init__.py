@@ -5,6 +5,7 @@
   elimination + runtime data-structure switching);
 * :mod:`~repro.core.speculative` — partial-grammar learning for
   speculative mode;
+* :mod:`~repro.core.kernel` — the dense table-driven chunk kernel;
 * :mod:`~repro.core.engine` — public engines;
 * :mod:`~repro.core.stats` — Table-5/6 statistics.
 """
@@ -20,10 +21,12 @@ from .engine import (
 )
 from .gap_transducer import GapPolicy, run_gap_transducer
 from .inference import FeasibleTable, infer_feasible_paths
+from .kernel import DenseRunner, tables_for_policy
 from .speculative import GrammarLearner, empty_speculative_table
 from .stats import RunStats
 
 __all__ = [
+    "DenseRunner",
     "EngineError",
     "FeasibleTable",
     "GapEngine",
@@ -38,4 +41,5 @@ __all__ = [
     "infer_feasible_paths",
     "query",
     "run_gap_transducer",
+    "tables_for_policy",
 ]

@@ -41,6 +41,7 @@ from ..parallel.backend import Backend, get_backend
 from ..parallel.faults import FaultPlane, parse_fault_spec
 from ..parallel.resilience import RetryPolicy
 from ..transducer.pipeline import (
+    KERNELS,
     ParallelPipeline,
     ParallelRunResult,
     run_sequential_pipeline,
@@ -132,6 +133,14 @@ class _EngineBase:
     testing plane the resilience layer recovers from.  Both are
     accepted on every engine for uniform construction; the sequential
     engine has no parallel phase and ignores them.
+
+    ``kernel`` selects the chunk executor for the parallel engines:
+    ``"dense"`` (default) compiles the automaton and feasibility table
+    into flat integer arrays (:mod:`repro.core.kernel`), ``"object"``
+    runs the original object-graph interpreter — retained as the
+    differential oracle.  Both produce identical matches, events and
+    work counters; the sequential engine has no chunk phase and
+    ignores the knob.
     """
 
     def __init__(
@@ -142,9 +151,13 @@ class _EngineBase:
         tracer: Tracer | None = None,
         resilience: RetryPolicy | None = None,
         faults: FaultPlane | str | None = None,
+        kernel: str = "dense",
     ) -> None:
         if not queries:
             raise EngineError("at least one query is required")
+        if kernel not in KERNELS:
+            raise EngineError(f"unknown kernel {kernel!r} (choose from {KERNELS})")
+        self.kernel = kernel
         self.queries = [str(q) for q in queries]
         self.compiled, self.registry = compile_queries(self.queries)
         self.automaton = build_automaton(self.registry.automaton_inputs(), minimize=minimize)
@@ -314,14 +327,15 @@ class PPTransducerEngine(_EngineBase):
         tracer: Tracer | None = None,
         resilience: RetryPolicy | None = None,
         faults: FaultPlane | str | None = None,
+        kernel: str = "dense",
     ) -> None:
         super().__init__(queries, backend, minimize=minimize, tracer=tracer,
-                         resilience=resilience, faults=faults)
+                         resilience=resilience, faults=faults, kernel=kernel)
         self.n_chunks = n_chunks
         self.policy = BaselinePolicy(self.automaton)
         self._pipeline = ParallelPipeline(
             self.automaton, self.policy, self.anchor_sids, self.backend, self.tracer,
-            resilience=self.resilience, faults=self.faults,
+            resilience=self.resilience, faults=self.faults, kernel=self.kernel,
         )
 
     def run(self, text: str, n_chunks: int | None = None) -> QueryResult:
@@ -380,9 +394,10 @@ class GapEngine(_EngineBase):
         tracer: Tracer | None = None,
         resilience: RetryPolicy | None = None,
         faults: FaultPlane | str | None = None,
+        kernel: str = "dense",
     ) -> None:
         super().__init__(queries, backend, minimize=minimize, tracer=tracer,
-                         resilience=resilience, faults=faults)
+                         resilience=resilience, faults=faults, kernel=kernel)
         if mode not in ("auto", "nonspec", "spec"):
             raise EngineError(f"unknown mode {mode!r} (expected auto/nonspec/spec)")
         self.n_chunks = n_chunks
@@ -462,7 +477,7 @@ class GapEngine(_EngineBase):
         )
         return ParallelPipeline(
             self.automaton, policy, self.anchor_sids, self.backend, self.tracer,
-            resilience=self.resilience, faults=self.faults,
+            resilience=self.resilience, faults=self.faults, kernel=self.kernel,
         )
 
     def run(

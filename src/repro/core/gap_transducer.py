@@ -92,10 +92,11 @@ def run_gap_transducer(
     eliminate: str = ELIMINATE_PAPER,
     switch_to_stack: bool = True,
     backend: Backend | None = None,
+    kernel: str = "dense",
 ) -> ParallelRunResult:
     """One-shot GAP run (mode follows the table's completeness)."""
     policy = GapPolicy(
         automaton, table, eliminate=eliminate, switch_to_stack=switch_to_stack
     )
-    pipeline = ParallelPipeline(automaton, policy, anchor_sids, backend)
+    pipeline = ParallelPipeline(automaton, policy, anchor_sids, backend, kernel=kernel)
     return pipeline.run(text, n_chunks)

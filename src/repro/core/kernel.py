@@ -1,0 +1,507 @@
+"""Dense table-driven chunk kernel.
+
+:class:`DenseRunner` is a drop-in replacement for
+:class:`~repro.transducer.runner.ChunkRunner` that executes the same
+parallel-phase semantics — multi-path execution with the three
+elimination scenarios, speculative revival, divergence segmentation,
+runtime data-structure switching — over the flat integer tables of
+:mod:`repro.xpath.compile_tables` instead of the automaton/policy
+object graph.
+
+Two execution regimes, switched per token:
+
+* **multi-path phase** — an exact port of the object runner's loop:
+  cohorts of :class:`~repro.transducer.doubletree.PathGroup` objects
+  advance in lockstep, with feasibility checks answered from
+  precompiled per-symbol rows (``bytes`` bitmaps indexed by state)
+  instead of frozenset membership, and DFA moves from one flat
+  ``array('i')`` lookup instead of two dict probes;
+* **single-stack fast loop** — entered whenever exactly one path is
+  live with switching enabled and no post-divergence check pending
+  (the "executes exactly like a sequential pushdown transducer" state
+  of Section 4.3).  The loop keeps the state, the stack and the
+  transition base as Python locals and touches no policy object at
+  all; it exits to the multi-path code on stack underflow (the next
+  divergence) without consuming the underflowing token.
+
+Equivalence with the object kernel is *structural*, not just
+observational: both kernels build their results from the same
+``PathGroup`` / ``Cohort`` / ``Segment`` types with identical event
+ordering and identical :class:`~repro.transducer.counters.WorkCounters`
+accounting, so the differential suite can assert equality on matches
+**and** stats.  The object runner stays in the tree as the oracle
+(``--kernel object``).
+
+A runner is built either from precompiled :class:`KernelTables`
+(shipped to workers by the pipeline) or compiles them on construction
+through the structural cache.  Policies the compiler does not
+recognise (custom :class:`PathPolicy` subclasses with dynamic hooks)
+are *not* compilable — :func:`tables_for_policy` returns ``None`` and
+the pipeline silently falls back to the object kernel for them.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections.abc import Iterable
+
+from ..transducer.counters import WorkCounters
+from ..transducer.doubletree import PathGroup, merge_groups, segment_entries
+from ..transducer.mapping import ChunkResult, Cohort, Segment
+from ..transducer.policies import (
+    ELIMINATE_ALWAYS,
+    ELIMINATE_NEVER,
+    BaselinePolicy,
+    PathPolicy,
+)
+from ..transducer.runner import _LiveCohort
+from ..xmlstream.tokens import Token, TokenKind
+from ..xpath.automaton import QueryAutomaton
+from ..xpath.compile_tables import KernelTables, compiled_tables
+from ..xpath.events import close, hit
+from .gap_transducer import GapPolicy
+
+__all__ = ["DenseRunner", "tables_for_policy"]
+
+logger = logging.getLogger("repro.core.kernel")
+
+_START = int(TokenKind.START)
+_END = int(TokenKind.END)
+
+
+def tables_for_policy(
+    automaton: QueryAutomaton,
+    policy: PathPolicy,
+    anchor_sids: frozenset[int] = frozenset(),
+) -> KernelTables | None:
+    """Compile (and cache) dense tables for a recognised policy.
+
+    Only the concrete policies whose hooks are pure table/constant
+    lookups compile; an unrecognised :class:`PathPolicy` subclass may
+    implement arbitrary dynamic hooks, so it returns ``None`` ("not
+    compilable — use the object kernel").  The *exact*-type check is
+    deliberate: a subclass overriding one hook must not silently lose
+    that override to the dense port of its parent.
+    """
+    t = type(policy)
+    if t is BaselinePolicy or t is PathPolicy:
+        return compiled_tables(automaton, None, anchor_sids)
+    if t is GapPolicy:
+        return compiled_tables(automaton, policy.table, anchor_sids)
+    return None
+
+
+class DenseRunner:
+    """Table-driven chunk executor (see module docstring).
+
+    Same construction signature and ``run_chunk`` contract as
+    :class:`~repro.transducer.runner.ChunkRunner`, plus an optional
+    precompiled ``tables`` argument so pipeline workers skip
+    compilation entirely.
+    """
+
+    def __init__(
+        self,
+        automaton: QueryAutomaton,
+        policy: PathPolicy,
+        anchor_sids: frozenset[int] = frozenset(),
+        tables: KernelTables | None = None,
+    ) -> None:
+        if tables is None:
+            tables = tables_for_policy(automaton, policy, anchor_sids)
+            if tables is None:
+                raise ValueError(
+                    f"policy {type(policy).__name__} is not compilable to dense "
+                    "tables; use the object kernel (ChunkRunner) instead"
+                )
+        self.automaton = automaton
+        self.policy = policy
+        self.anchor_sids = anchor_sids
+        self.tables = tables
+        # DEBUG logging is sampled once per chunk, not per token
+        self._debug = False
+
+    # ------------------------------------------------------------------
+
+    def run_chunk(
+        self,
+        tokens: Iterable[Token],
+        index: int,
+        begin: int,
+        end: int,
+        start_states: frozenset[int] | None = None,
+    ) -> ChunkResult:
+        """Process one chunk; mirrors ``ChunkRunner.run_chunk`` exactly."""
+        T = self.tables
+        policy = self.policy
+        self._debug = logger.isEnabledFor(logging.DEBUG)
+        counters = WorkCounters(chunks=1, bytes_lexed=end - begin)
+        result = ChunkResult(index=index, begin=begin, end=end, counters=counters)
+
+        toks = tokens if isinstance(tokens, list) else list(tokens)
+        if not toks:
+            states = start_states if start_states is not None else T.all_states
+            counters.starting_paths = len(states)
+            groups = [PathGroup.fresh(s) for s in sorted(states)]
+            main = Cohort(restart_offset=begin)
+            main.segments.append(Segment(entries=segment_entries(groups, final=True)))
+            result.cohorts.append(main)
+            counters.mapping_entries = result.mapping_entries()
+            return result
+
+        sym_of = T.sym_ids.get
+        other_sym = T.other_sym
+
+        if start_states is None:
+            inferred = self._scenario1(toks[0])
+            if inferred is None:
+                inferred = T.all_states
+                if policy.table_based:
+                    counters.degraded_lookups += 1
+            start_states = inferred
+
+        main = _LiveCohort(cohort=Cohort(restart_offset=begin))
+        main.groups = [PathGroup.fresh(s) for s in sorted(start_states)]
+        counters.starting_paths = len(main.groups)
+        cohorts: list[_LiveCohort] = [main]
+
+        eliminate = policy.eliminate
+        speculative = policy.speculative
+        switch_enabled = policy.switch_to_stack
+        table_based = policy.table_based
+        always = eliminate == ELIMINATE_ALWAYS
+        never = eliminate == ELIMINATE_NEVER
+
+        stack_mode = switch_enabled and len(main.groups) == 1
+        pending_check = False
+        depth = 0  # chunk-local element depth (may go negative)
+        n_live = len(main.groups)
+
+        trans = T.trans
+        S = T.n_symbols
+        accepts = T.accepts
+        accept_flags = T.accept_flags
+        close_accepts = T.close_accepts
+        close_flags = T.close_flags
+        end_rows = T.end_rows
+
+        # the single-stack fast loop is safe whenever one live path can
+        # only be interrupted by a divergence (ELIMINATE_ALWAYS also
+        # checks *every* tag, so it must stay in the general loop); the
+        # two-path loop additionally works with switching disabled
+        fast_ok = switch_enabled and not always
+        two_ok = not always
+
+        i = 0
+        n_tok = len(toks)
+        while i < n_tok:
+            if (
+                two_ok
+                and not stack_mode
+                and not pending_check
+                and n_live == 2
+                and len(cohorts) == 1
+                and len(cohorts[0].groups) == 2
+            ):
+                # ---- two-path loop over parallel integer stacks -------
+                # The common multi-path regime: one cohort, two live
+                # paths.  `diff` counts stack positions where the two
+                # stacks disagree, maintained O(1) per push/pop — the
+                # two paths converge at a pop exactly when diff == 0
+                # (identical stacks ⇒ identical popped values ⇒ the
+                # object kernel's merge_groups key collision), so the
+                # per-pop O(depth) stack-tuple comparison disappears.
+                # Convergence and underflow both exit to the general
+                # loop, which performs the actual merge / divergence.
+                g1, g2 = cohorts[0].groups
+                s1 = g1.state
+                s2 = g2.state
+                st1 = g1.stack
+                st2 = g2.stack
+                ev1 = g1.events
+                ev2 = g2.events
+                push1 = st1.append
+                push2 = st2.append
+                pop1 = st1.pop
+                pop2 = st2.pop
+                diff = sum(1 for a, b in zip(st1, st2) if a != b)
+                n_two = 0
+                while i < n_tok:
+                    tok = toks[i]
+                    kind = tok.kind
+                    if kind == _START:
+                        push1(s1)
+                        push2(s2)
+                        if s1 != s2:
+                            diff += 1
+                        depth += 1
+                        sym = sym_of(tok.name, other_sym)
+                        s1 = trans[s1 * S + sym]
+                        s2 = trans[s2 * S + sym]
+                        if accept_flags[s1]:
+                            off = tok.offset
+                            ev1.extend(hit(sid, off, depth) for sid in accepts[s1])
+                        if accept_flags[s2]:
+                            off = tok.offset
+                            ev2.extend(hit(sid, off, depth) for sid in accepts[s2])
+                    elif kind == _END:
+                        if not st1 or diff == 0:
+                            break  # divergence / convergence: general loop
+                        off = tok.offset
+                        if close_flags[s1]:
+                            ev1.extend(close(sid, off, depth) for sid in close_accepts[s1])
+                        if close_flags[s2]:
+                            ev2.extend(close(sid, off, depth) for sid in close_accepts[s2])
+                        s1 = pop1()
+                        s2 = pop2()
+                        if s1 != s2:
+                            diff -= 1
+                        depth -= 1
+                    i += 1
+                    n_two += 1
+                g1.state = s1
+                g2.state = s2
+                counters.tree_tokens += n_two
+                counters.tree_path_steps += 2 * n_two
+                if i >= n_tok:
+                    break
+
+            if fast_ok and stack_mode and n_live == 1 and not pending_check:
+                # ---- single-stack fast loop (Section 4.3) -------------
+                g = None
+                for lc in cohorts:
+                    if lc.groups:
+                        g = lc.groups[0]
+                        break
+                state = g.state
+                stack = g.stack
+                events = g.events
+                push = stack.append
+                pop = stack.pop
+                extend = events.extend
+                n_fast = 0
+                while i < n_tok:
+                    tok = toks[i]
+                    kind = tok.kind
+                    if kind == _START:
+                        push(state)
+                        depth += 1
+                        state = trans[state * S + sym_of(tok.name, other_sym)]
+                        if accept_flags[state]:
+                            off = tok.offset
+                            extend(hit(sid, off, depth) for sid in accepts[state])
+                    elif kind == _END:
+                        if not stack:
+                            break  # divergence: general loop takes this token
+                        if close_flags[state]:
+                            off = tok.offset
+                            extend(close(sid, off, depth) for sid in close_accepts[state])
+                        state = pop()
+                        depth -= 1
+                    i += 1
+                    n_fast += 1
+                g.state = state
+                counters.stack_tokens += n_fast
+                if i >= n_tok:
+                    break
+
+            tok = toks[i]
+            ti = i
+            i += 1
+            kind = tok.kind
+
+            if n_live == 0:
+                if not speculative:
+                    break  # non-speculative: no recovery inside the chunk
+                if kind != _START:
+                    continue  # wait for a start tag to revive at
+
+            if kind == _START:
+                if not never and (pending_check or always or n_live == 0):
+                    self._start_tag_check(
+                        cohorts, sym_of(tok.name, other_sym), tok.name, ti,
+                        tok.offset, depth, counters,
+                    )
+                    pending_check = False
+                    n_live = sum(len(lc.groups) for lc in cohorts)
+                    if n_live == 0:
+                        depth += 1
+                        continue
+                sym = sym_of(tok.name, other_sym)
+                offset = tok.offset
+                depth += 1
+                for lc in cohorts:
+                    for g in lc.groups:
+                        g.stack.append(g.state)
+                        s2 = trans[g.state * S + sym]
+                        g.state = s2
+                        if accept_flags[s2]:
+                            g.events.extend(hit(sid, offset, depth) for sid in accepts[s2])
+                # pushes are injective in (state, stack): no merging needed
+
+            elif kind == _END:
+                tag = tok.name
+                sym = sym_of(tag, other_sym)
+                offset = tok.offset
+                for lc in cohorts:
+                    if not lc.groups:
+                        continue
+                    if always:
+                        row = end_rows[sym]
+                        if row is not None:
+                            kept = [g for g in lc.groups if row[g.state]]
+                            counters.paths_eliminated += len(lc.groups) - len(kept)
+                            lc.groups = kept
+                            if not lc.groups:
+                                continue
+                    # cohort groups share their depth: all underflow or none
+                    if lc.groups[0].stack:
+                        for g in lc.groups:
+                            ca = close_accepts[g.state]
+                            if ca:
+                                g.events.extend(close(sid, offset, depth) for sid in ca)
+                            g.state = g.stack.pop()
+                        lc.groups, converged = merge_groups(lc.groups)
+                        counters.paths_converged += converged
+                    else:
+                        self._diverge(lc, sym, tag, offset, depth, counters)
+                        pending_check = True
+                n_live = sum(len(lc.groups) for lc in cohorts)
+                depth -= 1
+
+            # TEXT: plain transition — state and stack unchanged
+
+            if stack_mode and n_live == 1:
+                counters.stack_tokens += 1
+            else:
+                counters.tree_tokens += 1
+                counters.tree_path_steps += n_live
+                new_mode = switch_enabled and n_live == 1
+                if new_mode != stack_mode:
+                    counters.switches += 1
+                    stack_mode = new_mode
+
+        for lc in cohorts:
+            lc.cohort.segments.append(
+                Segment(entries=segment_entries(lc.groups, final=True))
+            )
+            result.cohorts.append(lc.cohort)
+        counters.mapping_entries = result.mapping_entries()
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _scenario1(self, token: Token) -> tuple[int, ...] | None:
+        """Dense ``policy.start_states``: feasible states for a first token."""
+        T = self.tables
+        if not T.has_table or self.policy.eliminate == ELIMINATE_NEVER:
+            return None
+        kind = token.kind
+        if kind == _START:
+            return T.start_sets[T.sym_ids.get(token.name, T.other_sym)]
+        if kind == _END:
+            return T.end_sets[T.sym_ids.get(token.name, T.other_sym)]
+        return T.text_set
+
+    def _start_tag_check(
+        self,
+        cohorts: list[_LiveCohort],
+        sym: int,
+        tag: str,
+        token_index: int,
+        offset: int,
+        depth: int,
+        counters: WorkCounters,
+    ) -> None:
+        """Elimination scenario 3 (and speculative path revival)."""
+        policy = self.policy
+        T = self.tables
+        row = T.start_rows[sym]
+        if row is None:
+            if policy.table_based:
+                counters.degraded_lookups += 1
+            return
+        live_states: set[int] = set()
+        eliminated = 0
+        for lc in cohorts:
+            kept = [g for g in lc.groups if row[g.state]]
+            eliminated += len(lc.groups) - len(kept)
+            lc.groups = kept
+            live_states.update(g.state for g in kept)
+        counters.paths_eliminated += eliminated
+        if self._debug and eliminated:
+            logger.debug(
+                "scenario-3 check before <%s> at %d: eliminated %d path(s), %d live",
+                tag, offset, eliminated, len(live_states),
+            )
+        if policy.speculative:
+            # replace semantics: revive feasible states not currently live
+            # as a fresh restart cohort (Section 5.2)
+            missing = [s for s in T.start_sets[sym] if s not in live_states]
+            if missing:
+                revived = _LiveCohort(
+                    cohort=Cohort(
+                        restart_index=token_index,
+                        restart_offset=offset,
+                        restart_depth=depth,
+                    )
+                )
+                revived.groups = [PathGroup.fresh(s) for s in missing]
+                cohorts.append(revived)
+
+    def _diverge(
+        self,
+        lc: _LiveCohort,
+        sym: int,
+        tag: str,
+        offset: int,
+        depth: int,
+        counters: WorkCounters,
+    ) -> None:
+        """Underflow pop: close the segment, reopen keyed by candidates."""
+        policy = self.policy
+        T = self.tables
+        counters.divergences += 1
+
+        groups = lc.groups
+        # elimination scenario 2: the current state must be feasible
+        # immediately before this end tag
+        if policy.eliminate != ELIMINATE_NEVER:
+            row = T.end_rows[sym]
+            if row is None:
+                if policy.table_based:
+                    counters.degraded_lookups += 1
+            else:
+                kept = [g for g in groups if row[g.state]]
+                counters.paths_eliminated += len(groups) - len(kept)
+                if self._debug and len(kept) < len(groups):
+                    logger.debug(
+                        "scenario-2 check at divergence </%s> at %d: "
+                        "eliminated %d path(s), %d live",
+                        tag, offset, len(groups) - len(kept), len(kept),
+                    )
+                groups = kept
+
+        close_accepts = T.close_accepts
+        for g in groups:
+            ca = close_accepts[g.state]
+            if ca:
+                g.events.extend(close(sid, offset, depth) for sid in ca)
+
+        lc.cohort.segments.append(
+            Segment(entries=segment_entries(groups, final=False), end_tag=tag, end_offset=offset)
+        )
+
+        candidates = self._pop_candidates(sym)
+        if candidates is None:
+            candidates = T.all_states
+            if policy.table_based:
+                counters.degraded_lookups += 1
+        lc.groups = [PathGroup.fresh(v) for v in candidates]
+
+    def _pop_candidates(self, sym: int) -> tuple[int, ...] | None:
+        """Dense ``policy.pop_candidates`` (rows are pre-sorted)."""
+        T = self.tables
+        if not T.has_table or self.policy.eliminate == ELIMINATE_NEVER:
+            return None
+        return T.start_sets[sym]

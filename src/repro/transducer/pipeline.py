@@ -38,7 +38,19 @@ from .mapping import ChunkResult, join_results
 from .policies import BaselinePolicy, PathPolicy
 from .runner import ChunkRunner
 
-__all__ = ["ParallelRunResult", "ParallelPipeline", "run_pp_transducer", "run_sequential_pipeline"]
+__all__ = [
+    "KERNELS",
+    "ParallelRunResult",
+    "ParallelPipeline",
+    "run_pp_transducer",
+    "run_sequential_pipeline",
+]
+
+#: chunk-executor implementations: the dense table-driven kernel
+#: (:mod:`repro.core.kernel`, the default) and the object-graph
+#: interpreter (:class:`~repro.transducer.runner.ChunkRunner`, retained
+#: as the differential oracle)
+KERNELS = ("dense", "object")
 
 
 @dataclass(slots=True)
@@ -70,6 +82,10 @@ class _Ctx:
     #: still honours ``REPRO_FAULTS``, ``NO_FAULTS`` disables injection
     #: entirely (the resilience fallback runs with the latter)
     faults: FaultPlane | None = None
+    #: precompiled dense tables (:class:`repro.xpath.compile_tables.KernelTables`)
+    #: — ``None`` selects the object kernel; typed loosely to keep this
+    #: module import-free of :mod:`repro.core`
+    tables: object | None = None
 
 
 def _skip_leading_end(tokens, begin: int):
@@ -81,10 +97,20 @@ def _skip_leading_end(tokens, begin: int):
     yield from it
 
 
+def _make_runner(automaton, policy, anchor_sids, tables):
+    """Instantiate the chunk executor a compiled-tables value selects."""
+    if tables is not None:
+        # deferred import: repro.core imports this module at load time
+        from ..core.kernel import DenseRunner
+
+        return DenseRunner(automaton, policy, anchor_sids, tables=tables)
+    return ChunkRunner(automaton, policy, anchor_sids)
+
+
 def _run_one_chunk(ctx: _Ctx, chunk: Chunk, attempt: int = 0) -> ChunkResult:
     """Worker body: lex and execute one chunk (module-level: picklable)."""
     corrupt = apply_faults(ctx.faults, chunk.index, attempt)
-    runner = ChunkRunner(ctx.automaton, ctx.policy, ctx.anchor_sids)
+    runner = _make_runner(ctx.automaton, ctx.policy, ctx.anchor_sids, ctx.tables)
     start = frozenset((ctx.automaton.initial,)) if chunk.index == 0 else None
     if not ctx.trace:
         tokens = lex_range(ctx.text, chunk.begin, chunk.end)
@@ -178,7 +204,10 @@ class ParallelPipeline:
         tracer: Tracer | None = None,
         resilience: RetryPolicy | None = None,
         faults: FaultPlane | str | None = None,
+        kernel: str = "dense",
     ) -> None:
+        if kernel not in KERNELS:
+            raise ValueError(f"unknown kernel {kernel!r} (choose from {KERNELS})")
         self.automaton = automaton
         self.policy = policy
         self.anchor_sids = anchor_sids
@@ -186,6 +215,15 @@ class ParallelPipeline:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.resilience = resilience
         self.faults = parse_fault_spec(faults) if isinstance(faults, str) else faults
+        self.kernel = kernel
+        self._tables = None
+        if kernel == "dense":
+            # compile once per pipeline through the structural cache; a
+            # policy the compiler does not recognise yields None and the
+            # pipeline transparently runs the object kernel
+            from ..core.kernel import tables_for_policy
+
+            self._tables = tables_for_policy(automaton, policy, anchor_sids)
 
     def run_tokens(self, tokens: list, n_chunks: int) -> ParallelRunResult:
         """Execute the three phases over a materialised token list.
@@ -223,7 +261,7 @@ class ParallelPipeline:
         edges = [0, *cuts, len(tokens)]
 
         tracer = self.tracer
-        runner = ChunkRunner(self.automaton, self.policy, self.anchor_sids)
+        runner = _make_runner(self.automaton, self.policy, self.anchor_sids, self._tables)
         results: list[ChunkResult] = []
         for ci, (i0, i1) in enumerate(zip(edges, edges[1:])):
             begin = offsets[i0]
@@ -276,7 +314,7 @@ class ParallelPipeline:
             chunks = split_chunks(text, n_chunks)
             sp.args["n_chunks"] = len(chunks)
         ctx = _Ctx(text, self.automaton, self.policy, self.anchor_sids,
-                   trace=tracer.enabled, faults=self.faults)
+                   trace=tracer.enabled, faults=self.faults, tables=self._tables)
         report: ResilienceReport | None = None
         with tracer.span("parallel", cat="phase"):
             if self.resilience is not None:
@@ -343,10 +381,11 @@ def run_pp_transducer(
     anchor_sids: frozenset[int] = frozenset(),
     n_chunks: int = 4,
     backend: Backend | None = None,
+    kernel: str = "dense",
 ) -> ParallelRunResult:
     """Run the PP-Transducer baseline (Ogden et al., VLDB'13)."""
     policy = BaselinePolicy(automaton)
-    pipeline = ParallelPipeline(automaton, policy, anchor_sids, backend)
+    pipeline = ParallelPipeline(automaton, policy, anchor_sids, backend, kernel=kernel)
     return pipeline.run(text, n_chunks)
 
 

@@ -8,12 +8,21 @@
   finite control);
 * :mod:`~repro.xpath.events` / :mod:`~repro.xpath.filtering` — output
   tape vocabulary and the sequential filter phase;
+* :mod:`~repro.xpath.compile_tables` — the automaton and feasibility
+  table compiled to dense arrays for the fast chunk kernel;
 * :mod:`~repro.xpath.reference` — DOM-based oracle evaluator (the
   "pre-parsing" strategy of Section 2.1).
 """
 
 from .ast import Axis, Path, Step, WILDCARD, XPathError
 from .automaton import AutomatonTooLarge, QueryAutomaton, build_automaton
+from .compile_tables import (
+    KernelTables,
+    clear_compile_cache,
+    compile_cache_info,
+    compile_tables,
+    compiled_tables,
+)
 from .events import EventKind, MatchEvent, close, hit
 from .filtering import FilterError, IntervalForest, apply_filters, collect_events
 from .parser import parse_relative_path, parse_xpath
@@ -42,6 +51,7 @@ __all__ = [
     "FilterError",
     "IntervalForest",
     "JoinMode",
+    "KernelTables",
     "MatchEvent",
     "Path",
     "QueryAutomaton",
@@ -54,10 +64,14 @@ __all__ = [
     "apply_filters",
     "build_automaton",
     "build_document",
+    "clear_compile_cache",
     "close",
     "collect_events",
+    "compile_cache_info",
     "compile_queries",
     "compile_query",
+    "compile_tables",
+    "compiled_tables",
     "evaluate",
     "evaluate_offsets",
     "hit",

@@ -1,0 +1,212 @@
+"""Dense table compilation: interning, row equivalence, compile cache.
+
+Pins the three contracts of :mod:`repro.xpath.compile_tables`:
+
+* **interning stability** — symbol ids are assigned in sorted tag
+  order, so two compilations of equal inputs produce identical id
+  maps (and identical arrays), independent of dict iteration order;
+* **row equivalence** — every feasibility row (bitmap and sorted-set
+  form) answers exactly what :class:`repro.core.inference.FeasibleTable`
+  answers, pinned on the paper's running example (Figure 4 / Table 1:
+  the recursive ``a (b+, c)`` grammar with query ``/a/b/a/c``),
+  including the complete-grammar "missing tag ⇒ infeasible" and
+  partial-grammar "missing tag ⇒ unknown" conventions;
+* **cache keying** — :func:`repro.xpath.compiled_tables` hits on
+  structurally equal (automaton, table, anchors) regardless of object
+  identity, and misses — the invalidation path — when the grammar
+  (hence the table) changes, e.g. after speculative learning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GapEngine, PPTransducerEngine
+from repro.grammar import parse_dtd, sample_partial_grammar
+from repro.xpath import (
+    clear_compile_cache,
+    compile_cache_info,
+    compile_tables,
+    compiled_tables,
+)
+
+from tests.conftest import RUNNING_DTD, RUNNING_QUERY
+
+
+@pytest.fixture
+def running_engine():
+    return GapEngine([RUNNING_QUERY], grammar=RUNNING_DTD)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+# ---------------------------------------------------------------------------
+# interning
+# ---------------------------------------------------------------------------
+
+
+class TestInterning:
+    def test_symbol_ids_are_sorted_and_stable(self, running_engine):
+        e = running_engine
+        t1 = compile_tables(e.automaton, e.table, e.anchor_sids)
+        t2 = compile_tables(e.automaton, e.table, e.anchor_sids)
+        assert t1.sym_ids == t2.sym_ids
+        assert list(t1.sym_ids.values()) == list(range(len(t1.sym_ids)))
+        assert sorted(t1.sym_ids) == list(t1.sym_ids)  # sorted tag order
+        assert t1.other_sym == len(t1.sym_ids)
+        assert t1.n_symbols == t1.other_sym + 1
+        # the whole compiled structure is reproducible, not just the ids
+        assert t1.trans == t2.trans
+        assert t1.start_sets == t2.start_sets
+        assert t1.end_sets == t2.end_sets
+
+    def test_unknown_tag_maps_to_other(self, running_engine):
+        e = running_engine
+        t = compile_tables(e.automaton, e.table, e.anchor_sids)
+        assert t.sym_of("nonexistent") == t.other_sym
+        for tag, sym in t.sym_ids.items():
+            assert t.sym_of(tag) == sym
+
+    def test_transitions_match_automaton(self, running_engine):
+        """Every dense move equals the object automaton's dict lookup."""
+        e = running_engine
+        t = compile_tables(e.automaton, e.table, e.anchor_sids)
+        for q in range(e.automaton.n_states):
+            for tag, sym in t.sym_ids.items():
+                expected = e.automaton.transitions[q].get(tag, e.automaton.other[q])
+                assert t.trans[q * t.n_symbols + sym] == expected, (q, tag)
+            assert t.trans[q * t.n_symbols + t.other_sym] == e.automaton.other[q]
+
+
+# ---------------------------------------------------------------------------
+# feasibility-row equivalence (paper running example, Table 1)
+# ---------------------------------------------------------------------------
+
+
+class TestRowEquivalence:
+    def assert_rows_match_table(self, t, table):
+        for tag, sym in t.sym_ids.items():
+            for sets, rows, lookup in (
+                (t.start_sets, t.start_rows, table.lookup_start),
+                (t.end_sets, t.end_rows, table.lookup_end),
+            ):
+                expected = lookup(tag)
+                if expected is None:
+                    assert sets[sym] is None and rows[sym] is None, tag
+                else:
+                    assert sets[sym] == tuple(sorted(expected)), tag
+                    bitmap = rows[sym]
+                    assert {s for s, bit in enumerate(bitmap) if bit} == set(
+                        expected
+                    ), tag
+        # the OTHER symbol mirrors an undeclared, unqueried tag
+        other_start = table.lookup_start("__undeclared__")
+        if other_start is None:
+            assert t.start_sets[t.other_sym] is None
+            assert t.end_sets[t.other_sym] is None
+        else:
+            assert t.start_sets[t.other_sym] == tuple(sorted(other_start))
+
+    def test_running_example_complete_grammar(self, running_engine):
+        """Figure 4's ``a (b+, c)`` grammar with ``/a/b/a/c``."""
+        e = running_engine
+        assert e.table.complete
+        t = compile_tables(e.automaton, e.table, e.anchor_sids)
+        assert t.has_table and t.complete
+        self.assert_rows_match_table(t, e.table)
+        assert t.text_set == tuple(sorted(e.table.text_states))
+        # complete grammar: unknown tags are provably infeasible
+        assert t.start_sets[t.other_sym] == ()
+        assert t.end_sets[t.other_sym] == ()
+
+    def test_running_example_partial_grammar(self):
+        """A sampled partial grammar keeps the speculative None contract."""
+        grammar = sample_partial_grammar(parse_dtd(RUNNING_DTD), 0.5, seed=2)
+        e = GapEngine([RUNNING_QUERY], grammar=grammar)
+        assert not e.table.complete
+        t = compile_tables(e.automaton, e.table, e.anchor_sids)
+        assert t.has_table and not t.complete
+        self.assert_rows_match_table(t, e.table)
+        # partial grammar: the OTHER row answers "unknown", and so does
+        # the scenario-1 text row
+        assert t.start_rows[t.other_sym] is None
+        assert t.text_set is None
+
+    def test_no_table_compiles_all_unknown(self):
+        """The PP baseline (no table) compiles every row to unknown."""
+        e = PPTransducerEngine([RUNNING_QUERY])
+        t = compile_tables(e.automaton, None, e.anchor_sids)
+        assert not t.has_table
+        assert all(r is None for r in t.start_rows)
+        assert all(r is None for r in t.end_rows)
+        assert t.text_set is None
+
+
+# ---------------------------------------------------------------------------
+# compile cache
+# ---------------------------------------------------------------------------
+
+
+class TestCompileCache:
+    def test_hit_on_identical_inputs(self, running_engine):
+        e = running_engine
+        t1 = compiled_tables(e.automaton, e.table, e.anchor_sids)
+        t2 = compiled_tables(e.automaton, e.table, e.anchor_sids)
+        assert t1 is t2
+        info = compile_cache_info()
+        assert info == {"hits": 1, "misses": 1, "size": 1}
+
+    def test_hit_on_equal_content_distinct_objects(self):
+        """Two engines over the same (query, grammar) share one compile."""
+        e1 = GapEngine([RUNNING_QUERY], grammar=RUNNING_DTD)
+        e2 = GapEngine([RUNNING_QUERY], grammar=RUNNING_DTD)
+        assert e1.automaton is not e2.automaton
+        t1 = compiled_tables(e1.automaton, e1.table, e1.anchor_sids)
+        t2 = compiled_tables(e2.automaton, e2.table, e2.anchor_sids)
+        assert t1 is t2
+        assert compile_cache_info()["hits"] == 1
+
+    def test_miss_when_grammar_changes(self):
+        """Learning new grammar invalidates by producing a new key."""
+        full = GapEngine([RUNNING_QUERY], grammar=RUNNING_DTD)
+        partial = GapEngine(
+            [RUNNING_QUERY],
+            grammar=sample_partial_grammar(parse_dtd(RUNNING_DTD), 0.5, seed=2),
+        )
+        t_full = compiled_tables(full.automaton, full.table, full.anchor_sids)
+        t_partial = compiled_tables(
+            partial.automaton, partial.table, partial.anchor_sids
+        )
+        assert t_full is not t_partial
+        info = compile_cache_info()
+        assert info["misses"] == 2 and info["hits"] == 0
+
+    def test_miss_when_query_changes(self):
+        e1 = GapEngine([RUNNING_QUERY], grammar=RUNNING_DTD)
+        e2 = GapEngine(["/a/c"], grammar=RUNNING_DTD)
+        compiled_tables(e1.automaton, e1.table, e1.anchor_sids)
+        compiled_tables(e2.automaton, e2.table, e2.anchor_sids)
+        assert compile_cache_info()["misses"] == 2
+
+    def test_speculative_learning_invalidates(self):
+        """The engine-level path: observe → new table → cache miss."""
+        qs = [RUNNING_QUERY]
+        engine = GapEngine(qs)
+        t_before = compiled_tables(engine.automaton, engine.table,
+                                   engine.anchor_sids)
+        engine.learn("<a><b><a><c>x</c></a></b><c>y</c></a>")
+        t_after = compiled_tables(engine.automaton, engine.table,
+                                  engine.anchor_sids)
+        assert t_before is not t_after
+        assert compile_cache_info()["misses"] == 2
+
+    def test_clear_resets_counters(self, running_engine):
+        e = running_engine
+        compiled_tables(e.automaton, e.table, e.anchor_sids)
+        clear_compile_cache()
+        assert compile_cache_info() == {"hits": 0, "misses": 0, "size": 0}
