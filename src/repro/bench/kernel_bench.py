@@ -33,7 +33,9 @@ at least 2× the object kernel is encoded there.
 from __future__ import annotations
 
 import json
-from time import perf_counter
+import os
+from statistics import median
+from time import perf_counter, time
 
 from ..core.engine import GapEngine
 from ..core.gap_transducer import GapPolicy
@@ -43,10 +45,27 @@ from ..transducer.runner import ChunkRunner
 from ..xmlstream.chunking import split_chunks
 from ..xmlstream.lexer import lex_range
 
-__all__ = ["measure_kernel_throughput", "gate_failures", "run_bench"]
+__all__ = [
+    "measure_kernel_throughput",
+    "gate_failures",
+    "append_history",
+    "load_history",
+    "history_failures",
+    "run_bench",
+]
 
 #: tolerated relative drop of the dense/object ratio vs the baseline
 DEFAULT_THRESHOLD = 0.15
+
+#: where ``repro bench`` appends its rolling measurement history
+DEFAULT_HISTORY = "benchmarks/results/history.jsonl"
+
+#: ``--check-history`` compares against the rolling median of this many
+#: most-recent records
+HISTORY_WINDOW = 10
+
+#: minimum prior records before the history check is meaningful
+HISTORY_MIN_RECORDS = 3
 
 
 def measure_kernel_throughput(
@@ -140,6 +159,75 @@ def gate_failures(
     return failures
 
 
+def append_history(record: dict, path: str = DEFAULT_HISTORY) -> None:
+    """Append one measurement to the JSONL history (creating parents).
+
+    A wall-clock ``recorded_at`` field is stamped here — the history is
+    a trajectory over real time, unlike the deterministic artefacts.
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    entry = dict(record)
+    entry.setdefault("recorded_at", time())
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def load_history(path: str = DEFAULT_HISTORY) -> list[dict]:
+    """Read the JSONL history (missing file → empty; bad lines skipped)."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError:
+        return []
+    records: list[dict] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(entry, dict):
+            records.append(entry)
+    return records
+
+
+def history_failures(
+    record: dict,
+    history: list[dict],
+    threshold: float = DEFAULT_THRESHOLD,
+    window: int = HISTORY_WINDOW,
+) -> list[str]:
+    """Check ``record`` against the rolling median of recent history.
+
+    Compares the dense/object ratio to the median of the last
+    ``window`` comparable records (same dataset); with fewer than
+    :data:`HISTORY_MIN_RECORDS` priors there is no meaningful centre
+    and the check passes vacuously.
+    """
+    ratios = [
+        h["dense_over_object"]
+        for h in history
+        if h.get("dataset") == record.get("dataset")
+        and isinstance(h.get("dense_over_object"), (int, float))
+    ][-window:]
+    if len(ratios) < HISTORY_MIN_RECORDS:
+        return []
+    centre = median(ratios)
+    floor = centre * (1.0 - threshold)
+    ratio = record["dense_over_object"]
+    if ratio < floor:
+        return [
+            f"dense/object ratio {ratio:.2f}x below the rolling-median floor "
+            f"{floor:.2f}x (median of last {len(ratios)} runs: {centre:.2f}x, "
+            f"threshold {threshold:.0%})"
+        ]
+    return []
+
+
 def format_report(record: dict) -> str:
     lines = [
         f"kernel throughput — {record['dataset']} scale {record['scale']}, "
@@ -165,13 +253,39 @@ def run_bench(
     baseline_path: str = "BENCH_3.json",
     threshold: float = DEFAULT_THRESHOLD,
     update_baseline: bool = False,
+    history_path: str | None = DEFAULT_HISTORY,
+    check_history: bool = False,
 ) -> int:
-    """CLI body for ``repro bench``; returns the process exit code."""
+    """CLI body for ``repro bench``; returns the process exit code.
+
+    ``history_path`` appends the measurement to a JSONL trajectory
+    (``None`` disables); ``check_history`` additionally fails the run
+    when the ratio drops more than ``threshold`` below the rolling
+    median of prior records (loaded *before* this run is appended).
+    """
     record = measure_kernel_throughput(
         dataset=dataset, scale=scale, n_chunks=n_chunks,
         n_queries=n_queries, repeats=repeats,
     )
     print(format_report(record))
+
+    exit_code = 0
+    if check_history:
+        prior = load_history(history_path) if history_path else []
+        failures = history_failures(record, prior, threshold)
+        if failures:
+            for failure in failures:
+                print(f"history FAIL: {failure}")
+            exit_code = 1
+        elif len(prior) < HISTORY_MIN_RECORDS:
+            print(f"history: only {len(prior)} prior record(s) "
+                  f"(need {HISTORY_MIN_RECORDS}) — check skipped")
+        else:
+            print(f"history OK: dense/object {record['dense_over_object']:.2f}x "
+                  f"within {threshold:.0%} of the rolling median")
+    if history_path:
+        append_history(record, history_path)
+        print(f"# history appended to {history_path}")
 
     if out:
         with open(out, "w", encoding="utf-8") as fh:
@@ -210,4 +324,4 @@ def run_bench(
             f"(baseline {baseline.get('dense_over_object', float('nan')):.2f}x, "
             f"threshold {threshold:.0%})"
         )
-    return 0
+    return exit_code

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Six commands mirror the library's workflow:
+Eight commands mirror the library's workflow:
 
 ``query``
     Run XPath queries over an XML *or JSON* file (sniffed by content)
@@ -27,7 +27,22 @@ Six commands mirror the library's workflow:
     Measure dense vs object kernel throughput on a benchmark dataset
     and (with ``--gate``) fail if the dense/object ratio regressed
     against the recorded baseline (``BENCH_3.json``) — the CI
-    performance gate (see ``docs/PERFORMANCE.md``).
+    performance gate (see ``docs/PERFORMANCE.md``).  Each measurement
+    is appended to a JSONL history (``--history``/``--no-history``)
+    and ``--check-history`` fails the run when the ratio drops below
+    the rolling median of prior records.
+
+``report``
+    Run a query with tracing *and* the flight recorder on; emit a run
+    report — chunk timeline, per-chunk path lifecycle, the paper's
+    Table 5/6 profile — to the terminal or as a self-contained HTML
+    page (``--format html``, no scripts, no external assets).
+
+``explain``
+    Replay one chunk's flight-recorder journal tag by tag: which paths
+    were spawned where and why, which tags eliminated them (the
+    paper's three elimination scenarios), where the chunk converged
+    and where it switched from stack to tree mode.
 
 ``profile``
     Run a query with tracing on and print the per-chunk timeline
@@ -36,10 +51,11 @@ Six commands mirror the library's workflow:
     ``chrome://tracing`` / Perfetto) and a metrics snapshot
     (``--metrics-out``).
 
-``query``, ``speedup`` and ``profile`` share the observability flags:
-``--trace`` (print a span summary), ``--trace-out FILE``,
-``--metrics-out FILE`` (Prometheus text, or JSON when FILE ends with
-``.json``), ``--log-level LEVEL`` and ``--backend
+``query``, ``speedup``, ``profile``, ``report`` and ``explain`` share
+the observability flags: ``--trace`` (print a span summary),
+``--trace-out FILE``, ``--metrics-out FILE`` (Prometheus text, or JSON
+when FILE ends with ``.json``), ``--journal-out FILE`` (flight
+recorder JSONL), ``--log-level LEVEL`` and ``--backend
 {serial,thread,process}`` — plus the resilience flags
 ``--chunk-timeout``, ``--max-retries`` and ``--inject-faults`` (see
 ``docs/ROBUSTNESS.md``): giving any of them supervises the parallel
@@ -57,13 +73,20 @@ from .core.inference import infer_feasible_paths
 from .datasets import ALL_DATASETS, dataset_by_name, generate_query_set
 from .grammar import build_syntax_tree, is_xsd, parse_dtd, parse_xsd
 from .obs import (
+    Journal,
     MetricsRegistry,
     Tracer,
+    build_report,
     collect_run_metrics,
     configure_logging,
+    explain_chunk,
+    format_explain,
     format_timeline,
+    render_html,
+    render_terminal,
     write_chrome_trace,
 )
+from .obs.journal import NULL_JOURNAL
 from .obs.tracer import NULL_TRACER
 from .parallel import SimulatedCluster
 
@@ -161,7 +184,55 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="tolerated relative ratio drop for --gate (default 0.15)")
     b.add_argument("--update-baseline", action="store_true",
                    help="record this measurement as the new baseline")
+    b.add_argument("--history", default=None, metavar="FILE",
+                   help="JSONL file the measurement is appended to "
+                        "(default: benchmarks/results/history.jsonl)")
+    b.add_argument("--no-history", action="store_true",
+                   help="do not append this measurement to the history file")
+    b.add_argument("--check-history", action="store_true",
+                   help="fail (exit 1) if the dense/object ratio drops more "
+                        "than --threshold below the rolling median of prior "
+                        "history records")
     b.set_defaults(func=_cmd_bench)
+
+    r = sub.add_parser(
+        "report",
+        help="run a query with the flight recorder on; emit a run report",
+    )
+    r.add_argument("file", help="XML or JSON document (use '-' for stdin)")
+    r.add_argument("-q", "--query", action="append", required=True, dest="queries",
+                   help="XPath query (repeatable)")
+    r.add_argument("-g", "--grammar", help="DTD or XSD file (default: the document's inline DTD, if any)")
+    r.add_argument("-e", "--engine", choices=("gap", "pp", "seq"), default="gap")
+    r.add_argument("-n", "--chunks", type=int, default=8, help="parallel chunks (default 8)")
+    r.add_argument("--learn", action="append", default=[], metavar="FILE",
+                   help="prior document(s) to learn a partial grammar from (speculative mode)")
+    r.add_argument("--format", choices=("terminal", "html"), default="terminal",
+                   dest="report_format", help="report format (default terminal)")
+    r.add_argument("-o", "--output", metavar="FILE",
+                   help="write the report to FILE instead of stdout")
+    _add_kernel_arg(r)
+    _add_obs_args(r)
+    _add_resilience_args(r)
+    r.set_defaults(func=_cmd_report)
+
+    x = sub.add_parser(
+        "explain",
+        help="replay one chunk's flight-recorder journal tag by tag",
+    )
+    x.add_argument("file", help="XML or JSON document (use '-' for stdin)")
+    x.add_argument("chunk", type=int, help="chunk index to explain")
+    x.add_argument("-q", "--query", action="append", required=True, dest="queries",
+                   help="XPath query (repeatable)")
+    x.add_argument("-g", "--grammar", help="DTD or XSD file (default: the document's inline DTD, if any)")
+    x.add_argument("-e", "--engine", choices=("gap", "pp", "seq"), default="gap")
+    x.add_argument("-n", "--chunks", type=int, default=8, help="parallel chunks (default 8)")
+    x.add_argument("--learn", action="append", default=[], metavar="FILE",
+                   help="prior document(s) to learn a partial grammar from (speculative mode)")
+    _add_kernel_arg(x)
+    _add_obs_args(x)
+    _add_resilience_args(x)
+    x.set_defaults(func=_cmd_explain)
     return parser
 
 
@@ -212,6 +283,9 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
                    help="write Chrome-tracing JSON (chrome://tracing / Perfetto); implies --trace")
     p.add_argument("--metrics-out", metavar="FILE",
                    help="write run metrics (Prometheus text; JSON when FILE ends with .json)")
+    p.add_argument("--journal-out", metavar="FILE",
+                   help="record the flight-recorder event journal and write it "
+                        "as JSONL (path lifecycle, speculation, resilience)")
     p.add_argument("--log-level", metavar="LEVEL",
                    help="enable repro logging at LEVEL (DEBUG, INFO, ...)")
     p.add_argument("--backend", choices=("serial", "thread", "process"),
@@ -247,13 +321,14 @@ def _format_stat(value: float) -> str:
 # -- observability plumbing shared by query/speedup/profile -----------------
 
 
-def _obs_prepare(args: argparse.Namespace, force_trace: bool = False):
-    """Apply --log-level and build the run's tracer."""
+def _obs_prepare(args: argparse.Namespace, force_trace: bool = False,
+                 force_journal: bool = False):
+    """Apply --log-level; build the run's (tracer, journal) pair."""
     if args.log_level:
         configure_logging(args.log_level)
-    if force_trace or args.trace or args.trace_out:
-        return Tracer()
-    return NULL_TRACER
+    tracer = Tracer() if (force_trace or args.trace or args.trace_out) else NULL_TRACER
+    journal = Journal() if (force_journal or args.journal_out) else NULL_JOURNAL
+    return tracer, journal
 
 
 def _write_metrics(registry: MetricsRegistry, path: str) -> None:
@@ -265,8 +340,13 @@ def _write_metrics(registry: MetricsRegistry, path: str) -> None:
             fh.write(registry.to_prometheus())
 
 
-def _obs_emit(args: argparse.Namespace, tracer, registry: MetricsRegistry | None) -> None:
-    """Write --trace-out / --metrics-out and print the --trace summary."""
+def _obs_emit(args: argparse.Namespace, tracer, registry: MetricsRegistry | None,
+              journal=NULL_JOURNAL) -> None:
+    """Write --trace-out / --metrics-out / --journal-out; print --trace."""
+    if args.journal_out and journal.enabled:
+        journal.write_jsonl(args.journal_out)
+        print(f"# journal written to {args.journal_out} "
+              f"({len(journal.events)} event(s), {journal.dropped} dropped)")
     if args.trace and tracer.enabled:
         print("# trace (seconds by phase)")
         by_phase: dict[str, float] = {}
@@ -286,8 +366,9 @@ def _obs_emit(args: argparse.Namespace, tracer, registry: MetricsRegistry | None
 # ---------------------------------------------------------------------------
 
 
-def _build_query_engine(args: argparse.Namespace, content: str, as_json: bool, tracer):
-    """Construct the engine the query/profile commands share."""
+def _build_query_engine(args: argparse.Namespace, content: str, as_json: bool, tracer,
+                        journal=None):
+    """Construct the engine the query/profile/report commands share."""
     resilience, faults = _resilience_from_args(args)
     if args.engine == "seq":
         return SequentialEngine(args.queries, backend=args.backend, tracer=tracer)
@@ -295,6 +376,7 @@ def _build_query_engine(args: argparse.Namespace, content: str, as_json: bool, t
         return PPTransducerEngine(
             args.queries, n_chunks=args.chunks, backend=args.backend, tracer=tracer,
             resilience=resilience, faults=faults, kernel=args.kernel,
+            journal=journal,
         )
     grammar = None
     if args.grammar:
@@ -305,6 +387,7 @@ def _build_query_engine(args: argparse.Namespace, content: str, as_json: bool, t
         args.queries, grammar=grammar, n_chunks=args.chunks,
         backend=args.backend, tracer=tracer,
         resilience=resilience, faults=faults, kernel=args.kernel,
+        journal=journal,
     )
     for prior in args.learn:
         prior_text = _read(prior)
@@ -328,7 +411,7 @@ def _execute(engine, args: argparse.Namespace, content: str, tokens):
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    tracer = _obs_prepare(args)
+    tracer, journal = _obs_prepare(args)
     content = _read(args.file)
     as_json = _looks_like_json(content)
     tokens = None
@@ -337,7 +420,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
         tokens = tokenize_json(content)
 
-    with _build_query_engine(args, content, as_json, tracer) as engine:
+    with _build_query_engine(args, content, as_json, tracer, journal) as engine:
         result = _execute(engine, args, content, tokens)
     if args.engine == "gap":
         print(f"# engine: gap ({engine.mode})")
@@ -355,16 +438,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
             else:
                 print(f"  @{offset}")
     if args.stats:
+        from .xpath.compile_tables import compile_cache_info
+
         print("# stats")
         for key, value in result.stats.summary().items():
             print(f"  {key}: {_format_stat(value)}")
+        cache = compile_cache_info()
+        print(f"  compile_cache_hits: {cache['hits']}")
+        print(f"  compile_cache_misses: {cache['misses']}")
 
     registry = None
     if args.metrics_out:
         registry = collect_run_metrics(
             result.stats, matches=result.matches, spans=tracer.spans
         )
-    _obs_emit(args, tracer, registry)
+    _obs_emit(args, tracer, registry, journal)
     return 0
 
 
@@ -410,7 +498,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_speedup(args: argparse.Namespace) -> int:
-    tracer = _obs_prepare(args)
+    tracer, journal = _obs_prepare(args)
     ds = dataset_by_name(args.dataset)
     queries = generate_query_set(ds, args.n_queries)
     xml = ds.generate(scale=args.scale, seed=0)
@@ -426,11 +514,11 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
         ("pp", PPTransducerEngine(queries, n_chunks=args.cores,
                                   backend=args.backend, tracer=tracer,
                                   resilience=resilience, faults=faults,
-                                  kernel=args.kernel)),
+                                  kernel=args.kernel, journal=journal)),
         ("gap", GapEngine(queries, grammar=ds.grammar, n_chunks=args.cores,
                           backend=args.backend, tracer=tracer,
                           resilience=resilience, faults=faults,
-                          kernel=args.kernel)),
+                          kernel=args.kernel, journal=journal)),
     ):
         with engine:
             res = engine.run(xml)
@@ -447,12 +535,12 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
                 registry.gauge(f"repro_sim_{key}", "Simulated-cluster scheduling output",
                                engine=name).set(value)
             collect_run_metrics(res.stats, registry=registry)
-    _obs_emit(args, tracer, registry)
+    _obs_emit(args, tracer, registry, journal)
     return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .bench.kernel_bench import run_bench
+    from .bench.kernel_bench import DEFAULT_HISTORY, run_bench
 
     return run_bench(
         dataset=args.dataset,
@@ -465,11 +553,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         baseline_path=args.baseline,
         threshold=args.threshold,
         update_baseline=args.update_baseline,
+        history_path=None if args.no_history else (args.history or DEFAULT_HISTORY),
+        check_history=args.check_history,
     )
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    tracer = _obs_prepare(args, force_trace=True)
+    tracer, journal = _obs_prepare(args, force_trace=True)
     content = _read(args.file)
     as_json = _looks_like_json(content)
     tokens = None
@@ -480,7 +570,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             tokens = tokenize_json(content)
             sp.args["tokens"] = len(tokens)
 
-    with _build_query_engine(args, content, as_json, tracer) as engine:
+    with _build_query_engine(args, content, as_json, tracer, journal) as engine:
         result = _execute(engine, args, content, tokens)
 
     mode = f"gap ({engine.mode})" if args.engine == "gap" else args.engine
@@ -498,7 +588,77 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         registry = collect_run_metrics(
             result.stats, matches=result.matches, spans=tracer.spans
         )
-    _obs_emit(args, tracer, registry)
+    _obs_emit(args, tracer, registry, journal)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    tracer, journal = _obs_prepare(args, force_trace=True, force_journal=True)
+    content = _read(args.file)
+    as_json = _looks_like_json(content)
+    tokens = None
+    if as_json:
+        from .jsonstream import tokenize_json
+
+        with tracer.span("lex", cat="phase") as sp:
+            tokens = tokenize_json(content)
+            sp.args["tokens"] = len(tokens)
+
+    with _build_query_engine(args, content, as_json, tracer, journal) as engine:
+        result = _execute(engine, args, content, tokens)
+
+    mode = f"gap ({engine.mode})" if args.engine == "gap" else args.engine
+    report = build_report(
+        result.stats, journal, spans=tracer.spans, matches=result.matches,
+        title=f"repro run report — {args.file}",
+        meta={
+            "file": args.file,
+            "bytes": len(content),
+            "engine": mode,
+            "kernel": args.kernel,
+            "chunks": args.chunks,
+            "backend": args.backend or "serial",
+        },
+    )
+    rendered = (render_html(report) if args.report_format == "html"
+                else render_terminal(report))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(rendered)
+            if not rendered.endswith("\n"):
+                fh.write("\n")
+        print(f"# report written to {args.output}")
+    else:
+        print(rendered)
+
+    registry = None
+    if args.metrics_out:
+        registry = collect_run_metrics(
+            result.stats, matches=result.matches, spans=tracer.spans
+        )
+    _obs_emit(args, tracer, registry, journal)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    tracer, journal = _obs_prepare(args, force_journal=True)
+    content = _read(args.file)
+    as_json = _looks_like_json(content)
+    tokens = None
+    if as_json:
+        from .jsonstream import tokenize_json
+
+        tokens = tokenize_json(content)
+    if not 0 <= args.chunk < args.chunks:
+        raise ValueError(
+            f"chunk {args.chunk} out of range for a {args.chunks}-chunk run"
+        )
+
+    with _build_query_engine(args, content, as_json, tracer, journal) as engine:
+        _execute(engine, args, content, tokens)
+
+    print(format_explain(explain_chunk(journal, args.chunk)))
+    _obs_emit(args, tracer, None, journal)
     return 0
 
 

@@ -36,6 +36,7 @@ from ..grammar.dtd_parser import parse_dtd
 from ..grammar.model import Grammar
 from ..grammar.xsd_parser import is_xsd, parse_xsd
 from ..grammar.syntax_tree import StaticSyntaxTree, build_syntax_tree
+from ..obs.journal import Journal, NULL_JOURNAL
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..parallel.backend import Backend, get_backend
 from ..parallel.faults import FaultPlane, parse_fault_spec
@@ -141,6 +142,11 @@ class _EngineBase:
     differential oracle.  Both produce identical matches, events and
     work counters; the sequential engine has no chunk phase and
     ignores the knob.
+
+    ``journal`` is a :class:`~repro.obs.journal.Journal` recording the
+    structured path-lifecycle event stream (the flight recorder); the
+    default :data:`~repro.obs.journal.NULL_JOURNAL` records nothing at
+    effectively zero cost.
     """
 
     def __init__(
@@ -152,6 +158,7 @@ class _EngineBase:
         resilience: RetryPolicy | None = None,
         faults: FaultPlane | str | None = None,
         kernel: str = "dense",
+        journal: Journal | None = None,
     ) -> None:
         if not queries:
             raise EngineError("at least one query is required")
@@ -167,6 +174,7 @@ class _EngineBase:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.resilience = resilience
         self.faults = parse_fault_spec(faults) if isinstance(faults, str) else faults
+        self.journal = journal if journal is not None else NULL_JOURNAL
 
     def close(self) -> None:
         """Release the engine's backend pool, if the engine owns one.
@@ -328,14 +336,17 @@ class PPTransducerEngine(_EngineBase):
         resilience: RetryPolicy | None = None,
         faults: FaultPlane | str | None = None,
         kernel: str = "dense",
+        journal: Journal | None = None,
     ) -> None:
         super().__init__(queries, backend, minimize=minimize, tracer=tracer,
-                         resilience=resilience, faults=faults, kernel=kernel)
+                         resilience=resilience, faults=faults, kernel=kernel,
+                         journal=journal)
         self.n_chunks = n_chunks
         self.policy = BaselinePolicy(self.automaton)
         self._pipeline = ParallelPipeline(
             self.automaton, self.policy, self.anchor_sids, self.backend, self.tracer,
             resilience=self.resilience, faults=self.faults, kernel=self.kernel,
+            journal=self.journal,
         )
 
     def run(self, text: str, n_chunks: int | None = None) -> QueryResult:
@@ -395,9 +406,11 @@ class GapEngine(_EngineBase):
         resilience: RetryPolicy | None = None,
         faults: FaultPlane | str | None = None,
         kernel: str = "dense",
+        journal: Journal | None = None,
     ) -> None:
         super().__init__(queries, backend, minimize=minimize, tracer=tracer,
-                         resilience=resilience, faults=faults, kernel=kernel)
+                         resilience=resilience, faults=faults, kernel=kernel,
+                         journal=journal)
         if mode not in ("auto", "nonspec", "spec"):
             raise EngineError(f"unknown mode {mode!r} (expected auto/nonspec/spec)")
         self.n_chunks = n_chunks
@@ -478,6 +491,7 @@ class GapEngine(_EngineBase):
         return ParallelPipeline(
             self.automaton, policy, self.anchor_sids, self.backend, self.tracer,
             resilience=self.resilience, faults=self.faults, kernel=self.kernel,
+            journal=self.journal,
         )
 
     def run(

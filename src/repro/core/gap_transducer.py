@@ -93,10 +93,12 @@ def run_gap_transducer(
     switch_to_stack: bool = True,
     backend: Backend | None = None,
     kernel: str = "dense",
+    journal=None,
 ) -> ParallelRunResult:
     """One-shot GAP run (mode follows the table's completeness)."""
     policy = GapPolicy(
         automaton, table, eliminate=eliminate, switch_to_stack=switch_to_stack
     )
-    pipeline = ParallelPipeline(automaton, policy, anchor_sids, backend, kernel=kernel)
+    pipeline = ParallelPipeline(automaton, policy, anchor_sids, backend,
+                                kernel=kernel, journal=journal)
     return pipeline.run(text, n_chunks)

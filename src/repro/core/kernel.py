@@ -45,6 +45,8 @@ from __future__ import annotations
 import logging
 from collections.abc import Iterable
 
+from ..obs.journal import NULL_JOURNAL
+from ..obs.logsetup import get_logger
 from ..transducer.counters import WorkCounters
 from ..transducer.doubletree import PathGroup, merge_groups, segment_entries
 from ..transducer.mapping import ChunkResult, Cohort, Segment
@@ -54,7 +56,7 @@ from ..transducer.policies import (
     BaselinePolicy,
     PathPolicy,
 )
-from ..transducer.runner import _LiveCohort
+from ..transducer.runner import _LiveCohort, spawn_states_arg
 from ..xmlstream.tokens import Token, TokenKind
 from ..xpath.automaton import QueryAutomaton
 from ..xpath.compile_tables import KernelTables, compiled_tables
@@ -63,7 +65,7 @@ from .gap_transducer import GapPolicy
 
 __all__ = ["DenseRunner", "tables_for_policy"]
 
-logger = logging.getLogger("repro.core.kernel")
+logger = get_logger("core.kernel")
 
 _START = int(TokenKind.START)
 _END = int(TokenKind.END)
@@ -73,6 +75,7 @@ def tables_for_policy(
     automaton: QueryAutomaton,
     policy: PathPolicy,
     anchor_sids: frozenset[int] = frozenset(),
+    journal=NULL_JOURNAL,
 ) -> KernelTables | None:
     """Compile (and cache) dense tables for a recognised policy.
 
@@ -85,9 +88,9 @@ def tables_for_policy(
     """
     t = type(policy)
     if t is BaselinePolicy or t is PathPolicy:
-        return compiled_tables(automaton, None, anchor_sids)
+        return compiled_tables(automaton, None, anchor_sids, journal=journal)
     if t is GapPolicy:
-        return compiled_tables(automaton, policy.table, anchor_sids)
+        return compiled_tables(automaton, policy.table, anchor_sids, journal=journal)
     return None
 
 
@@ -120,6 +123,9 @@ class DenseRunner:
         self.tables = tables
         # DEBUG logging is sampled once per chunk, not per token
         self._debug = False
+        # journal + chunk identity of the run_chunk call in progress
+        self._journal = NULL_JOURNAL
+        self._chunk = -1
 
     # ------------------------------------------------------------------
 
@@ -130,11 +136,20 @@ class DenseRunner:
         begin: int,
         end: int,
         start_states: frozenset[int] | None = None,
+        journal=NULL_JOURNAL,
     ) -> ChunkResult:
-        """Process one chunk; mirrors ``ChunkRunner.run_chunk`` exactly."""
+        """Process one chunk; mirrors ``ChunkRunner.run_chunk`` exactly.
+
+        ``journal`` records path-lifecycle events at the same sites the
+        object runner does; the fast loops are never instrumented (they
+        only run while no lifecycle event is possible), so the default
+        :data:`~repro.obs.journal.NULL_JOURNAL` costs nothing.
+        """
         T = self.tables
         policy = self.policy
         self._debug = logger.isEnabledFor(logging.DEBUG)
+        self._journal = journal
+        self._chunk = index
         counters = WorkCounters(chunks=1, bytes_lexed=end - begin)
         result = ChunkResult(index=index, begin=begin, end=end, counters=counters)
 
@@ -142,6 +157,10 @@ class DenseRunner:
         if not toks:
             states = start_states if start_states is not None else T.all_states
             counters.starting_paths = len(states)
+            if journal.enabled:
+                reason = "initial" if start_states is not None else "enumerate"
+                journal.record("path_spawn", chunk=index, offset=begin,
+                               reason=reason, **spawn_states_arg(states))
             groups = [PathGroup.fresh(s) for s in sorted(states)]
             main = Cohort(restart_offset=begin)
             main.segments.append(Segment(entries=segment_entries(groups, final=True)))
@@ -152,17 +171,24 @@ class DenseRunner:
         sym_of = T.sym_ids.get
         other_sym = T.other_sym
 
+        spawn_reason = "initial"
         if start_states is None:
             inferred = self._scenario1(toks[0])
             if inferred is None:
                 inferred = T.all_states
+                spawn_reason = "enumerate"
                 if policy.table_based:
                     counters.degraded_lookups += 1
+            else:
+                spawn_reason = "scenario1"
             start_states = inferred
 
         main = _LiveCohort(cohort=Cohort(restart_offset=begin))
         main.groups = [PathGroup.fresh(s) for s in sorted(start_states)]
         counters.starting_paths = len(main.groups)
+        if journal.enabled:
+            journal.record("path_spawn", chunk=index, offset=begin,
+                           reason=spawn_reason, **spawn_states_arg(start_states))
         cohorts: list[_LiveCohort] = [main]
 
         eliminate = policy.eliminate
@@ -363,6 +389,9 @@ class DenseRunner:
                             g.state = g.stack.pop()
                         lc.groups, converged = merge_groups(lc.groups)
                         counters.paths_converged += converged
+                        if converged and journal.enabled:
+                            journal.record("converge", chunk=index, offset=offset,
+                                           merged=converged, live=len(lc.groups))
                     else:
                         self._diverge(lc, sym, tag, offset, depth, counters)
                         pending_check = True
@@ -380,6 +409,9 @@ class DenseRunner:
                 if new_mode != stack_mode:
                     counters.switches += 1
                     stack_mode = new_mode
+                    if journal.enabled:
+                        journal.record("switch", chunk=index, offset=tok.offset,
+                                       to="stack" if new_mode else "tree")
 
         for lc in cohorts:
             lc.cohort.segments.append(
@@ -387,6 +419,13 @@ class DenseRunner:
             )
             result.cohorts.append(lc.cohort)
         counters.mapping_entries = result.mapping_entries()
+        if self._debug and counters.paths_eliminated:
+            logger.debug(
+                "chunk %d path-kill summary: started %d, eliminated %d, "
+                "converged %d, %d divergence(s), %d switch(es)",
+                index, counters.starting_paths, counters.paths_eliminated,
+                counters.paths_converged, counters.divergences, counters.switches,
+            )
         return result
 
     # ------------------------------------------------------------------
@@ -429,6 +468,11 @@ class DenseRunner:
             lc.groups = kept
             live_states.update(g.state for g in kept)
         counters.paths_eliminated += eliminated
+        journal = self._journal
+        if journal.enabled and eliminated:
+            journal.record("path_killed", chunk=self._chunk, offset=offset, tag=tag,
+                           reason="infeasible", killed=eliminated,
+                           live=sum(len(lc.groups) for lc in cohorts))
         if self._debug and eliminated:
             logger.debug(
                 "scenario-3 check before <%s> at %d: eliminated %d path(s), %d live",
@@ -448,6 +492,10 @@ class DenseRunner:
                 )
                 revived.groups = [PathGroup.fresh(s) for s in missing]
                 cohorts.append(revived)
+                if journal.enabled:
+                    journal.record("path_spawn", chunk=self._chunk, offset=offset,
+                                   tag=tag, reason="revival",
+                                   **spawn_states_arg(missing))
 
     def _diverge(
         self,
@@ -474,12 +522,18 @@ class DenseRunner:
             else:
                 kept = [g for g in groups if row[g.state]]
                 counters.paths_eliminated += len(groups) - len(kept)
-                if self._debug and len(kept) < len(groups):
-                    logger.debug(
-                        "scenario-2 check at divergence </%s> at %d: "
-                        "eliminated %d path(s), %d live",
-                        tag, offset, len(groups) - len(kept), len(kept),
-                    )
+                if len(kept) < len(groups):
+                    if self._journal.enabled:
+                        self._journal.record(
+                            "path_killed", chunk=self._chunk, offset=offset,
+                            tag=tag, reason="underflow",
+                            killed=len(groups) - len(kept), live=len(kept))
+                    if self._debug:
+                        logger.debug(
+                            "scenario-2 check at divergence </%s> at %d: "
+                            "eliminated %d path(s), %d live",
+                            tag, offset, len(groups) - len(kept), len(kept),
+                        )
                 groups = kept
 
         close_accepts = T.close_accepts
@@ -498,6 +552,10 @@ class DenseRunner:
             if policy.table_based:
                 counters.degraded_lookups += 1
         lc.groups = [PathGroup.fresh(v) for v in candidates]
+        if self._journal.enabled:
+            self._journal.record("path_spawn", chunk=self._chunk, offset=offset,
+                                 tag=tag, reason="divergence",
+                                 **spawn_states_arg(candidates))
 
     def _pop_candidates(self, sym: int) -> tuple[int, ...] | None:
         """Dense ``policy.pop_candidates`` (rows are pre-sorted)."""

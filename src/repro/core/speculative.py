@@ -25,6 +25,7 @@ from collections.abc import Iterable
 
 from ..grammar.extraction import extract_syntax_tree
 from ..grammar.syntax_tree import StaticSyntaxTree
+from ..obs.logsetup import get_logger
 from ..xpath.automaton import QueryAutomaton
 from ..xmlstream.lexer import lex
 from ..xmlstream.tokens import Token
@@ -32,7 +33,7 @@ from .inference import FeasibleTable, infer_feasible_paths
 
 __all__ = ["GrammarLearner", "empty_speculative_table"]
 
-logger = logging.getLogger("repro.core.speculative")
+logger = get_logger("core.speculative")
 
 
 class GrammarLearner:

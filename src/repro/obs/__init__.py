@@ -14,6 +14,13 @@ this package gives every run a measurable shape:
 * :mod:`repro.obs.export` — **Chrome-tracing JSON** (loadable in
   ``chrome://tracing`` / Perfetto) and the per-chunk timeline table
   behind ``repro profile``;
+* :mod:`repro.obs.journal` — the **flight recorder**: a bounded,
+  structured event journal of the path lifecycle (spawn / kill /
+  converge / switch), speculation and resilience events, off by
+  default via the zero-cost :data:`NULL_JOURNAL`;
+* :mod:`repro.obs.report` — ``repro report`` / ``repro explain``:
+  terminal and self-contained HTML run reports built from spans +
+  journal + stats;
 * :mod:`repro.obs.logsetup` — stdlib :mod:`logging` wiring for the
   ``repro`` logger hierarchy (package ``NullHandler`` by default,
   ``configure_logging`` for CLI ``--log-level``).
@@ -29,6 +36,7 @@ Quick start::
         print(span.name, f"{span.duration * 1e3:.2f} ms", span.args)
 """
 
+from .journal import NULL_JOURNAL, Event, Journal, NullJournal
 from .logsetup import configure_logging, get_logger
 from .metrics import (
     Counter,
@@ -44,23 +52,41 @@ from .export import (
     format_timeline,
     write_chrome_trace,
 )
+from .report import (
+    RunReport,
+    build_report,
+    explain_chunk,
+    format_explain,
+    render_html,
+    render_terminal,
+)
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "Counter",
+    "Event",
     "Gauge",
     "Histogram",
+    "Journal",
     "MetricsRegistry",
+    "NULL_JOURNAL",
     "NULL_TRACER",
+    "NullJournal",
     "NullTracer",
+    "RunReport",
     "Span",
     "Tracer",
+    "build_report",
     "chrome_trace",
     "chunk_timeline",
     "collect_run_metrics",
     "configure_logging",
+    "explain_chunk",
+    "format_explain",
     "format_timeline",
     "get_logger",
+    "render_html",
+    "render_terminal",
     "table_registry",
     "write_chrome_trace",
 ]

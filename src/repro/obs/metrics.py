@@ -309,6 +309,15 @@ def collect_run_metrics(
                 "Chunk attempts that exceeded the chunk timeout").inc(c.timeouts)
     reg.counter("repro_fallbacks_total",
                 "Chunks re-executed on the serial fallback").inc(c.fallbacks)
+    # process-wide compile-cache counters (lazy import: metrics must not
+    # pull the xpath package in at module load)
+    from ..xpath.compile_tables import compile_cache_info
+
+    cache = compile_cache_info()
+    reg.counter("repro_compile_cache_hits_total",
+                "Dense-table compile cache hits (process-wide)").inc(cache["hits"])
+    reg.counter("repro_compile_cache_misses_total",
+                "Dense-table compile cache misses (process-wide)").inc(cache["misses"])
     reg.gauge("repro_mapping_entries", "Mapping entries at chunk completion").set(c.mapping_entries)
     reg.gauge("repro_avg_starting_paths",
               "Average starting execution paths per chunk (Table 5)").set(stats.avg_starting_paths)

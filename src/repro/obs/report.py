@@ -1,0 +1,460 @@
+"""Run reports and chunk explanations over the flight-recorder stream.
+
+Turns one run's observability artefacts — tracing spans
+(:mod:`repro.obs.tracer`), the structured event journal
+(:mod:`repro.obs.journal`) and the run statistics
+(:mod:`repro.core.stats`) — into three human-facing products:
+
+* :func:`build_report` + :func:`render_terminal` — the aligned-text run
+  report behind ``repro report`` (chunk timeline, per-chunk path
+  lifecycle, the Table 5/6 profile);
+* :func:`render_html` — the same report as a **self-contained,
+  deterministic** single HTML file: inline CSS only, no scripts, no
+  network assets, and byte-identical output for identical input (the
+  renderer is a pure function of the :class:`RunReport`);
+* :func:`explain_chunk` + :func:`format_explain` — ``repro explain``:
+  replay one chunk's journal tag-by-tag and show where paths were
+  spawned, killed, converged and switched.
+
+The HTML palette follows the repo's chart conventions: chart-chrome
+inks for all text, one categorical series hue for the bars (a single
+series needs no legend), light and dark values swapped by
+``prefers-color-scheme`` with an explicit ``data-theme`` override.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from .journal import Event, Journal
+
+__all__ = [
+    "ChunkExplanation",
+    "RunReport",
+    "build_report",
+    "explain_chunk",
+    "format_explain",
+    "render_terminal",
+    "render_html",
+]
+
+
+# ---------------------------------------------------------------------------
+# explain: replay one chunk's lifecycle
+
+
+#: journal kind → the verb the explanation prints
+_EXPLAIN_VERBS = {
+    "path_spawn": "spawn",
+    "path_killed": "kill",
+    "converge": "converge",
+    "switch": "switch",
+    "misspeculation": "misspeculate",
+    "reprocess": "reprocess",
+    "retry": "retry",
+    "timeout": "timeout",
+    "invalid": "invalid",
+    "fallback": "fallback",
+}
+
+
+@dataclass(slots=True)
+class ChunkExplanation:
+    """One chunk's journal, replayed into a tag-by-tag narrative."""
+
+    chunk: int
+    #: ``[offset, tag, event, detail, live]`` rows in journal order
+    rows: list[list[object]] = field(default_factory=list)
+    #: paths the chunk started with (the Table 5 quantity for the chunk)
+    starting_paths: int = 0
+    spawned: int = 0
+    killed: int = 0
+    converged: int = 0
+    switches: int = 0
+    misspeculated: bool = False
+    #: offset of the first convergence down to a single live group
+    converge_offset: int | None = None
+
+    @property
+    def headers(self) -> list[str]:
+        return ["offset", "tag", "event", "detail", "live"]
+
+
+def _event_detail(ev: Event) -> str:
+    a = ev.args
+    kind = ev.kind
+    if kind == "path_spawn":
+        states = a.get("states")
+        suffix = f" states={list(states)}" if states is not None else ""
+        return f"{a.get('reason', '?')}{suffix}"
+    if kind == "path_killed":
+        return f"{a.get('reason', '?')} killed={a.get('killed', '?')}"
+    if kind == "converge":
+        return f"merged={a.get('merged', '?')}"
+    if kind == "switch":
+        return f"to={a.get('to', '?')}"
+    if kind == "misspeculation":
+        return f"state={a.get('state', '?')} stack_depth={a.get('stack_depth', '?')}"
+    if kind == "reprocess":
+        return f"[{a.get('begin', '?')}, {a.get('end', '?')}) tokens={a.get('tokens', '?')}"
+    if kind in ("retry", "timeout", "invalid"):
+        return f"attempt={a.get('attempt', '?')}"
+    if kind == "fallback":
+        return f"attempts={a.get('attempts', '?')}"
+    return ""
+
+
+def explain_chunk(journal: Journal, chunk: int) -> ChunkExplanation:
+    """Replay ``chunk``'s journal events into a :class:`ChunkExplanation`.
+
+    Spawn reasons ``initial``/``scenario1``/``enumerate`` mark the
+    chunk's *starting* paths (Table 5's per-chunk quantity); subsequent
+    ``divergence``/``revival`` spawns are mid-chunk path growth.
+    """
+    exp = ChunkExplanation(chunk=chunk)
+    for ev in journal.events_for_chunk(chunk):
+        verb = _EXPLAIN_VERBS.get(ev.kind)
+        if verb is None:
+            continue
+        live = ev.args.get("live")
+        exp.rows.append([
+            ev.offset if ev.offset >= 0 else None,
+            ev.tag,
+            verb,
+            _event_detail(ev),
+            live,
+        ])
+        if ev.kind == "path_spawn":
+            n = ev.args.get("live", 0)
+            exp.spawned += n
+            if ev.args.get("reason") in ("initial", "scenario1", "enumerate"):
+                exp.starting_paths = max(exp.starting_paths, n)
+        elif ev.kind == "path_killed":
+            exp.killed += ev.args.get("killed", 0)
+        elif ev.kind == "converge":
+            exp.converged += ev.args.get("merged", 0)
+            if exp.converge_offset is None and ev.args.get("live") == 1:
+                exp.converge_offset = ev.offset
+        elif ev.kind == "switch":
+            exp.switches += 1
+        elif ev.kind == "misspeculation":
+            exp.misspeculated = True
+    return exp
+
+
+def format_explain(exp: ChunkExplanation) -> str:
+    """Render one chunk's explanation as aligned text."""
+    from ..bench.reporting import format_table  # lazy: avoids an import cycle
+
+    lines = [
+        f"chunk {exp.chunk}: started {exp.starting_paths} path(s), "
+        f"spawned {exp.spawned}, killed {exp.killed}, "
+        f"converged {exp.converged}, {exp.switches} switch(es)"
+    ]
+    if exp.converge_offset is not None:
+        lines.append(f"converged to a single path at offset {exp.converge_offset}")
+    if exp.misspeculated:
+        lines.append("misspeculated at join time (reprocessing engaged)")
+    if exp.rows:
+        lines.append(format_table(exp.headers, exp.rows))
+    else:
+        lines.append("(no journal events for this chunk — was the journal enabled?)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# the run report
+
+
+@dataclass(slots=True)
+class RunReport:
+    """Everything the terminal and HTML renderers consume.
+
+    A plain data holder: both renderers are pure functions of this, so
+    rendering the same report twice is byte-identical.
+    """
+
+    title: str
+    #: ordered run facts shown in the header (file, engine, chunks, …)
+    meta: dict[str, object] = field(default_factory=dict)
+    #: per-chunk timeline bars: (label, start_ms, dur_ms, tokens, switches, paths)
+    timeline: list[list[object]] = field(default_factory=list)
+    #: per-chunk lifecycle: (chunk, start paths, spawned, killed,
+    #: converged, switches, misspeculated)
+    lifecycle: list[list[object]] = field(default_factory=list)
+    #: Table 5/6 profile: (metric, value)
+    profile: list[list[object]] = field(default_factory=list)
+    #: journal event totals: (kind, count)
+    event_counts: list[list[object]] = field(default_factory=list)
+    #: per-query match counts: (query, matches)
+    matches: list[list[object]] = field(default_factory=list)
+
+    TIMELINE_HEADERS = ("chunk", "start ms", "dur ms", "tokens", "switches", "paths")
+    LIFECYCLE_HEADERS = ("chunk", "start paths", "spawned", "killed",
+                         "converged", "switches", "misspec")
+    PROFILE_HEADERS = ("metric", "value")
+
+
+def build_report(
+    stats,
+    journal: Journal,
+    spans: Sequence = (),
+    matches: dict[str, list[int]] | None = None,
+    title: str = "repro run report",
+    meta: dict[str, object] | None = None,
+) -> RunReport:
+    """Assemble a :class:`RunReport` from one run's artefacts.
+
+    ``stats`` is a :class:`~repro.core.stats.RunStats`; ``spans`` the
+    tracer's span list (the ``chunk[i]`` spans become timeline bars);
+    ``journal`` the run's flight recorder.
+    """
+    report = RunReport(title=title, meta=dict(meta or {}))
+
+    chunk_spans = [s for s in spans if s.cat == "chunk" and s.name.startswith("chunk[")]
+    if chunk_spans:
+        base = min(s.t0 for s in chunk_spans)
+        for s in sorted(chunk_spans, key=lambda s: s.name):
+            report.timeline.append([
+                s.name,
+                (s.t0 - base) * 1e3,
+                s.duration * 1e3,
+                s.args.get("tokens"),
+                s.args.get("switches"),
+                s.args.get("starting_paths"),
+            ])
+
+    chunks = sorted({ev.chunk for ev in journal.events if ev.chunk >= 0})
+    for ci in chunks:
+        exp = explain_chunk(journal, ci)
+        report.lifecycle.append([
+            ci, exp.starting_paths, exp.spawned, exp.killed,
+            exp.converged, exp.switches, "yes" if exp.misspeculated else "-",
+        ])
+
+    report.profile = [
+        ["chunks", stats.n_chunks],
+        ["avg starting paths (Table 5)", stats.avg_starting_paths],
+        ["speculation accuracy (Table 6)", stats.speculation_accuracy],
+        ["reprocessing cost (Table 6)", stats.reprocessing_cost],
+        ["switches", stats.counters.switches],
+        ["divergences", stats.counters.divergences],
+        ["paths eliminated", stats.counters.paths_eliminated],
+        ["paths converged", stats.counters.paths_converged],
+        ["misspeculations", stats.counters.misspeculations],
+        ["reprocessed tokens", stats.counters.reprocessed_tokens],
+    ]
+    report.event_counts = [[k, v] for k, v in sorted(journal.counts().items())]
+    if journal.dropped:
+        report.event_counts.append(["(dropped past limit)", journal.dropped])
+    if matches is not None:
+        report.matches = [[q, len(offs)] for q, offs in matches.items()]
+    return report
+
+
+def render_terminal(report: RunReport) -> str:
+    """The aligned-text form of the report (what ``repro report`` prints)."""
+    from ..bench.reporting import banner, format_table  # lazy: import cycle
+
+    out = [banner(report.title)]
+    for key, value in report.meta.items():
+        out.append(f"{key}: {value}")
+    if report.matches:
+        out.append(format_table(["query", "matches"], report.matches,
+                                title="matches"))
+    if report.timeline:
+        out.append(format_table(list(RunReport.TIMELINE_HEADERS), report.timeline,
+                                title="chunk timeline"))
+    if report.lifecycle:
+        out.append(format_table(list(RunReport.LIFECYCLE_HEADERS), report.lifecycle,
+                                title="path lifecycle (per chunk)"))
+    out.append(format_table(list(RunReport.PROFILE_HEADERS), report.profile,
+                            title="profile (Tables 5/6)"))
+    if report.event_counts:
+        out.append(format_table(["event", "count"], report.event_counts,
+                                title="journal events"))
+    return "\n".join(out) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# HTML rendering — deterministic, self-contained, no network assets
+
+_CSS = """\
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --gridline: #e1e0d9;
+  --baseline: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --gridline: #2c2c2a;
+    --baseline: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted: #898781;
+  --gridline: #2c2c2a;
+  --baseline: #383835;
+  --border: rgba(255,255,255,0.10);
+  --series-1: #3987e5;
+}
+.viz-root {
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--surface-1);
+  color: var(--text-primary);
+  margin: 0;
+  padding: 24px;
+}
+.viz-root h1 { font-size: 20px; margin: 0 0 4px; }
+.viz-root h2 { font-size: 14px; margin: 24px 0 8px; color: var(--text-primary); }
+.viz-root .meta { color: var(--text-secondary); font-size: 13px; margin: 0 0 16px; }
+.viz-root table {
+  border-collapse: collapse;
+  font-size: 13px;
+  font-variant-numeric: tabular-nums;
+}
+.viz-root th {
+  text-align: left;
+  color: var(--text-muted);
+  font-weight: 500;
+  border-bottom: 1px solid var(--baseline);
+  padding: 4px 12px 4px 0;
+}
+.viz-root td {
+  border-bottom: 1px solid var(--gridline);
+  padding: 4px 12px 4px 0;
+  color: var(--text-secondary);
+}
+.viz-root td:first-child { color: var(--text-primary); }
+.viz-root .timeline { max-width: 720px; }
+.viz-root .lane { display: flex; align-items: center; margin-bottom: 2px; }
+.viz-root .lane-label {
+  flex: 0 0 80px;
+  font-size: 12px;
+  color: var(--text-secondary);
+  font-variant-numeric: tabular-nums;
+}
+.viz-root .lane-track {
+  position: relative;
+  flex: 1;
+  height: 14px;
+  background: transparent;
+  border-left: 1px solid var(--baseline);
+}
+.viz-root .lane-bar {
+  position: absolute;
+  top: 0;
+  height: 14px;
+  border-radius: 0 4px 4px 0;
+  background: var(--series-1);
+  min-width: 2px;
+}
+.viz-root .lane-value {
+  flex: 0 0 90px;
+  font-size: 12px;
+  color: var(--text-muted);
+  text-align: right;
+  font-variant-numeric: tabular-nums;
+}
+.viz-root .footer { color: var(--text-muted); font-size: 12px; margin-top: 24px; }
+"""
+
+
+def _esc(value: object) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+def _fmt_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.5f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _html_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(_fmt_cell(c))}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def _timeline_bars(timeline: Sequence[Sequence[object]]) -> str:
+    """Horizontal bar lanes for the chunk timeline (single series)."""
+    total = max((row[1] + row[2] for row in timeline), default=0.0) or 1.0
+    lanes: list[str] = []
+    for label, start_ms, dur_ms, *_rest in timeline:
+        left = 100.0 * start_ms / total
+        width = max(100.0 * dur_ms / total, 0.1)
+        lanes.append(
+            '<div class="lane">'
+            f'<span class="lane-label">{_esc(label)}</span>'
+            '<span class="lane-track">'
+            f'<span class="lane-bar" style="left:{left:.2f}%;width:{width:.2f}%"></span>'
+            "</span>"
+            f'<span class="lane-value">{dur_ms:.2f} ms</span>'
+            "</div>"
+        )
+    return '<div class="timeline">' + "".join(lanes) + "</div>"
+
+
+def render_html(report: RunReport) -> str:
+    """The report as one self-contained HTML document.
+
+    Pure function of ``report``: no timestamps, no random ids, no
+    scripts, no external assets — identical input renders
+    byte-identical output.
+    """
+    parts: list[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(report.title)}</title>",
+        f"<style>\n{_CSS}</style>",
+        '</head><body class="viz-root">',
+        f"<h1>{_esc(report.title)}</h1>",
+    ]
+    if report.meta:
+        meta = " · ".join(f"{_esc(k)}: {_esc(v)}" for k, v in report.meta.items())
+        parts.append(f'<p class="meta">{meta}</p>')
+    if report.matches:
+        parts.append("<h2>Matches</h2>")
+        parts.append(_html_table(["query", "matches"], report.matches))
+    if report.timeline:
+        parts.append("<h2>Chunk timeline</h2>")
+        parts.append(_timeline_bars(report.timeline))
+        parts.append(_html_table(list(RunReport.TIMELINE_HEADERS), report.timeline))
+    if report.lifecycle:
+        parts.append("<h2>Path lifecycle (per chunk)</h2>")
+        parts.append(_html_table(list(RunReport.LIFECYCLE_HEADERS), report.lifecycle))
+    parts.append("<h2>Profile (Tables 5/6)</h2>")
+    parts.append(_html_table(list(RunReport.PROFILE_HEADERS), report.profile))
+    if report.event_counts:
+        parts.append("<h2>Journal events</h2>")
+        parts.append(_html_table(["event", "count"], report.event_counts))
+    parts.append('<p class="footer">Generated by <code>repro report</code> — '
+                 "self-contained, no external assets.</p>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

@@ -38,6 +38,8 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..obs.journal import NULL_JOURNAL
+from ..obs.logsetup import get_logger
 from ..obs.tracer import NULL_TRACER
 from .backend import Backend, TaskOutcome, TaskTimeout
 
@@ -48,7 +50,7 @@ __all__ = [
     "supervised_map",
 ]
 
-logger = logging.getLogger("repro.parallel.resilience")
+logger = get_logger("parallel.resilience")
 
 
 @dataclass(frozen=True, slots=True)
@@ -128,6 +130,7 @@ def supervised_map(
     validate: Callable[[Any, Any], str | None] | None = None,
     fallback: Callable[[Any], Any] | None = None,
     tracer=NULL_TRACER,
+    journal=NULL_JOURNAL,
     sleep: Callable[[float], None] = time.sleep,
 ) -> tuple[list[Any], ResilienceReport]:
     """Order-preserving map with the full recovery ladder.
@@ -182,19 +185,27 @@ def supervised_map(
                     continue
                 report.invalid_results += 1
                 report.record(slot, attempt, "invalid", reason)
+                if journal.enabled:
+                    journal.record("invalid", chunk=slot, attempt=attempt, cause=reason)
                 last_error[slot] = reason
             else:
                 kind = _classify(outcome.error)
                 if kind == "timeout":
                     report.timeouts += 1
+                    if journal.enabled:
+                        journal.record("timeout", chunk=slot, attempt=attempt)
                 report.record(slot, attempt, kind, str(outcome.error))
                 last_error[slot] = outcome.error
             still_failed.append(slot)
         if still_failed and attempt < policy.max_retries:
             report.retries += len(still_failed)
-            if logger.isEnabledFor(logging.INFO):
-                logger.info("retrying %d chunk(s) (attempt %d): %s",
-                            len(still_failed), attempt + 1, still_failed)
+            if journal.enabled:
+                for slot in still_failed:
+                    journal.record("retry", chunk=slot, attempt=attempt + 1,
+                                   cause=str(last_error.get(slot, "")))
+            if logger.isEnabledFor(logging.WARNING):
+                logger.warning("retrying %d chunk(s) (attempt %d): %s",
+                               len(still_failed), attempt + 1, still_failed)
         pending = still_failed
         attempt += 1
 
@@ -215,6 +226,8 @@ def supervised_map(
         results[slot] = value
         report.fallbacks += 1
         report.record(slot, attempt, "fallback", str(cause))
+        if journal.enabled:
+            journal.record("fallback", chunk=slot, attempts=attempt, cause=str(cause))
         logger.warning("chunk %d fell back to serial execution after %d attempt(s): %s",
                        slot, attempt, cause)
 

@@ -35,10 +35,12 @@ import logging
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from ..obs.journal import NULL_JOURNAL
+from ..obs.logsetup import get_logger
 from ..xpath.events import MatchEvent
 from .counters import WorkCounters
 
-logger = logging.getLogger("repro.transducer.join")
+logger = get_logger("transducer.join")
 
 __all__ = [
     "SegmentEntry",
@@ -108,9 +110,12 @@ class ChunkResult:
     """All cohorts of one chunk, plus its work counters.
 
     ``spans`` carries any tracing spans the worker recorded while
-    processing the chunk (:mod:`repro.obs.tracer`); because the whole
-    result is pickled back from process-pool workers, spans survive the
-    process boundary and get merged into the coordinating tracer.
+    processing the chunk (:mod:`repro.obs.tracer`); ``journal`` carries
+    any flight-recorder events (:mod:`repro.obs.journal`).  Because the
+    whole result is pickled back from process-pool workers, both
+    survive the process boundary and get merged into the coordinating
+    tracer/journal — the journal strictly in chunk order, so the merged
+    event stream is deterministic across backends.
     """
 
     index: int
@@ -119,6 +124,7 @@ class ChunkResult:
     cohorts: list[Cohort] = field(default_factory=list)
     counters: WorkCounters = field(default_factory=WorkCounters)
     spans: list = field(default_factory=list)
+    journal: list = field(default_factory=list)
 
     @property
     def main(self) -> Cohort | None:
@@ -218,6 +224,7 @@ def join_results(
     reprocess: ReprocessFn,
     counters: WorkCounters,
     strict: bool = False,
+    journal=NULL_JOURNAL,
 ) -> tuple[int, list[int], list[MatchEvent]]:
     """Join phase: link chunk mappings in document order.
 
@@ -249,8 +256,11 @@ def join_results(
                 f"(state={state}, stack depth={len(stack)}) in non-speculative mode"
             )
         counters.misspeculations += 1
-        if logger.isEnabledFor(logging.DEBUG):
-            logger.debug(
+        if journal.enabled:
+            journal.record("misspeculation", chunk=chunk.index, offset=chunk.begin,
+                           state=state, stack_depth=len(stack))
+        if logger.isEnabledFor(logging.WARNING):
+            logger.warning(
                 "misspeculation at chunk %d [%d, %d) (state=%d, stack depth=%d)",
                 chunk.index, chunk.begin, chunk.end, state, len(stack),
             )

@@ -24,6 +24,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from dataclasses import dataclass, field, replace
 
+from ..obs.journal import Journal, NULL_JOURNAL
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..parallel.backend import Backend, SerialBackend
 from ..parallel.faults import FaultPlane, NO_FAULTS, apply_faults, parse_fault_spec
@@ -78,6 +79,9 @@ class _Ctx:
     #: record per-worker spans (lex + chunk) and ship them back in the
     #: ChunkResult; False keeps the untraced path byte-for-byte intact
     trace: bool = False
+    #: record per-worker journal events and ship them back in the
+    #: ChunkResult (same transport as spans)
+    journal: bool = False
     #: fault-injection plane applied inside the worker body; ``None``
     #: still honours ``REPRO_FAULTS``, ``NO_FAULTS`` disables injection
     #: entirely (the resilience fallback runs with the latter)
@@ -112,11 +116,15 @@ def _run_one_chunk(ctx: _Ctx, chunk: Chunk, attempt: int = 0) -> ChunkResult:
     corrupt = apply_faults(ctx.faults, chunk.index, attempt)
     runner = _make_runner(ctx.automaton, ctx.policy, ctx.anchor_sids, ctx.tables)
     start = frozenset((ctx.automaton.initial,)) if chunk.index == 0 else None
+    jr = Journal() if ctx.journal else NULL_JOURNAL
     if not ctx.trace:
         tokens = lex_range(ctx.text, chunk.begin, chunk.end)
         result = runner.run_chunk(
-            tokens, chunk.index, chunk.begin, chunk.end, start_states=start
+            tokens, chunk.index, chunk.begin, chunk.end,
+            start_states=start, journal=jr,
         )
+        if jr.enabled:
+            result.journal = list(jr.events)
         return _corrupt_result(result) if corrupt else result
 
     # traced path: one lane per worker; lexing is materialised so the
@@ -127,10 +135,16 @@ def _run_one_chunk(ctx: _Ctx, chunk: Chunk, attempt: int = 0) -> ChunkResult:
             tokens = list(lex_range(ctx.text, chunk.begin, chunk.end))
             lex_sp.args["tokens"] = len(tokens)
         result = runner.run_chunk(
-            tokens, chunk.index, chunk.begin, chunk.end, start_states=start
+            tokens, chunk.index, chunk.begin, chunk.end,
+            start_states=start, journal=jr,
         )
-        _snapshot_chunk_counters(sp, result.counters)
+        _snapshot_chunk_counters(
+            sp, result.counters,
+            kernel="dense" if ctx.tables is not None else "object",
+        )
     result.spans = tracer.spans
+    if jr.enabled:
+        result.journal = list(jr.events)
     return _corrupt_result(result) if corrupt else result
 
 
@@ -171,7 +185,7 @@ def _validate_chunk_result(result: object, chunk: Chunk) -> str | None:
     return None
 
 
-def _snapshot_chunk_counters(span, counters: WorkCounters) -> None:
+def _snapshot_chunk_counters(span, counters: WorkCounters, kernel: str | None = None) -> None:
     """Attach the per-chunk counter snapshot a timeline row needs."""
     span.args.update(
         tokens=counters.total_tokens,
@@ -180,6 +194,8 @@ def _snapshot_chunk_counters(span, counters: WorkCounters) -> None:
         divergences=counters.divergences,
         paths_eliminated=counters.paths_eliminated,
     )
+    if kernel is not None:
+        span.args["kernel"] = kernel
 
 
 class ParallelPipeline:
@@ -205,6 +221,7 @@ class ParallelPipeline:
         resilience: RetryPolicy | None = None,
         faults: FaultPlane | str | None = None,
         kernel: str = "dense",
+        journal: Journal | None = None,
     ) -> None:
         if kernel not in KERNELS:
             raise ValueError(f"unknown kernel {kernel!r} (choose from {KERNELS})")
@@ -216,6 +233,7 @@ class ParallelPipeline:
         self.resilience = resilience
         self.faults = parse_fault_spec(faults) if isinstance(faults, str) else faults
         self.kernel = kernel
+        self.journal = journal if journal is not None else NULL_JOURNAL
         self._tables = None
         if kernel == "dense":
             # compile once per pipeline through the structural cache; a
@@ -223,7 +241,9 @@ class ParallelPipeline:
             # pipeline transparently runs the object kernel
             from ..core.kernel import tables_for_policy
 
-            self._tables = tables_for_policy(automaton, policy, anchor_sids)
+            self._tables = tables_for_policy(
+                automaton, policy, anchor_sids, journal=self.journal
+            )
 
     def run_tokens(self, tokens: list, n_chunks: int) -> ParallelRunResult:
         """Execute the three phases over a materialised token list.
@@ -261,6 +281,7 @@ class ParallelPipeline:
         edges = [0, *cuts, len(tokens)]
 
         tracer = self.tracer
+        journal = self.journal
         runner = _make_runner(self.automaton, self.policy, self.anchor_sids, self._tables)
         results: list[ChunkResult] = []
         for ci, (i0, i1) in enumerate(zip(edges, edges[1:])):
@@ -268,9 +289,11 @@ class ParallelPipeline:
             end = offsets[i1] if i1 < len(tokens) else end_sentinel
             start = frozenset((self.automaton.initial,)) if ci == 0 else None
             with tracer.span(f"chunk[{ci}]", cat="chunk") as sp:
-                r = runner.run_chunk(tokens[i0:i1], ci, begin, end, start_states=start)
+                r = runner.run_chunk(
+                    tokens[i0:i1], ci, begin, end, start_states=start, journal=journal
+                )
                 if tracer.enabled:
-                    _snapshot_chunk_counters(sp, r.counters)
+                    _snapshot_chunk_counters(sp, r.counters, kernel=self.kernel)
             results.append(r)
 
         totals = WorkCounters()
@@ -292,12 +315,16 @@ class ParallelPipeline:
                     state=state, stack=stack, counters=sub_counters,
                 )
                 sp.args.update(begin=begin, end=end, tokens=sub_counters.stack_tokens)
+            if journal.enabled:
+                journal.record("reprocess", offset=begin, begin=begin, end=end,
+                               tokens=sub_counters.stack_tokens)
             return res.state, res.stack, res.events, sub_counters.stack_tokens
 
         strict = not self.policy.speculative
         with tracer.span("join", cat="phase") as sp:
             state, _stack, events = join_results(
-                (self.automaton.initial, [], []), results, reprocess, totals, strict=strict
+                (self.automaton.initial, [], []), results, reprocess, totals,
+                strict=strict, journal=journal,
             )
             sp.args.update(
                 misspeculations=totals.misspeculations,
@@ -310,11 +337,13 @@ class ParallelPipeline:
     def run(self, text: str, n_chunks: int) -> ParallelRunResult:
         """Execute the three phases over ``text`` with ``n_chunks`` workers."""
         tracer = self.tracer
+        journal = self.journal
         with tracer.span("split", cat="phase") as sp:
             chunks = split_chunks(text, n_chunks)
             sp.args["n_chunks"] = len(chunks)
         ctx = _Ctx(text, self.automaton, self.policy, self.anchor_sids,
-                   trace=tracer.enabled, faults=self.faults, tables=self._tables)
+                   trace=tracer.enabled, journal=journal.enabled,
+                   faults=self.faults, tables=self._tables)
         report: ResilienceReport | None = None
         with tracer.span("parallel", cat="phase"):
             if self.resilience is not None:
@@ -325,17 +354,22 @@ class ParallelPipeline:
                     validate=_validate_chunk_result,
                     fallback=lambda chunk: _run_one_chunk(fallback_ctx, chunk),
                     tracer=tracer,
+                    journal=journal,
                 )
             else:
                 results = self.backend.map_with_context(ctx, _run_one_chunk, chunks)
 
         totals = WorkCounters()
         per_chunk: list[WorkCounters] = []
+        # results arrive in chunk order whatever the backend, so adopting
+        # each chunk's journal here yields one deterministic event stream
         for r in results:
             per_chunk.append(r.counters)
             totals.merge(r.counters)
             if r.spans:
                 tracer.extend(r.spans)
+            if r.journal:
+                journal.adopt(r.journal)
         if report is not None:
             totals.retries += report.retries
             totals.timeouts += report.timeouts
@@ -356,6 +390,9 @@ class ParallelPipeline:
                     counters=sub_counters,
                 )
                 sp.args.update(begin=begin, end=end, tokens=sub_counters.stack_tokens)
+            if journal.enabled:
+                journal.record("reprocess", offset=begin, begin=begin, end=end,
+                               tokens=sub_counters.stack_tokens)
             return res.state, res.stack, res.events, sub_counters.stack_tokens
 
         # supervision relaxes the strict join: an incomplete mapping is
@@ -364,7 +401,8 @@ class ParallelPipeline:
         strict = not self.policy.speculative and self.resilience is None
         with tracer.span("join", cat="phase") as sp:
             state, _stack, events = join_results(
-                (self.automaton.initial, [], []), results, reprocess, totals, strict=strict
+                (self.automaton.initial, [], []), results, reprocess, totals,
+                strict=strict, journal=journal,
             )
             sp.args.update(
                 misspeculations=totals.misspeculations,

@@ -37,6 +37,8 @@ import logging
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from ..obs.journal import NULL_JOURNAL
+from ..obs.logsetup import get_logger
 from ..xpath.automaton import QueryAutomaton
 from ..xpath.events import close, hit
 from ..xmlstream.tokens import Token, TokenKind
@@ -45,9 +47,24 @@ from .doubletree import PathGroup, merge_groups, segment_entries
 from .mapping import ChunkResult, Cohort, Segment
 from .policies import ELIMINATE_ALWAYS, ELIMINATE_NEVER, PathPolicy
 
-__all__ = ["ChunkRunner"]
+__all__ = ["ChunkRunner", "spawn_states_arg"]
 
-logger = logging.getLogger("repro.transducer.runner")
+logger = get_logger("transducer.runner")
+
+#: state lists longer than this are journalled as a count only
+_MAX_JOURNAL_STATES = 16
+
+
+def spawn_states_arg(states) -> dict:
+    """The ``path_spawn`` args snapshot for a starting-state set.
+
+    Small sets are recorded verbatim (they are what ``repro explain``
+    replays); larger ones only as a count, to keep events bounded.
+    """
+    states = sorted(states)
+    if len(states) <= _MAX_JOURNAL_STATES:
+        return {"live": len(states), "states": states}
+    return {"live": len(states)}
 
 
 @dataclass(slots=True)
@@ -76,6 +93,9 @@ class ChunkRunner:
         ]
         # DEBUG logging is sampled once per chunk, not per token
         self._debug = False
+        # journal + chunk identity of the run_chunk call in progress
+        self._journal = NULL_JOURNAL
+        self._chunk = -1
 
     # ------------------------------------------------------------------
 
@@ -86,17 +106,24 @@ class ChunkRunner:
         begin: int,
         end: int,
         start_states: frozenset[int] | None = None,
+        journal=NULL_JOURNAL,
     ) -> ChunkResult:
         """Process one chunk; return its segmented mappings and counters.
 
         ``start_states`` overrides the policy's scenario-1 inference —
         used for chunk 0, which always starts from the known initial
-        configuration.
+        configuration.  ``journal`` records the path-lifecycle events
+        (spawn/kill/converge/switch) — the default
+        :data:`~repro.obs.journal.NULL_JOURNAL` records nothing; events
+        are only emitted at check/divergence/merge/switch sites, never
+        per token, so the hot loops are identical either way.
         """
         policy = self.policy
         automaton = self.automaton
         accepts = automaton.accepts
         self._debug = logger.isEnabledFor(logging.DEBUG)
+        self._journal = journal
+        self._chunk = index
         counters = WorkCounters(chunks=1, bytes_lexed=end - begin)
         result = ChunkResult(index=index, begin=begin, end=end, counters=counters)
 
@@ -106,6 +133,10 @@ class ChunkRunner:
             # empty chunk: identity mapping for every allowed state
             states = start_states if start_states is not None else policy.all_states
             counters.starting_paths = len(states)
+            if journal.enabled:
+                reason = "initial" if start_states is not None else "enumerate"
+                journal.record("path_spawn", chunk=index, offset=begin,
+                               reason=reason, **spawn_states_arg(states))
             groups = [PathGroup.fresh(s) for s in sorted(states)]
             main = Cohort(restart_offset=begin)
             main.segments.append(Segment(entries=segment_entries(groups, final=True)))
@@ -113,17 +144,24 @@ class ChunkRunner:
             counters.mapping_entries = result.mapping_entries()
             return result
 
+        spawn_reason = "initial"
         if start_states is None:
             inferred = policy.start_states(first)
             if inferred is None:
                 inferred = policy.all_states
+                spawn_reason = "enumerate"
                 if policy.table_based:
                     counters.degraded_lookups += 1
+            else:
+                spawn_reason = "scenario1"
             start_states = inferred
 
         main = _LiveCohort(cohort=Cohort(restart_offset=begin))
         main.groups = [PathGroup.fresh(s) for s in sorted(start_states)]
         counters.starting_paths = len(main.groups)
+        if journal.enabled:
+            journal.record("path_spawn", chunk=index, offset=begin,
+                           reason=spawn_reason, **spawn_states_arg(start_states))
         cohorts: list[_LiveCohort] = [main]
 
         stack_mode = policy.switch_to_stack and len(main.groups) == 1
@@ -204,6 +242,9 @@ class ChunkRunner:
                 if new_mode != stack_mode:
                     counters.switches += 1
                     stack_mode = new_mode
+                    if journal.enabled:
+                        journal.record("switch", chunk=index, offset=tok.offset,
+                                       to="stack" if new_mode else "tree")
 
         for lc in cohorts:
             lc.cohort.segments.append(
@@ -211,6 +252,13 @@ class ChunkRunner:
             )
             result.cohorts.append(lc.cohort)
         counters.mapping_entries = result.mapping_entries()
+        if self._debug and counters.paths_eliminated:
+            logger.debug(
+                "chunk %d path-kill summary: started %d, eliminated %d, "
+                "converged %d, %d divergence(s), %d switch(es)",
+                index, counters.starting_paths, counters.paths_eliminated,
+                counters.paths_converged, counters.divergences, counters.switches,
+            )
         return result
 
     # ------------------------------------------------------------------
@@ -239,6 +287,11 @@ class ChunkRunner:
             lc.groups = kept
             live_states.update(g.state for g in kept)
         counters.paths_eliminated += eliminated
+        journal = self._journal
+        if journal.enabled and eliminated:
+            journal.record("path_killed", chunk=self._chunk, offset=offset, tag=tag,
+                           reason="infeasible", killed=eliminated,
+                           live=sum(len(lc.groups) for lc in cohorts))
         if self._debug and eliminated:
             logger.debug(
                 "scenario-3 check before <%s> at %d: eliminated %d path(s), %d live",
@@ -258,6 +311,10 @@ class ChunkRunner:
                 )
                 revived.groups = [PathGroup.fresh(s) for s in missing]
                 cohorts.append(revived)
+                if journal.enabled:
+                    journal.record("path_spawn", chunk=self._chunk, offset=offset,
+                                   tag=tag, reason="revival",
+                                   **spawn_states_arg(missing))
 
     def _normal_pop(
         self, lc: _LiveCohort, offset: int, depth: int, counters: WorkCounters
@@ -271,6 +328,9 @@ class ChunkRunner:
             g.state = g.stack.pop()
         lc.groups, converged = merge_groups(lc.groups)
         counters.paths_converged += converged
+        if converged and self._journal.enabled:
+            self._journal.record("converge", chunk=self._chunk, offset=offset,
+                                 merged=converged, live=len(lc.groups))
 
     def _diverge(
         self, lc: _LiveCohort, tag: str, offset: int, depth: int, counters: WorkCounters
@@ -290,12 +350,18 @@ class ChunkRunner:
             else:
                 kept = [g for g in groups if g.state in feas]
                 counters.paths_eliminated += len(groups) - len(kept)
-                if self._debug and len(kept) < len(groups):
-                    logger.debug(
-                        "scenario-2 check at divergence </%s> at %d: "
-                        "eliminated %d path(s), %d live",
-                        tag, offset, len(groups) - len(kept), len(kept),
-                    )
+                if len(kept) < len(groups):
+                    if self._journal.enabled:
+                        self._journal.record(
+                            "path_killed", chunk=self._chunk, offset=offset,
+                            tag=tag, reason="underflow",
+                            killed=len(groups) - len(kept), live=len(kept))
+                    if self._debug:
+                        logger.debug(
+                            "scenario-2 check at divergence </%s> at %d: "
+                            "eliminated %d path(s), %d live",
+                            tag, offset, len(groups) - len(kept), len(kept),
+                        )
                 groups = kept
 
         close_accepts = self._close_accepts
@@ -314,6 +380,10 @@ class ChunkRunner:
             if policy.table_based:
                 counters.degraded_lookups += 1
         lc.groups = [PathGroup.fresh(v) for v in sorted(candidates)]
+        if self._journal.enabled:
+            self._journal.record("path_spawn", chunk=self._chunk, offset=offset,
+                                 tag=tag, reason="divergence",
+                                 **spawn_states_arg(candidates))
 
 
 def _chain_first(first: Token, rest: Iterable[Token]) -> Iterable[Token]:

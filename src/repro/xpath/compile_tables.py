@@ -45,6 +45,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from ..obs.journal import NULL_JOURNAL
 from .automaton import QueryAutomaton
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports xpath)
@@ -233,6 +234,7 @@ def compiled_tables(
     automaton: QueryAutomaton,
     table: "FeasibleTable | None" = None,
     anchor_sids: frozenset[int] = frozenset(),
+    journal=NULL_JOURNAL,
 ) -> KernelTables:
     """Cached :func:`compile_tables` keyed on structural content.
 
@@ -241,6 +243,7 @@ def compiled_tables(
     this is the "(query, grammar)" compile cache: building the key is
     O(automaton + table), far below compilation (which also walks the
     full transition structure but allocates and fills every dense row).
+    ``journal`` receives a ``cache_hit``/``cache_miss`` event per lookup.
     """
     global _hits, _misses
     key = (
@@ -252,8 +255,12 @@ def compiled_tables(
     if cached is not None:
         _hits += 1
         _cache.move_to_end(key)
+        if journal.enabled:
+            journal.record("cache_hit", size=len(_cache))
         return cached
     _misses += 1
+    if journal.enabled:
+        journal.record("cache_miss", size=len(_cache))
     tables = compile_tables(automaton, table, anchor_sids)
     _cache[key] = tables
     while len(_cache) > _CACHE_MAX:

@@ -11,7 +11,9 @@ import pytest
 
 from repro import GapEngine, SequentialEngine
 from repro.obs import (
+    Journal,
     MetricsRegistry,
+    NullJournal,
     NullTracer,
     Span,
     Tracer,
@@ -22,10 +24,12 @@ from repro.obs import (
     format_timeline,
     get_logger,
 )
+from repro.obs.journal import DEFAULT_LIMIT, EVENT_KINDS, NULL_JOURNAL, Event
 from repro.obs.metrics import table_registry
 from repro.obs.tracer import NULL_TRACER
 from repro.parallel import SerialBackend, ThreadBackend
 from repro.parallel.backend import ProcessBackend
+from repro.xpath.compile_tables import clear_compile_cache
 
 from tests.conftest import FEED_DTD, FEED_XML
 
@@ -365,3 +369,150 @@ class TestLogging:
 
     def test_get_logger_namespacing(self):
         assert get_logger("transducer.join").name == "repro.transducer.join"
+
+
+class TestJournal:
+    def test_record_assigns_seq_and_args(self):
+        j = Journal()
+        j.record("path_spawn", chunk=2, offset=10, tag="a", reason="initial")
+        j.record("switch", chunk=2, to="tree")
+        assert [ev.seq for ev in j.events] == [0, 1]
+        assert j.events[0].args == {"reason": "initial"}
+        assert j.events[0].ts > 0.0
+        assert j.counts() == {"path_spawn": 1, "switch": 1}
+        assert len(j.by_kind("switch")) == 1
+        assert len(j.events_for_chunk(2)) == 2
+
+    def test_bounded_counts_drops(self):
+        j = Journal(limit=3)
+        for i in range(5):
+            j.record("converge", chunk=0, offset=i)
+        assert len(j) == 3
+        assert j.dropped == 2
+        with pytest.raises(ValueError):
+            Journal(limit=0)
+
+    def test_adopt_reassigns_seq_in_order(self):
+        worker_a, worker_b = Journal(), Journal()
+        worker_a.record("path_spawn", chunk=0)
+        worker_b.record("path_spawn", chunk=1)
+        worker_b.record("converge", chunk=1)
+        driver = Journal()
+        driver.record("cache_miss")
+        driver.adopt(worker_a.events)
+        driver.adopt(worker_b.events)
+        assert [ev.seq for ev in driver.events] == [0, 1, 2, 3]
+        assert [ev.chunk for ev in driver.events] == [-1, 0, 1, 1]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        j = Journal()
+        j.record("path_killed", chunk=1, offset=42, tag="b",
+                 reason="infeasible", killed=2, live=1)
+        j.record("cache_hit", size=3)
+        path = str(tmp_path / "journal.jsonl")
+        j.write_jsonl(path)
+        back = Journal.read_jsonl(path)
+        assert [ev.to_dict() for ev in back.events] == \
+            [ev.to_dict() for ev in j.events]
+        # the timestamp-free form omits ts and nothing else
+        line = json.loads(j.to_jsonl(timestamps=False).splitlines()[0])
+        assert "ts" not in line
+        assert line["tag"] == "b" and line["args"]["killed"] == 2
+
+    def test_event_kinds_pinned(self):
+        assert len(EVENT_KINDS) == 12
+        assert {"path_spawn", "path_killed", "converge", "switch",
+                "misspeculation", "reprocess", "retry", "timeout",
+                "invalid", "fallback", "cache_hit", "cache_miss"} == set(EVENT_KINDS)
+
+    def test_event_pickles(self):
+        ev = Event("path_spawn", chunk=1, offset=5, tag="a", seq=3,
+                   args={"reason": "divergence"})
+        assert pickle.loads(pickle.dumps(ev)) == ev
+
+    def test_null_journal_is_noop(self):
+        nj = NullJournal()
+        nj.record("path_spawn", chunk=0, reason="initial")
+        nj.adopt([Event("switch")])
+        assert not nj.enabled
+        assert len(nj) == 0 and nj.events == () and nj.dropped == 0
+        assert nj.counts() == {} and nj.to_jsonl() == ""
+
+    def test_engine_default_is_null(self):
+        engine = GapEngine(["//id"], grammar=FEED_DTD)
+        assert engine.journal is NULL_JOURNAL
+        assert DEFAULT_LIMIT == Journal().limit
+
+
+class TestJournaledEngines:
+    QUERIES = ["/feed/entry/id", "//title"]
+
+    def _run(self, backend=None, kernel="dense", journal=None):
+        clear_compile_cache()  # cache events deterministic per run
+        engine = GapEngine(self.QUERIES, grammar=FEED_DTD, backend=backend,
+                           kernel=kernel, journal=journal)
+        return engine.run(FEED_XML, n_chunks=3)
+
+    @staticmethod
+    def _lifecycle(journal):
+        """Kind/position/payload view, ignoring seq and driver-side events."""
+        return [
+            (ev.kind, ev.chunk, ev.offset, ev.tag, tuple(sorted(ev.args.items())))
+            for ev in journal.events
+            if ev.kind not in ("cache_hit", "cache_miss")
+        ]
+
+    def test_journaled_run_matches_unjournaled(self):
+        ref = self._run()
+        journal = Journal()
+        res = self._run(journal=journal)
+        assert res.offsets_by_id == ref.offsets_by_id
+        assert res.stats.counters.as_dict() == ref.stats.counters.as_dict()
+        assert len(journal.events) > 0
+
+    def test_path_lifecycle_events_emitted(self):
+        journal = Journal()
+        self._run(journal=journal)
+        counts = journal.counts()
+        assert counts.get("path_spawn", 0) >= 3  # one per chunk at least
+        assert counts.get("cache_miss") == 1  # cleared cache, one compile
+        spawns = journal.by_kind("path_spawn")
+        # chunk 0 starts from the initial state; later chunks via scenario 1
+        reasons = {ev.chunk: ev.args["reason"] for ev in spawns
+                   if ev.args["reason"] in ("initial", "scenario1", "enumerate")}
+        assert reasons[0] == "initial"
+        assert all(r in ("scenario1", "enumerate") for c, r in reasons.items() if c > 0)
+        for ev in spawns:
+            assert ev.args["live"] >= 1
+            assert len(ev.args.get("states", [])) <= 16
+
+    def test_dense_and_object_kernels_agree(self):
+        dense, obj = Journal(), Journal()
+        self._run(kernel="dense", journal=dense)
+        self._run(kernel="object", journal=obj)
+        # identical path-lifecycle stream; only the dense kernel compiles tables
+        assert self._lifecycle(dense) == self._lifecycle(obj)
+        assert dense.counts().get("cache_miss") == 1
+        assert obj.counts().get("cache_miss") is None
+
+    @pytest.mark.parametrize("backend_cls", [SerialBackend, ThreadBackend])
+    def test_events_merge_across_backends(self, backend_cls):
+        serial_journal = Journal()
+        self._run(journal=serial_journal)
+        with backend_cls() as backend:
+            journal = Journal()
+            self._run(backend=backend, journal=journal)
+        assert journal.to_jsonl(timestamps=False) == \
+            serial_journal.to_jsonl(timestamps=False)
+
+    @pytest.mark.slow
+    def test_process_backend_events_identical(self):
+        with ThreadBackend() as backend:
+            thread_journal = Journal()
+            self._run(backend=backend, journal=thread_journal)
+        with ProcessBackend(max_workers=2) as backend:
+            journal = Journal()
+            self._run(backend=backend, journal=journal)
+        # byte-identical modulo the wall-clock ts field
+        assert journal.to_jsonl(timestamps=False) == \
+            thread_journal.to_jsonl(timestamps=False)

@@ -1,0 +1,225 @@
+"""Tests for run reports, chunk explanations and the bench history."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import GapEngine
+from repro.bench.kernel_bench import (
+    HISTORY_MIN_RECORDS,
+    append_history,
+    history_failures,
+    load_history,
+)
+from repro.grammar import parse_dtd
+from repro.obs import (
+    Journal,
+    Tracer,
+    build_report,
+    chunk_timeline,
+    explain_chunk,
+    format_explain,
+    render_html,
+    render_terminal,
+)
+from repro.obs.report import RunReport
+from repro.xpath.compile_tables import clear_compile_cache
+
+from tests.conftest import FEED_DTD, FEED_XML, RUNNING_DTD, RUNNING_QUERY, RUNNING_XML
+
+
+def _journaled_run(queries, dtd, xml, n_chunks, tracer=None, kernel="dense"):
+    clear_compile_cache()
+    journal = Journal()
+    engine = GapEngine(queries, grammar=parse_dtd(dtd), tracer=tracer,
+                       kernel=kernel, journal=journal)
+    return engine.run(xml, n_chunks=n_chunks), journal
+
+
+class TestExplain:
+    N_CHUNKS = 4
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        return _journaled_run([RUNNING_QUERY], RUNNING_DTD, RUNNING_XML,
+                              self.N_CHUNKS)
+
+    def test_running_example_matches(self, run):
+        res, _ = run
+        assert res.matches == {RUNNING_QUERY: [17]}
+
+    def test_starting_paths_match_table5_counters(self, run):
+        # the explanation's per-chunk starting paths are exactly the
+        # Table 5 quantity the counters record
+        res, journal = run
+        for i, counters in enumerate(res.stats.chunk_counters):
+            assert explain_chunk(journal, i).starting_paths == \
+                counters.starting_paths
+
+    def test_chunk0_is_the_initial_path(self, run):
+        _, journal = run
+        exp = explain_chunk(journal, 0)
+        assert exp.starting_paths == 1
+        assert exp.rows[0][2] == "spawn"
+        assert "initial" in exp.rows[0][3]
+
+    def test_later_chunks_enumerate_feasible_paths(self, run):
+        res, journal = run
+        for i in range(1, self.N_CHUNKS):
+            exp = explain_chunk(journal, i)
+            assert exp.starting_paths > 1  # ambiguity: the paper's premise
+            assert any("scenario1" in row[3] for row in exp.rows)
+
+    def test_format_explain_renders_table(self, run):
+        _, journal = run
+        text = format_explain(explain_chunk(journal, 1))
+        assert text.startswith("chunk 1: started 3 path(s)")
+        for header in ("offset", "tag", "event", "detail", "live"):
+            assert header in text
+
+    def test_empty_chunk_explains_gracefully(self):
+        exp = explain_chunk(Journal(), 7)
+        assert exp.starting_paths == 0 and exp.rows == []
+        assert "no journal events" in format_explain(exp)
+
+
+class TestRunReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        tracer = Tracer()
+        res, journal = _journaled_run(["/feed/entry/id", "//title"], FEED_DTD,
+                                      FEED_XML, 3, tracer=tracer)
+        return build_report(res.stats, journal, spans=tracer.spans,
+                            matches=res.matches, title="test report",
+                            meta={"file": "feed.xml", "chunks": 3})
+
+    def test_sections_populated(self, report):
+        assert [row[0] for row in report.timeline] == \
+            ["chunk[0]", "chunk[1]", "chunk[2]"]
+        assert [row[0] for row in report.lifecycle] == [0, 1, 2]
+        assert dict(report.profile)["chunks"] == 3
+        assert ("cache_miss", 1) in [tuple(r) for r in report.event_counts]
+        assert dict(report.matches)["//title"] == 2
+
+    def test_lifecycle_starting_paths_column(self, report):
+        for row in report.lifecycle:
+            assert row[1] >= 1  # start paths
+            assert row[6] == "-"  # no misspeculation with a full grammar
+
+    def test_terminal_rendering(self, report):
+        text = render_terminal(report)
+        assert "test report" in text
+        assert "chunk timeline" in text
+        assert "path lifecycle (per chunk)" in text
+        assert "profile (Tables 5/6)" in text
+        assert "avg starting paths (Table 5)" in text
+
+    def test_html_is_deterministic(self, report):
+        first = render_html(report)
+        second = render_html(report)
+        assert first == second
+
+    def test_html_is_self_contained(self, report):
+        page = render_html(report)
+        assert page.startswith("<!DOCTYPE html>")
+        # no scripts, no network assets, no external references
+        lowered = page.lower()
+        assert "<script" not in lowered
+        assert "http://" not in lowered and "https://" not in lowered
+        assert "src=" not in lowered and "@import" not in lowered
+        assert 'href="' not in lowered
+        # content made it into the page, escaped
+        assert "Chunk timeline" in page
+        assert "lane-bar" in page
+        assert "prefers-color-scheme" in page
+
+    def test_html_escapes_queries(self):
+        report = RunReport(title="<t>&", matches=[['//a[b="<x>"]', 1]])
+        page = render_html(report)
+        assert "&lt;t&gt;&amp;" in page
+        assert "&lt;x&gt;" in page and "<x>" not in page.replace("&lt;x&gt;", "")
+
+    def test_report_without_spans_or_matches(self):
+        res, journal = _journaled_run([RUNNING_QUERY], RUNNING_DTD,
+                                      RUNNING_XML, 2)
+        report = build_report(res.stats, journal)
+        assert report.timeline == [] and report.matches == []
+        assert len(report.lifecycle) == 2
+        assert "profile (Tables 5/6)" in render_terminal(report)
+        assert render_html(report) == render_html(report)
+
+
+class TestDenseProfileTimeline:
+    def test_dense_kernel_emits_chunk_spans(self):
+        # regression: the profile timeline must not be empty under the
+        # dense kernel, and spans identify which kernel ran the chunk
+        tracer = Tracer()
+        _journaled_run(["//title"], FEED_DTD, FEED_XML, 3, tracer=tracer,
+                       kernel="dense")
+        chunks = tracer.chunk_spans()
+        assert [s.name for s in chunks] == ["chunk[0]", "chunk[1]", "chunk[2]"]
+        assert all(s.args.get("kernel") == "dense" for s in chunks)
+        _, rows = chunk_timeline(tracer.spans)
+        assert any(r[0].strip().startswith("chunk[") for r in rows)
+
+    def test_object_kernel_spans_tagged(self):
+        tracer = Tracer()
+        _journaled_run(["//title"], FEED_DTD, FEED_XML, 3, tracer=tracer,
+                       kernel="object")
+        assert all(s.args.get("kernel") == "object"
+                   for s in tracer.chunk_spans())
+
+
+def _record(ratio, dataset="xmark"):
+    return {"dataset": dataset, "dense_over_object": ratio}
+
+
+class TestBenchHistory:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "nested" / "history.jsonl")
+        append_history(_record(2.0), path)
+        append_history(_record(2.1), path)
+        records = load_history(path)
+        assert [r["dense_over_object"] for r in records] == [2.0, 2.1]
+        assert all("recorded_at" in r for r in records)
+
+    def test_load_missing_and_corrupt(self, tmp_path):
+        assert load_history(str(tmp_path / "absent.jsonl")) == []
+        path = tmp_path / "history.jsonl"
+        path.write_text('{"dense_over_object": 2.0, "dataset": "xmark"}\n'
+                        "not json\n" "[1, 2]\n", encoding="utf-8")
+        records = load_history(str(path))
+        assert len(records) == 1
+
+    def test_too_few_records_pass_vacuously(self):
+        history = [_record(2.0)] * (HISTORY_MIN_RECORDS - 1)
+        assert history_failures(_record(0.1), history) == []
+
+    def test_regression_detected_against_rolling_median(self):
+        history = [_record(r) for r in (2.0, 2.2, 1.8, 2.0)]
+        # median 2.0, threshold 15% → floor 1.7
+        assert history_failures(_record(1.9), history) == []
+        failures = history_failures(_record(1.5), history)
+        assert len(failures) == 1
+        assert "rolling-median" in failures[0]
+
+    def test_other_datasets_ignored(self):
+        history = [_record(5.0, dataset="treebank")] * 5 + [_record(2.0)] * 3
+        assert history_failures(_record(1.9), history) == []
+
+    def test_window_keeps_recent_records(self):
+        # old fast runs scroll out of the window; recent slower runs set
+        # the median the check compares against
+        history = [_record(4.0)] * 10 + [_record(2.0)] * 10
+        assert history_failures(_record(1.9), history, window=10) == []
+        assert history_failures(_record(1.9), history, window=20) != []
+
+    def test_jsonl_lines_are_sorted_and_parseable(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        append_history({"b": 1, "a": 2, "dataset": "xmark",
+                        "dense_over_object": 2.0}, path)
+        line = open(path, encoding="utf-8").read().strip()
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)
