@@ -1,0 +1,146 @@
+"""Service load driver: batched merged passes vs one engine per request.
+
+The serving-layer claim (ISSUE 5, backed by the paper's Figure 10 /
+Table 5 multi-query result): coalescing concurrent requests for the
+same document into ONE merged-automaton pass amortises the document
+walk, so a warm service beats the naive one-engine-per-request
+baseline by well over 2× on concurrent load.
+
+The experiment: an XMark-style document, 32 concurrent requests drawn
+from an 8-query pool, answered two ways —
+
+* **baseline** — every request constructs a fresh ``GapEngine`` over
+  its single query and scans the document (what scripting the one-shot
+  CLI per request would do; the structural compile cache stays on, so
+  the baseline is as good as that path gets);
+* **batched** — a warm :class:`~repro.service.QueryService` ingests the
+  document once (pre-lexed) and the scheduler merges concurrent
+  requests into few passes.
+
+Both modes answer the same 32 requests from 32 client threads; the
+recorded metric is requests/second.  The acceptance gate asserts the
+batched/baseline ratio ≥ 2×.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import GapEngine
+from repro.bench import generate_document
+from repro.bench.reporting import format_table
+from repro.datasets import dataset_by_name, generate_query_set
+from repro.service import QueryService, ServiceConfig
+
+from conftest import emit
+
+SCALE = 10.0
+N_CHUNKS = 8
+N_REQUESTS = 32
+N_CLIENTS = 32
+QUERY_POOL = 8  # >= the issue's "4+ queries per batch"
+
+
+def _baseline_round(text, grammar, requests):
+    """One engine per request, 32 concurrent clients."""
+    def serve_one(query: str):
+        engine = GapEngine([query], grammar=grammar, n_chunks=N_CHUNKS,
+                           backend="serial")
+        try:
+            return {query: list(engine.run(text).matches[query])}
+        finally:
+            engine.close()
+
+    with ThreadPoolExecutor(N_CLIENTS) as clients:
+        t0 = time.perf_counter()
+        responses = list(clients.map(serve_one, requests))
+        elapsed = time.perf_counter() - t0
+    return elapsed, responses
+
+
+def _batched_round(service, doc_id, requests):
+    """The warm service, same 32 concurrent clients."""
+    def serve_one(query: str):
+        response = service.query(doc_id, [query])
+        return {query: response["matches"][query]}, response["batch"]["size"]
+
+    with ThreadPoolExecutor(N_CLIENTS) as clients:
+        t0 = time.perf_counter()
+        out = list(clients.map(serve_one, requests))
+        elapsed = time.perf_counter() - t0
+    responses = [r for r, _ in out]
+    sizes = [s for _, s in out]
+    return elapsed, responses, sizes
+
+
+@pytest.fixture(scope="module")
+def load_results():
+    ds = dataset_by_name("xmark")
+    text = generate_document(ds.name, SCALE, 0)
+    queries = generate_query_set(ds, QUERY_POOL)
+    requests = [queries[i % len(queries)] for i in range(N_REQUESTS)]
+
+    config = ServiceConfig(
+        backend="serial", n_chunks=N_CHUNKS, workers=2,
+        max_queue=2 * N_REQUESTS, max_batch=N_REQUESTS, batch_wait=0.05,
+    )
+    with QueryService(config) as service:
+        doc = service.register(text, name="xmark", grammar=ds.grammar)
+        # warm both paths once so neither round pays first-run costs
+        _batched_round(service, doc.doc_id, requests[:4])
+        _baseline_round(text, ds.grammar, requests[:4])
+
+        base_s, base_responses = _baseline_round(text, ds.grammar, requests)
+        batch_s, batch_responses, batch_sizes = _batched_round(
+            service, doc.doc_id, requests
+        )
+
+    # oracle equivalence of the whole load run, not just throughput
+    assert batch_responses == base_responses
+    return {
+        "n_bytes": len(text),
+        "baseline_s": base_s,
+        "batched_s": batch_s,
+        "baseline_rps": N_REQUESTS / base_s,
+        "batched_rps": N_REQUESTS / batch_s,
+        "speedup": base_s / batch_s,
+        "max_batch": max(batch_sizes),
+        "mean_batch": sum(batch_sizes) / len(batch_sizes),
+    }
+
+
+def test_batched_throughput_vs_engine_per_request(load_results, benchmark):
+    r = load_results
+    headers = ["mode", "requests", "wall s", "req/s", "speedup"]
+    rows = [
+        ["engine-per-request", N_REQUESTS, round(r["baseline_s"], 4),
+         round(r["baseline_rps"], 1), 1.0],
+        ["batched service", N_REQUESTS, round(r["batched_s"], 4),
+         round(r["batched_rps"], 1), round(r["speedup"], 2)],
+    ]
+    table = format_table(
+        headers, rows,
+        title=(
+            f"Service load — {N_REQUESTS} concurrent requests, "
+            f"{QUERY_POOL}-query pool, xmark {r['n_bytes'] / 1e3:.0f} KB "
+            f"(max batch {r['max_batch']}, mean {r['mean_batch']:.1f})"
+        ),
+    )
+    emit("service_load", table, headers=headers, rows=rows)
+
+    # the issue's acceptance gate: batching wins by at least 2x, and
+    # the scheduler really coalesced (4+ requests per merged pass)
+    assert r["speedup"] >= 2.0, f"batched speedup only {r['speedup']:.2f}x"
+    assert r["max_batch"] >= 4
+
+    # representative kernel for --benchmark-compare: one warm merged pass
+    ds = dataset_by_name("xmark")
+    text = generate_document(ds.name, SCALE, 0)
+    queries = generate_query_set(ds, QUERY_POOL)
+    engine = GapEngine(list(queries), grammar=ds.grammar, n_chunks=N_CHUNKS,
+                       backend="serial")
+    with engine:
+        benchmark(lambda: engine.run(text))

@@ -39,6 +39,7 @@ from .obs import (
     collect_run_metrics,
     configure_logging,
 )
+from .service import QueryClient, QueryService, ServiceConfig
 from .grammar.dtd_parser import parse_dtd
 from .grammar.xsd_parser import parse_xsd
 from .grammar.model import Grammar
@@ -57,8 +58,11 @@ __all__ = [
     "MetricsRegistry",
     "NullTracer",
     "PPTransducerEngine",
+    "QueryClient",
     "QueryResult",
+    "QueryService",
     "SequentialEngine",
+    "ServiceConfig",
     "Span",
     "Tracer",
     "__version__",

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Eight commands mirror the library's workflow:
+Nine commands mirror the library's workflow:
 
 ``query``
     Run XPath queries over an XML *or JSON* file (sniffed by content)
@@ -43,6 +43,11 @@ Eight commands mirror the library's workflow:
     were spawned where and why, which tags eliminated them (the
     paper's three elimination scenarios), where the chunk converged
     and where it switched from stack to tree mode.
+
+``serve``
+    Run the long-running query service: ingest documents once, answer
+    concurrent HTTP queries with merged-automaton batches, admission
+    control and ``/metrics`` (see ``docs/SERVICE.md``).
 
 ``profile``
     Run a query with tracing on and print the per-chunk timeline
@@ -233,6 +238,47 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_obs_args(x)
     _add_resilience_args(x)
     x.set_defaults(func=_cmd_explain)
+
+    v = sub.add_parser(
+        "serve",
+        help="run the long-running query service (HTTP, see docs/SERVICE.md)",
+    )
+    v.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    v.add_argument("--port", type=int, default=8077, help="bind port (default 8077)")
+    v.add_argument("--backend", choices=("serial", "thread", "process"),
+                   default="thread",
+                   help="execution backend for merged passes (default thread)")
+    v.add_argument("-n", "--chunks", type=int, default=8,
+                   help="default chunk width for ingested documents (default 8)")
+    v.add_argument("--max-queue", type=int, default=64,
+                   help="request-queue bound; beyond it requests are rejected "
+                        "with 429 (default 64)")
+    v.add_argument("--max-batch", type=int, default=16,
+                   help="most requests merged into one pass (default 16)")
+    v.add_argument("--batch-wait", type=float, default=0.01, metavar="SECONDS",
+                   help="how long a batch stays open for companion requests "
+                        "(default 0.01)")
+    v.add_argument("--workers", type=int, default=4,
+                   help="concurrent batch executors (default 4)")
+    v.add_argument("--max-documents", type=int, default=64,
+                   help="registry bound; beyond it ingestion is rejected "
+                        "(default 64)")
+    v.add_argument("--deadline", type=float, default=30.0, metavar="SECONDS",
+                   help="default per-request deadline (default 30)")
+    v.add_argument("--chunk-timeout", type=float, metavar="SECONDS",
+                   help="per-chunk resilience deadline inside merged passes")
+    v.add_argument("--max-retries", type=int, metavar="N",
+                   help="per-chunk retry budget inside merged passes")
+    v.add_argument("--no-pre-lex", action="store_true",
+                   help="skip caching pre-lexed chunk tokens per document")
+    v.add_argument("--document", action="append", default=[], metavar="FILE",
+                   help="ingest FILE at startup (repeatable)")
+    v.add_argument("-g", "--grammar", metavar="FILE",
+                   help="grammar for documents preloaded with --document")
+    v.add_argument("--log-level", metavar="LEVEL",
+                   help="enable repro logging at LEVEL (DEBUG, INFO, ...)")
+    _add_kernel_arg(v)
+    v.set_defaults(func=_cmd_serve)
     return parser
 
 
@@ -649,16 +695,61 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         from .jsonstream import tokenize_json
 
         tokens = tokenize_json(content)
+    # out-of-range chunk indexes exit 2 with a one-line diagnosis (a
+    # script can tell "bad index" from engine errors, which exit 1)
     if not 0 <= args.chunk < args.chunks:
-        raise ValueError(
-            f"chunk {args.chunk} out of range for a {args.chunks}-chunk run"
-        )
+        print(f"error: chunk {args.chunk} out of range for a "
+              f"{args.chunks}-chunk run (valid: 0..{args.chunks - 1})",
+              file=sys.stderr)
+        return 2
 
     with _build_query_engine(args, content, as_json, tracer, journal) as engine:
-        _execute(engine, args, content, tokens)
+        result = _execute(engine, args, content, tokens)
 
+    n_actual = len(result.stats.chunk_counters)
+    if args.chunk >= n_actual:
+        print(f"error: chunk {args.chunk} out of range — the document "
+              f"split into {n_actual} chunk(s) (valid: 0..{n_actual - 1})",
+              file=sys.stderr)
+        return 2
     print(format_explain(explain_chunk(journal, args.chunk)))
     _obs_emit(args, tracer, None, journal)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import QueryService, ServiceConfig, serve
+
+    if args.log_level:
+        configure_logging(args.log_level)
+    config = ServiceConfig(
+        backend=args.backend,
+        n_chunks=args.chunks,
+        kernel=args.kernel,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        batch_wait=args.batch_wait,
+        workers=args.workers,
+        max_documents=args.max_documents,
+        default_deadline=args.deadline if args.deadline > 0 else None,
+        chunk_timeout=args.chunk_timeout,
+        max_retries=args.max_retries,
+        pre_lex=not args.no_pre_lex,
+    )
+    service = QueryService(config)
+    grammar = _read(args.grammar) if args.grammar else None
+    for path in args.document:
+        record = service.register(_read(path), name=path, grammar=grammar)
+        print(f"# ingested {path} as {record.doc_id} "
+              f"({record.n_bytes} bytes, {record.kind})")
+    server = serve(args.host, args.port, service)
+    host, port = server.server_address[:2]
+    print(f"# repro serve on http://{host}:{port} "
+          f"(backend {config.backend}, queue {config.max_queue}, "
+          f"batch {config.max_batch}); POST /shutdown or Ctrl-C to stop",
+          flush=True)
+    server.run()
+    print("# repro serve: shut down cleanly")
     return 0
 
 

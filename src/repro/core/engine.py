@@ -349,9 +349,16 @@ class PPTransducerEngine(_EngineBase):
             journal=self.journal,
         )
 
-    def run(self, text: str, n_chunks: int | None = None) -> QueryResult:
+    def run(
+        self,
+        text: str,
+        n_chunks: int | None = None,
+        chunks: list | None = None,
+        chunk_tokens: tuple | None = None,
+    ) -> QueryResult:
         return self._result(
-            self._pipeline.run(text, n_chunks or self.n_chunks),
+            self._pipeline.run(text, n_chunks or self.n_chunks,
+                               chunks=chunks, chunk_tokens=chunk_tokens),
             decoder=self._text_decoder(text),
         )
 
@@ -495,7 +502,12 @@ class GapEngine(_EngineBase):
         )
 
     def run(
-        self, text: str, n_chunks: int | None = None, learn: bool = False
+        self,
+        text: str,
+        n_chunks: int | None = None,
+        learn: bool = False,
+        chunks: list | None = None,
+        chunk_tokens: tuple | None = None,
     ) -> QueryResult:
         """Query ``text``; with ``learn=True`` also extend the learned grammar.
 
@@ -504,9 +516,14 @@ class GapEngine(_EngineBase):
         streaming data) or offline"): the document just queried feeds
         Algorithm 3, so the *next* run speculates from a better table.
         Only meaningful in speculative mode.
+
+        ``chunks``/``chunk_tokens`` reuse a precomputed split (and
+        optionally pre-lexed per-chunk token tuples) — see
+        :meth:`repro.transducer.pipeline.ParallelPipeline.run`.
         """
         result = self._result(
-            self._pipeline().run(text, n_chunks or self.n_chunks),
+            self._pipeline().run(text, n_chunks or self.n_chunks,
+                                 chunks=chunks, chunk_tokens=chunk_tokens),
             decoder=self._text_decoder(text),
         )
         if learn:

@@ -1,0 +1,46 @@
+"""repro.service — the long-running query service (``repro serve``).
+
+The serving layer over the engines: a :class:`DocumentRegistry` that
+ingests a document once (lex + chunk + grammar preparation cached), a
+batching scheduler that answers concurrent requests for the same
+document with ONE merged-automaton pass, admission control (bounded
+queue, explicit rejection, per-request deadlines), warm context-managed
+engine/backend pools, and ``/metrics`` + request-journal observability.
+
+See ``docs/SERVICE.md`` for the protocol and operational knobs.
+"""
+
+from .batching import (
+    BatchScheduler,
+    DeadlineExceeded,
+    QueueFull,
+    Request,
+    ServiceClosed,
+)
+from .client import QueryClient, ServiceError
+from .registry import (
+    DocumentRecord,
+    DocumentRegistry,
+    RegistryFull,
+    UnknownDocument,
+)
+from .server import ServiceServer, serve
+from .service import QueryService, ServiceConfig
+
+__all__ = [
+    "BatchScheduler",
+    "DeadlineExceeded",
+    "DocumentRecord",
+    "DocumentRegistry",
+    "QueryClient",
+    "QueryService",
+    "QueueFull",
+    "RegistryFull",
+    "Request",
+    "ServiceClosed",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+    "serve",
+    "UnknownDocument",
+]

@@ -1,0 +1,219 @@
+"""Request batching — coalesce concurrent queries into merged passes.
+
+The paper's multi-query result (Figure 10 / Table 5) is that one
+merged-automaton scan answers thousands of queries for roughly the
+cost of one: starting paths, elimination work and the document walk are
+all shared.  The serving layer exploits exactly that: requests that
+arrive together for the same document are drained from one bounded
+queue, grouped by document, merged into one query set, executed as ONE
+engine pass, and demultiplexed back to per-request responses.
+
+The moving parts:
+
+* :class:`Request` — one queued query request (queries + a
+  :class:`~concurrent.futures.Future` the response or error lands on);
+* :class:`BatchScheduler` — a dispatcher thread drains the queue
+  (collecting up to ``max_batch`` requests for at most ``batch_wait``
+  seconds after the first), groups by document, and hands each group
+  to a small worker pool so distinct documents execute concurrently.
+  The executor callback (the service core) owns engines and demuxing.
+
+Admission control is the queue bound: :meth:`BatchScheduler.submit`
+raises :class:`QueueFull` *synchronously* when the queue is at
+capacity — the caller gets an immediate, explicit rejection instead of
+unbounded latency.  Per-request deadlines are enforced at dispatch
+(an expired request fails with :class:`DeadlineExceeded` without
+costing an execution) and again by the waiting client; a hung chunk
+inside an execution is bounded by the engine's resilience supervision
+(:mod:`repro.parallel.resilience`) when the service configures it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Request",
+    "QueueFull",
+    "DeadlineExceeded",
+    "ServiceClosed",
+    "BatchScheduler",
+]
+
+_clock = time.monotonic
+
+
+class QueueFull(RuntimeError):
+    """Admission refused: the request queue is at capacity."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """The request's deadline passed before a response was produced."""
+
+
+class ServiceClosed(RuntimeError):
+    """The service is shutting down and no longer accepts or serves work."""
+
+
+@dataclass(slots=True)
+class Request:
+    """One admitted query request waiting for (or receiving) a response."""
+
+    req_id: int
+    doc_id: str
+    queries: tuple[str, ...]
+    future: Future = field(default_factory=Future)
+    #: absolute monotonic deadline; ``None`` waits indefinitely
+    deadline: float | None = None
+    enqueued: float = field(default_factory=_clock)
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (now if now is not None else _clock()) >= self.deadline
+
+    def remaining(self, now: float | None = None) -> float | None:
+        if self.deadline is None:
+            return None
+        return self.deadline - (now if now is not None else _clock())
+
+
+class BatchScheduler:
+    """Bounded queue + dispatcher thread + per-document group execution.
+
+    ``execute(doc_id, requests)`` is the service-core callback: it must
+    resolve every request's future (result or exception) and never
+    raise — the scheduler guards it anyway so one bad group cannot
+    kill the dispatcher.
+    """
+
+    def __init__(
+        self,
+        execute,
+        max_queue: int = 64,
+        max_batch: int = 16,
+        batch_wait: float = 0.01,
+        workers: int = 4,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if batch_wait < 0:
+            raise ValueError(f"batch_wait must be >= 0, got {batch_wait}")
+        self._execute = execute
+        self.max_batch = max_batch
+        self.batch_wait = batch_wait
+        self._queue: queue.Queue[Request | None] = queue.Queue(maxsize=max_queue)
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-svc-batch"
+        )
+        self._ids = itertools.count()
+        self._closed = threading.Event()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-svc-dispatch", daemon=True
+        )
+        self._started = False
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        with self._lock:
+            if not self._started:
+                self._dispatcher.start()
+                self._started = True
+
+    def close(self) -> None:
+        """Stop accepting, drain the queue with rejections, join workers."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        if self._started:
+            self._queue.put(None)  # wake the dispatcher
+            self._dispatcher.join(timeout=10.0)
+        # whatever is still queued can no longer be served
+        while True:
+            try:
+                req = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if req is not None and not req.future.done():
+                req.future.set_exception(ServiceClosed("service shut down"))
+        self._pool.shutdown(wait=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def depth(self) -> int:
+        """Current queue depth (approximate, for the gauge)."""
+        return self._queue.qsize()
+
+    # -- admission -----------------------------------------------------
+
+    def submit(
+        self, doc_id: str, queries: tuple[str, ...], deadline: float | None = None
+    ) -> Request:
+        """Admit one request or raise :class:`QueueFull`/:class:`ServiceClosed`."""
+        if self._closed.is_set():
+            raise ServiceClosed("service shut down")
+        req = Request(
+            req_id=next(self._ids), doc_id=doc_id, queries=queries,
+            deadline=deadline,
+        )
+        try:
+            self._queue.put_nowait(req)
+        except queue.Full:
+            raise QueueFull(
+                f"request queue is full ({self._queue.maxsize} waiting)"
+            ) from None
+        return req
+
+    # -- dispatch ------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                if self._closed.is_set():
+                    return
+                continue
+            if first is None:
+                return
+            batch = [first]
+            cutoff = _clock() + self.batch_wait
+            while len(batch) < self.max_batch:
+                remaining = cutoff - _clock()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is None:
+                    self._run_groups(batch)
+                    return
+                batch.append(nxt)
+            self._run_groups(batch)
+
+    def _run_groups(self, batch: list[Request]) -> None:
+        groups: dict[str, list[Request]] = {}
+        for req in batch:
+            groups.setdefault(req.doc_id, []).append(req)
+        for doc_id, group in groups.items():
+            self._pool.submit(self._run_one_group, doc_id, group)
+
+    def _run_one_group(self, doc_id: str, group: list[Request]) -> None:
+        try:
+            self._execute(doc_id, group)
+        except BaseException as exc:  # the executor must not kill workers
+            for req in group:
+                if not req.future.done():
+                    req.future.set_exception(exc)

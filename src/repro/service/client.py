@@ -1,0 +1,144 @@
+"""Blocking HTTP client for the query service.
+
+A thin stdlib (:mod:`http.client`) wrapper over the protocol in
+:mod:`repro.service.server` — the library-side counterpart of ``curl``
+against the daemon, used by the tests, the CI smoke job and the load
+driver::
+
+    from repro.service.client import QueryClient, ServiceError
+
+    client = QueryClient("127.0.0.1", 8077)
+    doc = client.register(content=xml_text, grammar=dtd_text)
+    response = client.query(doc["doc_id"], ["//item/name"])
+    response["counts"]                     # {"//item/name": 42}
+
+Each call opens one connection (thread-safe by construction: no shared
+socket state), so one client instance may be used from many load-driver
+threads.  Server-side failures surface as :class:`ServiceError` with
+the HTTP status attached — admission rejections are ``status == 429``,
+deadline expiry ``504``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+
+__all__ = ["QueryClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service; ``status`` holds the code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+    @property
+    def rejected(self) -> bool:
+        """True when the service refused admission (queue/registry full)."""
+        return self.status == 429
+
+
+class QueryClient:
+    """Blocking client; one short-lived connection per call."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8077,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None):
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read().decode("utf-8")
+        finally:
+            conn.close()
+        content_type = (resp.getheader("Content-Type") or "").split(";")[0].strip()
+        data = json.loads(raw) if content_type == "application/json" else raw
+        if not 200 <= resp.status < 300:
+            message = data.get("error", raw) if isinstance(data, dict) else raw
+            raise ServiceError(resp.status, str(message))
+        return data
+
+    # -- protocol ------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition."""
+        return self._request("GET", "/metrics")
+
+    def journal(self) -> str:
+        """The request-lifecycle journal as raw JSONL."""
+        return self._request("GET", "/journal")
+
+    def documents(self) -> list[dict]:
+        return self._request("GET", "/documents")["documents"]
+
+    def register(
+        self,
+        content: str | None = None,
+        path: str | None = None,
+        name: str = "",
+        grammar: str | None = None,
+        n_chunks: int | None = None,
+    ) -> dict:
+        """Ingest a document (inline ``content`` or a server-local ``path``)."""
+        body: dict = {"name": name}
+        if content is not None:
+            body["content"] = content
+        elif path is not None:
+            body["path"] = path
+        else:
+            raise ValueError("register needs content= or path=")
+        if grammar is not None:
+            body["grammar"] = grammar
+        if n_chunks is not None:
+            body["n_chunks"] = n_chunks
+        return self._request("POST", "/documents", body)
+
+    def delete(self, doc_id: str) -> dict:
+        return self._request("DELETE", f"/documents/{doc_id}")
+
+    def query(
+        self,
+        doc_id: str,
+        queries: list[str],
+        deadline: float | None = None,
+    ) -> dict:
+        """Run queries; returns the response dict (matches/counts/batch/stats)."""
+        body: dict = {"doc": doc_id, "queries": list(queries)}
+        if deadline is not None:
+            body["deadline"] = deadline
+        return self._request("POST", "/query", body)
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to stop gracefully."""
+        return self._request("POST", "/shutdown")
+
+    def wait_healthy(self, attempts: int = 50, interval: float = 0.1) -> dict:
+        """Poll ``/healthz`` until the daemon answers (startup helper)."""
+        import time
+
+        last: Exception | None = None
+        for _ in range(attempts):
+            try:
+                return self.health()
+            except (OSError, ServiceError) as exc:
+                last = exc
+                time.sleep(interval)
+        raise ConnectionError(
+            f"service at {self.host}:{self.port} never became healthy"
+        ) from last

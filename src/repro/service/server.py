@@ -1,0 +1,219 @@
+"""HTTP front end for the query service (``repro serve``).
+
+A deliberately small JSON-over-HTTP protocol on stdlib
+:mod:`http.server` (one daemon thread per connection via
+:class:`ThreadingHTTPServer`; the real concurrency control is the
+service's bounded queue, not the socket layer):
+
+====================  =====================================================
+``GET  /healthz``     liveness: ``{"status": "ok", "documents": N}``
+``GET  /metrics``     Prometheus text exposition (the service registry)
+``GET  /journal``     request-lifecycle journal as JSONL (bounded)
+``GET  /documents``   registered documents and their preparation summary
+``POST /documents``   ingest: ``{"content": ..., "name"?, "grammar"?,
+                      "n_chunks"?}`` (or ``{"path": ...}`` to read a
+                      server-local file) → ``201 {"doc_id": ...}``
+``DELETE /documents/ID``  drop one document
+``POST /query``       ``{"doc": ID, "queries": [...], "deadline"?: s}``
+                      → ``200`` response (matches/counts/batch/stats)
+``POST /shutdown``    graceful stop: ack, then the server loop exits
+====================  =====================================================
+
+Error mapping: unknown document → 404, full queue or registry → 429,
+expired deadline → 504, bad request body → 400, engine errors → 500.
+Every response is JSON with an ``error`` field on failure.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..core.engine import EngineError
+from ..obs.logsetup import get_logger
+from .batching import DeadlineExceeded, QueueFull, ServiceClosed
+from .registry import RegistryFull, UnknownDocument
+from .service import QueryService
+
+__all__ = ["ServiceServer", "serve"]
+
+logger = get_logger("service.server")
+
+#: ingestion bodies are bounded (64 MiB) so one request cannot OOM the
+#: daemon; raise via ServiceConfig-sized deployments, not here
+MAX_BODY = 64 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    # the ThreadingHTTPServer subclass carries the service reference
+    @property
+    def service(self) -> QueryService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args: object) -> None:
+        logger.debug("%s %s", self.address_string(), fmt % args)
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send(self, code: int, payload: dict | str,
+              content_type: str = "application/json") -> None:
+        body = (json.dumps(payload).encode("utf-8") + b"\n"
+                if isinstance(payload, dict) else payload.encode("utf-8"))
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+
+    def _error(self, code: int, message: str) -> None:
+        self._send(code, {"error": message})
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY:
+            raise ValueError(f"request body too large ({length} bytes)")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        data = json.loads(raw.decode("utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path == "/healthz":
+            self._send(200, {"status": "ok",
+                             "documents": len(self.service.registry)})
+        elif self.path == "/metrics":
+            self._send(200, self.service.metrics_text(),
+                       content_type="text/plain; version=0.0.4")
+        elif self.path == "/journal":
+            self._send(200, self.service.journal_jsonl(),
+                       content_type="application/jsonl")
+        elif self.path == "/documents":
+            self._send(200, {"documents": self.service.registry.list()})
+        else:
+            self._error(404, f"no route {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            if self.path == "/documents":
+                self._post_documents()
+            elif self.path == "/query":
+                self._post_query()
+            elif self.path == "/shutdown":
+                self._send(200, {"status": "shutting down"})
+                self.server.initiate_shutdown()  # type: ignore[attr-defined]
+            else:
+                self._error(404, f"no route {self.path}")
+        except (json.JSONDecodeError, ValueError, KeyError) as exc:
+            self._error(400, f"bad request: {exc}")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        if not self.path.startswith("/documents/"):
+            self._error(404, f"no route {self.path}")
+            return
+        doc_id = self.path[len("/documents/"):]
+        try:
+            self.service.registry.remove(doc_id)
+        except UnknownDocument as exc:
+            self._error(404, str(exc))
+            return
+        self._send(200, {"status": "removed", "doc_id": doc_id})
+
+    # -- route bodies --------------------------------------------------
+
+    def _post_documents(self) -> None:
+        data = self._body()
+        content = data.get("content")
+        if content is None and "path" in data:
+            with open(str(data["path"]), encoding="utf-8") as fh:
+                content = fh.read()
+        if not isinstance(content, str) or not content:
+            raise ValueError("ingestion needs a non-empty 'content' (or 'path')")
+        grammar = data.get("grammar")
+        if grammar is not None and not isinstance(grammar, str):
+            raise ValueError("'grammar' must be a string")
+        n_chunks = data.get("n_chunks")
+        if n_chunks is not None:
+            n_chunks = int(n_chunks)
+        try:
+            record = self.service.register(
+                content, name=str(data.get("name", "")),
+                grammar=grammar, n_chunks=n_chunks,
+            )
+        except RegistryFull as exc:
+            self._error(429, str(exc))
+            return
+        except (EngineError, ValueError, RuntimeError) as exc:
+            self._error(400, f"ingestion failed: {exc}")
+            return
+        self._send(201, record.describe())
+
+    def _post_query(self) -> None:
+        data = self._body()
+        doc_id = data.get("doc")
+        queries = data.get("queries")
+        if not isinstance(doc_id, str):
+            raise ValueError("'doc' (a document id) is required")
+        if (not isinstance(queries, list) or not queries
+                or not all(isinstance(q, str) for q in queries)):
+            raise ValueError("'queries' must be a non-empty list of strings")
+        deadline = data.get("deadline")
+        if deadline is not None:
+            deadline = float(deadline)
+        try:
+            response = self.service.query(doc_id, queries, deadline=deadline)
+        except UnknownDocument as exc:
+            self._error(404, str(exc))
+        except (QueueFull, ServiceClosed) as exc:
+            self._error(429, str(exc))
+        except DeadlineExceeded as exc:
+            self._error(504, str(exc))
+        except TimeoutError:
+            self._error(504, "timed out waiting for a response")
+        except (EngineError, RuntimeError, ValueError) as exc:
+            self._error(500, f"query failed: {exc}")
+        else:
+            self._send(200, response)
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """The bound HTTP server; owns nothing but the socket (the service
+    is constructed by the caller and closed by :meth:`run`)."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: QueryService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self._shutdown_requested = threading.Event()
+
+    def initiate_shutdown(self) -> None:
+        """Ask the serve loop to exit (callable from handler threads)."""
+        self._shutdown_requested.set()
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def run(self) -> None:
+        """Serve until shutdown, then close the service gracefully."""
+        try:
+            with self.service:
+                self.serve_forever(poll_interval=0.1)
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+        finally:
+            self.server_close()
+
+
+def serve(host: str, port: int, service: QueryService) -> ServiceServer:
+    """Bind and return a server (caller invokes :meth:`ServiceServer.run`)."""
+    return ServiceServer((host, port), service)

@@ -1,0 +1,401 @@
+"""The query service core — registry + batching + warm engines + obs.
+
+:class:`QueryService` is the long-running object behind ``repro
+serve`` (and directly embeddable, which is how the tests and the load
+driver use it):
+
+* a :class:`~repro.service.registry.DocumentRegistry` holds ingested
+  documents with their cached lex/split/grammar preparation;
+* a :class:`~repro.service.batching.BatchScheduler` admits requests
+  into a bounded queue and coalesces same-document requests into one
+  merged-automaton pass;
+* a bounded LRU of **warm engines** keyed on ``(document, merged query
+  set)`` keeps the compiled automaton, feasible table and dense
+  kernel tables hot across batches.  Engines receive the service's
+  single backend *instance* — the service constructs it by name, owns
+  it, and closes it exactly once on shutdown, so no request can leak
+  a pool (engines given an instance never close it; see
+  ``_EngineBase.close``);
+* a :class:`~repro.obs.metrics.MetricsRegistry` (the ``/metrics``
+  payload) and a bounded :class:`~repro.obs.journal.Journal` recording
+  the request lifecycle (``admit`` / ``reject`` / ``expire`` /
+  ``batch`` / ``respond`` events).
+
+Batched execution is oracle-equivalent: a request's ``matches`` are
+exactly what an independent engine over just its queries returns,
+because the merged automaton tracks each query's sub-automata
+independently and responses are demultiplexed by query string.  The
+property test in ``tests/test_service.py`` pins this.
+
+Deadlines: an admitted request carries an absolute deadline (defaulted
+from config).  Expired requests are failed at dispatch without costing
+an execution.  *During* an execution, a hung or crashed chunk is
+bounded by the engine's resilience supervision
+(:class:`~repro.parallel.resilience.RetryPolicy`) when
+``chunk_timeout``/``max_retries`` are configured — the same recovery
+ladder the CLI flags engage.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..core.engine import GapEngine
+from ..obs.journal import Journal
+from ..obs.metrics import MetricsRegistry
+from ..parallel.backend import get_backend
+from ..parallel.resilience import RetryPolicy
+from .batching import (
+    BatchScheduler,
+    DeadlineExceeded,
+    QueueFull,
+    Request,
+    ServiceClosed,
+)
+from .registry import DocumentRegistry, DocumentRecord, UnknownDocument
+
+if TYPE_CHECKING:  # pragma: no cover
+    from concurrent.futures import Future
+
+__all__ = ["ServiceConfig", "QueryService"]
+
+_clock = time.monotonic
+
+#: batch-size histogram buckets (requests per merged pass)
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Every service knob in one picklable record (CLI flags map 1:1).
+
+    ``backend`` is a backend *name* — the service constructs and owns
+    the instance.  ``batch_wait`` is how long the dispatcher holds the
+    first request of a batch open for companions; 0 disables coalescing
+    beyond what is already queued.  ``default_deadline`` applies to
+    requests that do not carry their own (``None`` = no deadline).
+    ``chunk_timeout``/``max_retries`` configure the engines' resilience
+    supervision (both ``None`` = unsupervised).
+    """
+
+    backend: str = "thread"
+    n_chunks: int = 8
+    kernel: str = "dense"
+    max_queue: int = 64
+    max_batch: int = 16
+    batch_wait: float = 0.01
+    workers: int = 4
+    max_documents: int = 64
+    default_deadline: float | None = 30.0
+    chunk_timeout: float | None = None
+    max_retries: int | None = None
+    engine_cache_size: int = 32
+    pre_lex: bool = True
+    journal_limit: int = 65536
+
+    def resilience(self) -> RetryPolicy | None:
+        if self.chunk_timeout is None and self.max_retries is None:
+            return None
+        return RetryPolicy(
+            max_retries=2 if self.max_retries is None else self.max_retries,
+            chunk_timeout=5.0 if self.chunk_timeout is None else self.chunk_timeout,
+        )
+
+
+class QueryService:
+    """Long-running query service: ingest documents, serve batched queries."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.registry = DocumentRegistry(
+            max_documents=self.config.max_documents, pre_lex=self.config.pre_lex
+        )
+        self.metrics = MetricsRegistry()
+        self.journal = Journal(limit=self.config.journal_limit)
+        self._backend = get_backend(self.config.backend)
+        self._resilience = self.config.resilience()
+        self._engines: OrderedDict[tuple, GapEngine] = OrderedDict()
+        self._engine_lock = threading.Lock()
+        self._obs_lock = threading.Lock()
+        self._scheduler = BatchScheduler(
+            self._execute_group,
+            max_queue=self.config.max_queue,
+            max_batch=self.config.max_batch,
+            batch_wait=self.config.batch_wait,
+            workers=self.config.workers,
+        )
+        self._closed = False
+        self.started_at = time.time()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "QueryService":
+        self._scheduler.start()
+        return self
+
+    def close(self) -> None:
+        """Graceful shutdown: drain, fail leftovers, release all pools."""
+        if self._closed:
+            return
+        self._closed = True
+        self._scheduler.close()
+        with self._engine_lock:
+            self._engines.clear()
+        # engines hold the backend *instance* and therefore never close
+        # it; the service created it by name and closes it exactly once
+        self._backend.close()
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- ingestion -----------------------------------------------------
+
+    def register(
+        self,
+        text: str,
+        name: str = "",
+        grammar: str | None = None,
+        n_chunks: int | None = None,
+    ) -> DocumentRecord:
+        record = self.registry.register(
+            text, name=name, grammar=grammar,
+            n_chunks=n_chunks or self.config.n_chunks,
+        )
+        with self._obs_lock:
+            if self.journal.enabled:
+                self.journal.record("ingest", doc=record.doc_id,
+                                    bytes=record.n_bytes, doc_kind=record.kind)
+        return record
+
+    # -- querying ------------------------------------------------------
+
+    def submit(
+        self,
+        doc_id: str,
+        queries: list[str] | tuple[str, ...],
+        deadline: float | None = None,
+    ) -> "Future":
+        """Admit one request; returns the future its response lands on.
+
+        Raises :class:`UnknownDocument` for an unregistered id and
+        :class:`QueueFull` when admission is refused.  ``deadline`` is
+        seconds from now (falling back to the configured default).
+        """
+        if not queries:
+            raise ValueError("a request needs at least one query")
+        self.registry.get(doc_id)  # fail fast on unknown documents
+        seconds = self.config.default_deadline if deadline is None else deadline
+        abs_deadline = None if seconds is None else _clock() + seconds
+        try:
+            req = self._scheduler.submit(doc_id, tuple(queries), abs_deadline)
+        except (QueueFull, ServiceClosed):
+            with self._obs_lock:
+                self._count_request("rejected")
+                if self.journal.enabled:
+                    self.journal.record("reject", doc=doc_id,
+                                        queue=self._scheduler.depth())
+            raise
+        with self._obs_lock:
+            if self.journal.enabled:
+                self.journal.record("admit", doc=doc_id, request=req.req_id,
+                                    queries=len(req.queries))
+        return req.future
+
+    def query(
+        self,
+        doc_id: str,
+        queries: list[str] | tuple[str, ...],
+        deadline: float | None = None,
+    ) -> dict:
+        """Blocking submit: returns the response dict or raises the error."""
+        future = self.submit(doc_id, queries, deadline=deadline)
+        seconds = self.config.default_deadline if deadline is None else deadline
+        # leave headroom over the service-side deadline so the service,
+        # not the wait, is what times a request out
+        wait = None if seconds is None else seconds + 5.0
+        return future.result(timeout=wait)
+
+    # -- batch execution (scheduler worker threads) --------------------
+
+    def _execute_group(self, doc_id: str, group: list[Request]) -> None:
+        now = _clock()
+        live: list[Request] = []
+        for req in group:
+            if req.expired(now):
+                with self._obs_lock:
+                    self._count_request("expired")
+                    if self.journal.enabled:
+                        self.journal.record("expire", doc=doc_id,
+                                            request=req.req_id)
+                req.future.set_exception(DeadlineExceeded(
+                    f"request {req.req_id} expired before execution"
+                ))
+            else:
+                live.append(req)
+        if not live:
+            return
+        try:
+            doc = self.registry.get(doc_id)
+        except UnknownDocument as exc:
+            for req in live:
+                req.future.set_exception(exc)
+            with self._obs_lock:
+                self._count_request("not_found", len(live))
+            return
+
+        merged = tuple(sorted({q for req in live for q in req.queries}))
+        t0 = _clock()
+        try:
+            engine = self._engine_for(doc, merged)
+            result = self._run(engine, doc)
+        except Exception as exc:
+            for req in live:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+            with self._obs_lock:
+                self._count_request("error", len(live))
+                if self.journal.enabled:
+                    self.journal.record("batch", doc=doc_id, size=len(live),
+                                        error=str(exc))
+            return
+        exec_s = _clock() - t0
+
+        matches = result.matches
+        stats = result.stats.summary()
+        batch_info = {
+            "size": len(live),
+            "merged_queries": len(merged),
+            "exec_seconds": exec_s,
+        }
+        responded = _clock()
+        for req in live:
+            response = {
+                "doc_id": doc_id,
+                "matches": {q: list(matches.get(q, [])) for q in req.queries},
+                "counts": {q: len(matches.get(q, [])) for q in req.queries},
+                "batch": dict(batch_info),
+                "stats": stats,
+            }
+            req.future.set_result(response)
+        with self._obs_lock:
+            self._count_request("ok", len(live))
+            self.metrics.counter(
+                "repro_service_batches_total", "Merged-automaton passes executed"
+            ).inc()
+            self.metrics.histogram(
+                "repro_service_batch_size", "Requests answered per merged pass",
+                buckets=_BATCH_BUCKETS,
+            ).observe(len(live))
+            self.metrics.histogram(
+                "repro_service_batch_seconds",
+                "Wall-clock duration of one merged pass",
+            ).observe(exec_s)
+            hist = self.metrics.histogram(
+                "repro_service_request_seconds",
+                "Request latency from admission to response",
+            )
+            for req in live:
+                hist.observe(max(0.0, responded - req.enqueued))
+            if self.journal.enabled:
+                self.journal.record(
+                    "batch", doc=doc_id, size=len(live),
+                    merged_queries=len(merged), exec_seconds=round(exec_s, 6),
+                )
+                for req in live:
+                    self.journal.record(
+                        "respond", doc=doc_id, request=req.req_id,
+                        matches=sum(len(matches.get(q, ())) for q in req.queries),
+                    )
+
+    def _run(self, engine: GapEngine, doc: DocumentRecord):
+        if doc.kind == "json":
+            return engine.run_tokens(doc.tokens)
+        return engine.run(doc.text, chunks=doc.chunks,
+                          chunk_tokens=doc.chunk_tokens)
+
+    def _engine_for(self, doc: DocumentRecord, merged: tuple[str, ...]) -> GapEngine:
+        key = (doc.doc_id, merged)
+        with self._engine_lock:
+            engine = self._engines.get(key)
+            if engine is not None:
+                self._engines.move_to_end(key)
+                self._count_engine_cache("hit")
+                return engine
+        built = GapEngine(
+            list(merged),
+            grammar=doc.grammar,
+            n_chunks=doc.n_chunks,
+            backend=self._backend,  # shared instance: service-owned
+            kernel=self.config.kernel,
+            resilience=self._resilience,
+        )
+        with self._engine_lock:
+            engine = self._engines.get(key)
+            if engine is not None:  # racing build: keep the first
+                self._engines.move_to_end(key)
+                self._count_engine_cache("hit")
+                return engine
+            self._engines[key] = built
+            while len(self._engines) > self.config.engine_cache_size:
+                self._engines.popitem(last=False)
+            self._count_engine_cache("miss")
+        return built
+
+    # -- observability -------------------------------------------------
+
+    def _count_request(self, status: str, amount: int = 1) -> None:
+        self.metrics.counter(
+            "repro_service_requests_total", "Requests by final status",
+            status=status,
+        ).inc(amount)
+
+    def _count_engine_cache(self, event: str) -> None:
+        # lock order is always _engine_lock -> _obs_lock (metrics_text
+        # reads the engine count before taking _obs_lock, never inside)
+        with self._obs_lock:
+            self.metrics.counter(
+                "repro_service_engine_cache_total", "Warm-engine cache lookups",
+                event=event,
+            ).inc()
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` payload: refresh gauges, render Prometheus text."""
+        with self._engine_lock:
+            n_engines = len(self._engines)
+        from ..xpath.compile_tables import compile_cache_info
+
+        cache = compile_cache_info()
+        with self._obs_lock:
+            self.metrics.gauge(
+                "repro_service_queue_depth", "Requests waiting for dispatch"
+            ).set(self._scheduler.depth())
+            self.metrics.gauge(
+                "repro_service_documents", "Documents currently registered"
+            ).set(len(self.registry))
+            self.metrics.gauge(
+                "repro_service_engines", "Warm engines currently cached"
+            ).set(n_engines)
+            self.metrics.gauge(
+                "repro_service_uptime_seconds", "Seconds since service start"
+            ).set(time.time() - self.started_at)
+            self.metrics.gauge(
+                "repro_service_compile_cache_hits",
+                "Dense-table compile cache hits (process-wide)",
+            ).set(cache["hits"])
+            self.metrics.gauge(
+                "repro_service_compile_cache_misses",
+                "Dense-table compile cache misses (process-wide)",
+            ).set(cache["misses"])
+            return self.metrics.to_prometheus()
+
+    def journal_jsonl(self) -> str:
+        """The request-lifecycle journal as JSONL (bounded; see config)."""
+        with self._obs_lock:
+            return self.journal.to_jsonl()

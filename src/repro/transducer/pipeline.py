@@ -90,6 +90,10 @@ class _Ctx:
     #: — ``None`` selects the object kernel; typed loosely to keep this
     #: module import-free of :mod:`repro.core`
     tables: object | None = None
+    #: pre-lexed token tuples, one per chunk index — a serving-layer
+    #: cache (the document registry lexes once per document); ``None``
+    #: keeps the lex-in-worker path
+    pretokens: tuple | None = None
 
 
 def _skip_leading_end(tokens, begin: int):
@@ -118,7 +122,10 @@ def _run_one_chunk(ctx: _Ctx, chunk: Chunk, attempt: int = 0) -> ChunkResult:
     start = frozenset((ctx.automaton.initial,)) if chunk.index == 0 else None
     jr = Journal() if ctx.journal else NULL_JOURNAL
     if not ctx.trace:
-        tokens = lex_range(ctx.text, chunk.begin, chunk.end)
+        if ctx.pretokens is not None:
+            tokens = ctx.pretokens[chunk.index]
+        else:
+            tokens = lex_range(ctx.text, chunk.begin, chunk.end)
         result = runner.run_chunk(
             tokens, chunk.index, chunk.begin, chunk.end,
             start_states=start, journal=jr,
@@ -132,7 +139,10 @@ def _run_one_chunk(ctx: _Ctx, chunk: Chunk, attempt: int = 0) -> ChunkResult:
     tracer = Tracer(tid=chunk.index + 1)
     with tracer.span(f"chunk[{chunk.index}]", cat="chunk") as sp:
         with tracer.span("lex", cat="chunk") as lex_sp:
-            tokens = list(lex_range(ctx.text, chunk.begin, chunk.end))
+            if ctx.pretokens is not None:
+                tokens = list(ctx.pretokens[chunk.index])
+            else:
+                tokens = list(lex_range(ctx.text, chunk.begin, chunk.end))
             lex_sp.args["tokens"] = len(tokens)
         result = runner.run_chunk(
             tokens, chunk.index, chunk.begin, chunk.end,
@@ -334,16 +344,41 @@ class ParallelPipeline:
             events=events, final_state=state, counters=totals, chunk_counters=per_chunk
         )
 
-    def run(self, text: str, n_chunks: int) -> ParallelRunResult:
-        """Execute the three phases over ``text`` with ``n_chunks`` workers."""
+    def run(
+        self,
+        text: str,
+        n_chunks: int,
+        chunks: list[Chunk] | None = None,
+        chunk_tokens: tuple | None = None,
+    ) -> ParallelRunResult:
+        """Execute the three phases over ``text`` with ``n_chunks`` workers.
+
+        ``chunks`` skips the split phase with a precomputed tag-aligned
+        chunk list, and ``chunk_tokens`` (one token tuple per chunk,
+        same order) skips per-worker lexing — the serving layer's
+        per-document cache (:mod:`repro.service.registry`) prepares
+        both once per ingested document.  Results are identical to the
+        uncached path: the chunk list is what :func:`split_chunks`
+        returns and the token tuples are what workers would lex.
+        """
         tracer = self.tracer
         journal = self.journal
+        if chunk_tokens is not None:
+            if chunks is None:
+                raise ValueError("chunk_tokens requires a matching chunks list")
+            if len(chunk_tokens) != len(chunks):
+                raise ValueError(
+                    f"chunk_tokens/chunks length mismatch "
+                    f"({len(chunk_tokens)} != {len(chunks)})"
+                )
         with tracer.span("split", cat="phase") as sp:
-            chunks = split_chunks(text, n_chunks)
+            if chunks is None:
+                chunks = split_chunks(text, n_chunks)
             sp.args["n_chunks"] = len(chunks)
         ctx = _Ctx(text, self.automaton, self.policy, self.anchor_sids,
                    trace=tracer.enabled, journal=journal.enabled,
-                   faults=self.faults, tables=self._tables)
+                   faults=self.faults, tables=self._tables,
+                   pretokens=chunk_tokens)
         report: ResilienceReport | None = None
         with tracer.span("parallel", cat="phase"):
             if self.resilience is not None:

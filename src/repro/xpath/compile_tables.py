@@ -40,6 +40,7 @@ path (pinned by ``tests/test_table_compile.py``).
 
 from __future__ import annotations
 
+import threading
 from array import array
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -206,6 +207,10 @@ def compile_tables(
 _cache: OrderedDict[tuple, KernelTables] = OrderedDict()
 _hits = 0
 _misses = 0
+#: guards every _cache/_hits/_misses access — the query service
+#: compiles from multiple scheduler worker threads, and OrderedDict
+#: move_to_end/popitem during a concurrent lookup corrupts the dict
+_cache_lock = threading.Lock()
 
 
 def _automaton_key(a: QueryAutomaton) -> tuple:
@@ -244,6 +249,13 @@ def compiled_tables(
     O(automaton + table), far below compilation (which also walks the
     full transition structure but allocates and fills every dense row).
     ``journal`` receives a ``cache_hit``/``cache_miss`` event per lookup.
+
+    Thread-safe: lookups and LRU mutation are serialised by a lock
+    (the query service compiles from concurrent scheduler threads);
+    compilation itself runs outside the lock, so two threads missing
+    on the same key may both compile — the duplicate insert is
+    harmless (equal content) and cheaper than holding the lock across
+    a full table compilation.
     """
     global _hits, _misses
     key = (
@@ -251,31 +263,40 @@ def compiled_tables(
         _table_key(table),
         tuple(sorted(anchor_sids)),
     )
-    cached = _cache.get(key)
+    with _cache_lock:
+        cached = _cache.get(key)
+        if cached is not None:
+            _hits += 1
+            _cache.move_to_end(key)
+            size = len(_cache)
+        else:
+            _misses += 1
+            size = len(_cache)
     if cached is not None:
-        _hits += 1
-        _cache.move_to_end(key)
         if journal.enabled:
-            journal.record("cache_hit", size=len(_cache))
+            journal.record("cache_hit", size=size)
         return cached
-    _misses += 1
     if journal.enabled:
-        journal.record("cache_miss", size=len(_cache))
+        journal.record("cache_miss", size=size)
     tables = compile_tables(automaton, table, anchor_sids)
-    _cache[key] = tables
-    while len(_cache) > _CACHE_MAX:
-        _cache.popitem(last=False)
+    with _cache_lock:
+        _cache[key] = tables
+        _cache.move_to_end(key)
+        while len(_cache) > _CACHE_MAX:
+            _cache.popitem(last=False)
     return tables
 
 
 def compile_cache_info() -> dict[str, int]:
     """Cache statistics: ``{"hits": ..., "misses": ..., "size": ...}``."""
-    return {"hits": _hits, "misses": _misses, "size": len(_cache)}
+    with _cache_lock:
+        return {"hits": _hits, "misses": _misses, "size": len(_cache)}
 
 
 def clear_compile_cache() -> None:
     """Drop all cached tables and reset the hit/miss counters."""
     global _hits, _misses
-    _cache.clear()
-    _hits = 0
-    _misses = 0
+    with _cache_lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0

@@ -243,3 +243,39 @@ class TestJsonQueries:
         out = capsys.readouterr().out
         assert rc == 0
         assert "gap (spec)" in out and "2 match(es)" in out
+
+
+class TestExplainCommand:
+    def test_valid_chunk_replays(self, feed_file, capsys):
+        rc = main(["explain", feed_file, "1", "-q", "//id", "-n", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "chunk 1" in out
+
+    def test_chunk_beyond_requested_width_exits_2(self, feed_file, capsys):
+        rc = main(["explain", feed_file, "8", "-q", "//id", "-n", "8"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        lines = captured.err.strip().splitlines()
+        assert len(lines) == 1  # exactly one diagnostic line
+        assert lines[0].startswith("error: chunk 8 out of range")
+        assert "0..7" in lines[0]
+
+    def test_negative_chunk_exits_2(self, feed_file, capsys):
+        rc = main(["explain", feed_file, "-q", "//id", "--", "-1"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err.startswith("error: chunk -1 out of range")
+
+    def test_chunk_beyond_actual_split_exits_2(self, tmp_path, capsys):
+        # a tiny document splits into fewer chunks than requested: an
+        # index valid for the requested width can still be out of range
+        p = tmp_path / "tiny.xml"
+        p.write_text("<a><b/></a>")  # splits into 3 chunks, not 8
+        rc = main(["explain", str(p), "5", "-q", "//b", "-n", "8"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        lines = captured.err.strip().splitlines()
+        assert len(lines) == 1
+        assert "split into 3 chunk(s)" in lines[0]
+        assert "0..2" in lines[0]

@@ -1,0 +1,469 @@
+"""The query service: registry, admission, batching equivalence, lifecycle.
+
+Pins the serving-layer contracts of :mod:`repro.service`:
+
+* **registry** — content-hash idempotence, the document bound
+  (:class:`RegistryFull`), kind sniffing, and cached preparation
+  (chunk list + pre-lexed tokens);
+* **admission control** — a full queue rejects synchronously with
+  :class:`QueueFull`, a closed service with :class:`ServiceClosed`,
+  and both are counted in ``/metrics``;
+* **deadlines** — an expired request fails with
+  :class:`DeadlineExceeded` at dispatch without costing an execution;
+* **batching equivalence** (the oracle property) — a merged-automaton
+  pass answering several requests at once returns, for every request,
+  exactly the matches an independent per-query engine returns, across
+  serial and thread backends and for XML and JSON documents;
+* **lifecycle** — N sequential requests do not grow the process
+  thread count (warm engines share the one service-owned backend and
+  never close it), and shutdown releases everything exactly once;
+* **HTTP** — register/query/metrics/journal/shutdown end-to-end over
+  a real socket on an ephemeral port.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import GapEngine
+from repro.service import (
+    DeadlineExceeded,
+    DocumentRegistry,
+    QueryClient,
+    QueryService,
+    QueueFull,
+    RegistryFull,
+    Request,
+    ServiceClosed,
+    ServiceConfig,
+    ServiceError,
+    UnknownDocument,
+    serve,
+)
+
+from tests.conftest import FEED_DTD, FEED_XML, RUNNING_DTD, RUNNING_QUERY, RUNNING_XML
+
+JSON_DOC = (
+    '{"feed": {"entry": [{"id": 1, "title": "a"}, {"title": "b"},'
+    ' {"id": 3, "tags": ["x", "y"]}], "id": 99}}'
+)
+
+#: (grammar, document, query pool) corpora for the equivalence property
+CORPORA = [
+    (RUNNING_DTD, RUNNING_XML, [RUNNING_QUERY, "//c", "/a/c", "//b//c", "/a/*"]),
+    (FEED_DTD, FEED_XML,
+     ["/feed/entry/title", "//id", "/feed/id", "//title", "/feed/entry[id]/title"]),
+    (None, JSON_DOC, ["//id", "//title", "//tags", "/json/feed/id"]),
+]
+
+
+def small_config(**overrides) -> ServiceConfig:
+    defaults = dict(backend="serial", n_chunks=4, workers=2, batch_wait=0.0)
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+@pytest.fixture
+def service():
+    with QueryService(small_config()) as svc:
+        yield svc
+
+
+def oracle_matches(text, grammar, query, n_chunks=4):
+    """What an independent single-query engine returns for ``query``."""
+    engine = GapEngine([query], grammar=grammar, n_chunks=n_chunks, backend="serial")
+    try:
+        if text.lstrip()[:1] in ("{", "["):
+            from repro.jsonstream import tokenize_json
+
+            return list(engine.run_tokens(tokenize_json(text)).matches[query])
+        return list(engine.run(text).matches[query])
+    finally:
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_idempotent_on_identical_content(self):
+        reg = DocumentRegistry()
+        a = reg.register(RUNNING_XML, grammar=RUNNING_DTD, n_chunks=4)
+        b = reg.register(RUNNING_XML, grammar=RUNNING_DTD, n_chunks=4)
+        assert a is b and len(reg) == 1
+
+    def test_distinct_ids_for_distinct_preparation(self):
+        reg = DocumentRegistry()
+        a = reg.register(RUNNING_XML, grammar=RUNNING_DTD, n_chunks=4)
+        b = reg.register(RUNNING_XML, grammar=RUNNING_DTD, n_chunks=8)
+        c = reg.register(RUNNING_XML, n_chunks=4)
+        assert len({a.doc_id, b.doc_id, c.doc_id}) == 3
+
+    def test_bound_refuses_with_registry_full(self):
+        reg = DocumentRegistry(max_documents=1)
+        reg.register(RUNNING_XML)
+        with pytest.raises(RegistryFull):
+            reg.register(FEED_XML)
+        # identical content is still accepted (idempotent hit, not growth)
+        assert reg.register(RUNNING_XML).doc_id
+
+    def test_unknown_document(self):
+        reg = DocumentRegistry()
+        with pytest.raises(UnknownDocument):
+            reg.get("no-such-doc")
+        with pytest.raises(UnknownDocument):
+            reg.remove("no-such-doc")
+
+    def test_remove(self):
+        reg = DocumentRegistry()
+        rec = reg.register(RUNNING_XML)
+        reg.remove(rec.doc_id)
+        assert len(reg) == 0
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(ValueError):
+            DocumentRegistry().register("")
+
+    def test_xml_preparation_is_cached(self):
+        rec = DocumentRegistry(pre_lex=True).register(
+            FEED_XML, grammar=FEED_DTD, n_chunks=4
+        )
+        assert rec.kind == "xml" and rec.grammar is not None
+        assert rec.chunks and rec.chunk_tokens is not None
+        assert len(rec.chunk_tokens) == len(rec.chunks)
+        # the pre-lexed tuples partition the sequential token stream
+        from repro.xmlstream.lexer import lex
+
+        flat = [t for chunk in rec.chunk_tokens for t in chunk]
+        assert flat == list(lex(FEED_XML))
+
+    def test_pre_lex_off_leaves_lazy_path(self):
+        rec = DocumentRegistry(pre_lex=False).register(FEED_XML, n_chunks=4)
+        assert rec.chunk_tokens is None and rec.chunks
+
+    def test_inline_doctype_grammar(self):
+        rec = DocumentRegistry().register(RUNNING_DTD + RUNNING_XML)
+        assert rec.grammar is not None and rec.grammar.is_complete
+
+    def test_json_kind_tokenises_once(self):
+        rec = DocumentRegistry().register(JSON_DOC)
+        assert rec.kind == "json" and rec.tokens
+        assert rec.describe()["chunks"] == 1
+
+
+# ---------------------------------------------------------------------------
+# admission control + deadlines
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_queue_full_rejects_synchronously(self):
+        # scheduler deliberately NOT started: the queue can only fill
+        svc = QueryService(small_config(max_queue=2))
+        try:
+            doc = svc.register(RUNNING_XML, grammar=RUNNING_DTD)
+            svc.submit(doc.doc_id, ["//c"])
+            svc.submit(doc.doc_id, ["//c"])
+            with pytest.raises(QueueFull):
+                svc.submit(doc.doc_id, ["//c"])
+            assert 'status="rejected"} 1' in svc.metrics_text()
+        finally:
+            svc.close()
+
+    def test_unknown_document_fails_fast(self, service):
+        with pytest.raises(UnknownDocument):
+            service.submit("no-such-doc", ["//c"])
+
+    def test_empty_query_list_rejected(self, service):
+        doc = service.register(RUNNING_XML)
+        with pytest.raises(ValueError):
+            service.submit(doc.doc_id, [])
+
+    def test_closed_service_rejects(self):
+        svc = QueryService(small_config()).start()
+        doc = svc.register(RUNNING_XML)
+        svc.close()
+        with pytest.raises(ServiceClosed):
+            svc.submit(doc.doc_id, ["//c"])
+
+    def test_queued_requests_fail_on_close(self):
+        svc = QueryService(small_config())  # never started: nothing drains
+        doc = svc.register(RUNNING_XML)
+        future = svc.submit(doc.doc_id, ["//c"])
+        svc.close()
+        with pytest.raises(ServiceClosed):
+            future.result(timeout=5.0)
+
+    def test_expired_request_fails_without_execution(self, service):
+        doc = service.register(RUNNING_XML, grammar=RUNNING_DTD)
+        future = service.submit(doc.doc_id, ["//c"], deadline=-0.001)
+        with pytest.raises(DeadlineExceeded):
+            future.result(timeout=5.0)
+        text = service.metrics_text()
+        assert 'status="expired"} 1' in text
+        # the expiry cost no merged pass (counter lazily created, so
+        # either absent entirely or still zero)
+        batches = [
+            line for line in text.splitlines()
+            if line.startswith("repro_service_batches_total")
+        ]
+        assert batches in ([], ["repro_service_batches_total 0"])
+
+    def test_request_without_deadline_completes(self):
+        with QueryService(small_config(default_deadline=None)) as svc:
+            doc = svc.register(RUNNING_XML, grammar=RUNNING_DTD)
+            response = svc.query(doc.doc_id, ["//c"])
+        assert response["counts"]["//c"] == 2
+
+
+# ---------------------------------------------------------------------------
+# batching equivalence (the oracle property)
+# ---------------------------------------------------------------------------
+
+
+def batch_case():
+    """Strategy: one corpus + 1..5 requests of 1..3 queries each."""
+    def build(draw):
+        grammar, text, pool = draw(st.sampled_from(CORPORA))
+        requests = draw(
+            st.lists(
+                st.lists(st.sampled_from(pool), min_size=1, max_size=3),
+                min_size=1,
+                max_size=5,
+            )
+        )
+        return grammar, text, requests
+
+    return st.composite(build)()
+
+
+class TestBatchingEquivalence:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(case=batch_case(), backend=st.sampled_from(["serial", "thread"]))
+    def test_merged_pass_equals_per_query_engines(self, case, backend):
+        """Batched responses ≡ independent per-query engine runs.
+
+        Drives ``_execute_group`` directly (the scheduler's callback)
+        so the grouping is deterministic; the threaded end-to-end path
+        is covered below.
+        """
+        grammar, text, query_lists = case
+        svc = QueryService(small_config(backend=backend))
+        try:
+            doc = svc.register(text, grammar=grammar)
+            group = [
+                Request(req_id=i, doc_id=doc.doc_id, queries=tuple(qs))
+                for i, qs in enumerate(query_lists)
+            ]
+            svc._execute_group(doc.doc_id, group)
+            for req, qs in zip(group, query_lists):
+                response = req.future.result(timeout=0)
+                assert response["batch"]["size"] == len(group)
+                for q in qs:
+                    expected = oracle_matches(text, grammar, q)
+                    assert response["matches"][q] == expected, (q, backend)
+                    assert response["counts"][q] == len(expected)
+        finally:
+            svc.close()
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_concurrent_submissions_coalesce_and_agree(self, backend):
+        """End to end through the scheduler: concurrent clients, one doc."""
+        config = small_config(backend=backend, batch_wait=0.05, max_batch=32)
+        queries = ["/feed/entry/title", "//id", "/feed/id", "//title"]
+        with QueryService(config) as svc:
+            doc = svc.register(FEED_XML, grammar=FEED_DTD)
+            futures = [svc.submit(doc.doc_id, [q]) for q in queries * 4]
+            responses = [f.result(timeout=30.0) for f in futures]
+        for response, q in zip(responses, queries * 4):
+            assert response["matches"][q] == oracle_matches(FEED_XML, FEED_DTD, q)
+        # the batch window actually merged concurrent requests
+        assert max(r["batch"]["size"] for r in responses) > 1
+
+    def test_distinct_documents_do_not_cross_talk(self):
+        with QueryService(small_config(batch_wait=0.05)) as svc:
+            running = svc.register(RUNNING_XML, grammar=RUNNING_DTD)
+            feed = svc.register(FEED_XML, grammar=FEED_DTD)
+            f1 = svc.submit(running.doc_id, ["//c"])
+            f2 = svc.submit(feed.doc_id, ["//id"])
+            r1, r2 = f1.result(timeout=30.0), f2.result(timeout=30.0)
+        assert r1["matches"]["//c"] == oracle_matches(RUNNING_XML, RUNNING_DTD, "//c")
+        assert r2["matches"]["//id"] == oracle_matches(FEED_XML, FEED_DTD, "//id")
+        assert r1["doc_id"] != r2["doc_id"]
+
+    def test_json_document_round_trip(self, service):
+        doc = service.register(JSON_DOC)
+        response = service.query(doc.doc_id, ["//id", "//tags"])
+        assert response["matches"]["//id"] == oracle_matches(JSON_DOC, None, "//id")
+        assert response["counts"]["//tags"] == 2
+
+
+# ---------------------------------------------------------------------------
+# lifecycle: warm engines, shared backend, no leaks
+# ---------------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_sequential_requests_do_not_grow_thread_count(self):
+        """Satellite regression: request N+1 reuses request N's pools."""
+        config = small_config(backend="thread", workers=2)
+        with QueryService(config) as svc:
+            doc = svc.register(FEED_XML, grammar=FEED_DTD)
+            for _ in range(3):  # warm every lazy pool thread
+                svc.query(doc.doc_id, ["//id"])
+            baseline = threading.active_count()
+            for _ in range(20):
+                svc.query(doc.doc_id, ["//id"])
+            assert threading.active_count() <= baseline
+
+    def test_engines_share_the_service_backend_and_never_own_it(self):
+        with QueryService(small_config(backend="thread")) as svc:
+            doc = svc.register(FEED_XML, grammar=FEED_DTD)
+            svc.query(doc.doc_id, ["//id"])
+            svc.query(doc.doc_id, ["//title"])
+            engines = list(svc._engines.values())
+            assert engines, "warm cache should hold the built engines"
+            for engine in engines:
+                assert engine.backend is svc._backend
+                assert not engine._owns_backend
+
+    def test_engine_cache_is_bounded_and_reused(self):
+        with QueryService(small_config(engine_cache_size=2)) as svc:
+            doc = svc.register(FEED_XML, grammar=FEED_DTD)
+            for qs in (["//id"], ["//title"], ["/feed/id"], ["//id"]):
+                svc.query(doc.doc_id, qs)
+            assert len(svc._engines) <= 2
+            text = svc.metrics_text()
+            assert 'repro_service_engine_cache_total{event="miss"}' in text
+
+    def test_close_is_idempotent(self):
+        svc = QueryService(small_config()).start()
+        svc.close()
+        svc.close()
+
+    def test_shutdown_releases_threads(self):
+        before = threading.active_count()
+        svc = QueryService(small_config(backend="thread")).start()
+        doc = svc.register(FEED_XML, grammar=FEED_DTD)
+        svc.query(doc.doc_id, ["//id"])
+        assert threading.active_count() > before
+        svc.close()
+        assert threading.active_count() <= before + 1  # dispatcher may linger briefly
+
+
+# ---------------------------------------------------------------------------
+# observability
+# ---------------------------------------------------------------------------
+
+
+class TestObservability:
+    def test_metrics_exposition(self, service):
+        doc = service.register(FEED_XML, grammar=FEED_DTD)
+        service.query(doc.doc_id, ["//id"])
+        text = service.metrics_text()
+        for name in (
+            'repro_service_requests_total{status="ok"} 1',
+            "repro_service_batches_total 1",
+            "repro_service_batch_size_bucket",
+            "repro_service_request_seconds_count 1",
+            "repro_service_documents 1",
+            "repro_service_engines 1",
+            "repro_service_queue_depth 0",
+        ):
+            assert name in text, name
+
+    def test_journal_records_request_lifecycle(self, service):
+        import json as _json
+
+        doc = service.register(FEED_XML, grammar=FEED_DTD)
+        service.query(doc.doc_id, ["//id"])
+        kinds = [
+            _json.loads(line)["kind"]
+            for line in service.journal_jsonl().splitlines()
+        ]
+        assert kinds == ["ingest", "admit", "batch", "respond"]
+
+
+# ---------------------------------------------------------------------------
+# HTTP end to end (ephemeral port)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def http_service():
+    svc = QueryService(small_config(backend="thread"))
+    server = serve("127.0.0.1", 0, svc)
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    client = QueryClient("127.0.0.1", server.server_address[1], timeout=30.0)
+    client.wait_healthy()
+    yield client
+    try:
+        client.shutdown()
+    except (OSError, ServiceError):
+        pass  # already shut down by the test
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+
+
+class TestHTTP:
+    def test_register_query_round_trip(self, http_service):
+        client = http_service
+        doc = client.register(content=FEED_XML, grammar=FEED_DTD, name="feed")
+        assert doc["kind"] == "xml" and doc["grammar"]
+        response = client.query(doc["doc_id"], ["//id", "/feed/entry/title"])
+        assert response["matches"]["//id"] == oracle_matches(FEED_XML, FEED_DTD, "//id")
+        assert response["counts"]["/feed/entry/title"] == 2
+        assert [d["doc_id"] for d in client.documents()] == [doc["doc_id"]]
+
+    def test_error_mapping(self, http_service):
+        client = http_service
+        with pytest.raises(ServiceError) as err:
+            client.query("no-such-doc", ["//x"])
+        assert err.value.status == 404 and not err.value.rejected
+        doc = client.register(content=FEED_XML)
+        with pytest.raises(ServiceError) as err:
+            client.query(doc["doc_id"], [])
+        assert err.value.status == 400
+
+    def test_metrics_and_journal_endpoints(self, http_service):
+        client = http_service
+        doc = client.register(content=FEED_XML, grammar=FEED_DTD)
+        client.query(doc["doc_id"], ["//id"])
+        assert 'repro_service_requests_total{status="ok"}' in client.metrics()
+        assert '"kind":"respond"' in client.journal()
+
+    def test_delete_document(self, http_service):
+        client = http_service
+        doc = client.register(content=FEED_XML)
+        client.delete(doc["doc_id"])
+        with pytest.raises(ServiceError) as err:
+            client.delete(doc["doc_id"])
+        assert err.value.status == 404
+
+    def test_concurrent_http_clients_agree_with_oracle(self, http_service):
+        from concurrent.futures import ThreadPoolExecutor
+
+        client = http_service
+        doc = client.register(content=FEED_XML, grammar=FEED_DTD)
+        queries = ["/feed/entry/title", "//id", "/feed/id", "//title"]
+        with ThreadPoolExecutor(8) as pool:
+            responses = list(
+                pool.map(lambda q: client.query(doc["doc_id"], [q]), queries * 4)
+            )
+        for response, q in zip(responses, queries * 4):
+            assert response["matches"][q] == oracle_matches(FEED_XML, FEED_DTD, q)
+
+    def test_graceful_shutdown(self, http_service):
+        client = http_service
+        assert client.shutdown()["status"] == "shutting down"

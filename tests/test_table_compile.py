@@ -210,3 +210,98 @@ class TestCompileCache:
         compiled_tables(e.automaton, e.table, e.anchor_sids)
         clear_compile_cache()
         assert compile_cache_info() == {"hits": 0, "misses": 0, "size": 0}
+
+
+# ---------------------------------------------------------------------------
+# thread safety (the query service compiles from scheduler workers)
+# ---------------------------------------------------------------------------
+
+
+class TestCacheThreadSafety:
+    """Hammer the locked cache from many threads at once.
+
+    Without the lock these crash or corrupt: concurrent
+    ``move_to_end``/``popitem`` during a lookup breaks the OrderedDict,
+    and the hit/miss counters lose increments.  The contract under
+    contention: no exceptions, ``hits + misses == lookups`` exactly,
+    one cache entry per distinct key, and every result for a key is
+    structurally identical (a concurrent first miss may compile twice —
+    documented as harmless — so object identity is NOT guaranteed).
+    """
+
+    def _engines(self):
+        queries = ["/a/b/a/c", "//c", "/a/c", "/a/b", "//b//c"]
+        return [GapEngine([q], grammar=RUNNING_DTD) for q in queries]
+
+    def test_concurrent_lookups_stay_consistent(self):
+        import threading
+
+        engines = self._engines()
+        per_thread, n_threads = 40, 8
+        errors: list[Exception] = []
+        results: dict[int, list] = {i: [] for i in range(len(engines))}
+        barrier = threading.Barrier(n_threads)
+
+        def worker(seed: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(per_thread):
+                    j = (seed + i) % len(engines)
+                    e = engines[j]
+                    t = compiled_tables(e.automaton, e.table, e.anchor_sids)
+                    results[j].append(t)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors
+        info = compile_cache_info()
+        assert info["hits"] + info["misses"] == n_threads * per_thread
+        assert info["size"] == len(engines)
+        assert info["misses"] >= len(engines)
+        for j, tables in results.items():
+            first = tables[0]
+            for t in tables[1:]:
+                assert t.sym_ids == first.sym_ids
+                assert t.trans == first.trans
+                assert t.start_sets == first.start_sets
+
+    def test_concurrent_lookups_with_clears(self):
+        """clear_compile_cache racing lookups must never corrupt state."""
+        import threading
+
+        engines = self._engines()
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def clearer() -> None:
+            while not stop.is_set():
+                clear_compile_cache()
+
+        def worker(seed: int) -> None:
+            try:
+                for i in range(60):
+                    e = engines[(seed + i) % len(engines)]
+                    compiled_tables(e.automaton, e.table, e.anchor_sids)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=clearer)] + [
+            threading.Thread(target=worker, args=(s,)) for s in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads[1:]:
+            t.join(timeout=30.0)
+        stop.set()
+        threads[0].join(timeout=30.0)
+        assert not errors
+        info = compile_cache_info()
+        assert info["size"] <= len(engines)
+        assert info["hits"] >= 0 and info["misses"] >= 0
