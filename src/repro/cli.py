@@ -47,7 +47,15 @@ Nine commands mirror the library's workflow:
 ``serve``
     Run the long-running query service: ingest documents once, answer
     concurrent HTTP queries with merged-automaton batches, admission
-    control and ``/metrics`` (see ``docs/SERVICE.md``).
+    control, ``/metrics``, the ``/varz`` + ``/statusz`` operator
+    surfaces and per-request tracing (see ``docs/SERVICE.md``).
+
+``top``
+    Live operator view of a running service: poll ``/varz`` and render
+    queue depth, in-flight count, request rates (derived from
+    successive snapshots), latency percentiles per stage and the most
+    recent slow requests.  ``--once`` prints a single snapshot and
+    exits (the CI smoke check).
 
 ``profile``
     Run a query with tracing on and print the per-chunk timeline
@@ -204,9 +212,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "report",
         help="run a query with the flight recorder on; emit a run report",
     )
-    r.add_argument("file", help="XML or JSON document (use '-' for stdin)")
-    r.add_argument("-q", "--query", action="append", required=True, dest="queries",
+    r.add_argument("file", nargs="?",
+                   help="XML or JSON document (use '-' for stdin); "
+                        "not needed with --from-journal")
+    r.add_argument("-q", "--query", action="append", dest="queries", default=[],
                    help="XPath query (repeatable)")
+    r.add_argument("--from-journal", metavar="FILE",
+                   help="render from a saved service journal (JSONL, e.g. "
+                        "GET /journal) instead of running a query")
+    r.add_argument("--request", type=int, metavar="ID",
+                   help="with --from-journal: follow one request id through "
+                        "its lifecycle (admit / batch / respond / trace)")
     r.add_argument("-g", "--grammar", help="DTD or XSD file (default: the document's inline DTD, if any)")
     r.add_argument("-e", "--engine", choices=("gap", "pp", "seq"), default="gap")
     r.add_argument("-n", "--chunks", type=int, default=8, help="parallel chunks (default 8)")
@@ -271,6 +287,15 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="per-chunk retry budget inside merged passes")
     v.add_argument("--no-pre-lex", action="store_true",
                    help="skip caching pre-lexed chunk tokens per document")
+    v.add_argument("--no-request-tracing", action="store_true",
+                   help="disable per-request stage tracing (the NullRequestTrace "
+                        "fast path; /varz stage percentiles and the slow log "
+                        "stay empty)")
+    v.add_argument("--slow-threshold", type=float, default=0.5, metavar="SECONDS",
+                   help="end-to-end latency beyond which a request's span "
+                        "breakdown is captured in the slow log (default 0.5)")
+    v.add_argument("--slow-log-size", type=int, default=128, metavar="N",
+                   help="slow-log ring capacity (default 128)")
     v.add_argument("--document", action="append", default=[], metavar="FILE",
                    help="ingest FILE at startup (repeatable)")
     v.add_argument("-g", "--grammar", metavar="FILE",
@@ -279,6 +304,22 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="enable repro logging at LEVEL (DEBUG, INFO, ...)")
     _add_kernel_arg(v)
     v.set_defaults(func=_cmd_serve)
+
+    t = sub.add_parser(
+        "top",
+        help="live operator view of a running service (polls /varz)",
+    )
+    t.add_argument("--host", default="127.0.0.1", help="service address (default 127.0.0.1)")
+    t.add_argument("--port", type=int, default=8077, help="service port (default 8077)")
+    t.add_argument("-i", "--interval", type=float, default=1.0, metavar="SECONDS",
+                   help="polling interval (default 1.0)")
+    t.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit (no screen clearing)")
+    t.add_argument("--count", type=int, default=0, metavar="N",
+                   help="stop after N refreshes (default: until Ctrl-C)")
+    t.add_argument("--slow", type=int, default=5, metavar="N",
+                   help="slow-log entries shown (default 5)")
+    t.set_defaults(func=_cmd_top)
     return parser
 
 
@@ -639,6 +680,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.from_journal:
+        return _report_from_journal(args)
+    if not args.file or not args.queries:
+        print("error: report needs a document and -q QUERY "
+              "(or --from-journal FILE)", file=sys.stderr)
+        return 2
     tracer, journal = _obs_prepare(args, force_trace=True, force_journal=True)
     content = _read(args.file)
     as_json = _looks_like_json(content)
@@ -683,6 +730,32 @@ def _cmd_report(args: argparse.Namespace) -> int:
             result.stats, matches=result.matches, spans=tracer.spans
         )
     _obs_emit(args, tracer, registry, journal)
+    return 0
+
+
+def _report_from_journal(args: argparse.Namespace) -> int:
+    """``repro report --from-journal``: render a saved service journal."""
+    from .bench.reporting import format_table
+    from .obs.report import format_request
+
+    journal = Journal.read_jsonl(args.from_journal)
+    if args.request is not None:
+        print(format_request(journal, args.request), end="")
+        return 0
+    counts = journal.counts()
+    print(f"# service journal {args.from_journal}: {len(journal.events)} event(s)")
+    if counts:
+        print(format_table(["event", "count"],
+                           [[k, v] for k, v in sorted(counts.items())]))
+    traces = journal.by_kind("trace")
+    if traces:
+        rows = [
+            [ev.args.get("request"), ev.args.get("doc", ""),
+             ev.args.get("total_ms"), ev.args.get("batch_seq")]
+            for ev in traces
+        ]
+        print(format_table(["request", "doc", "total ms", "batch"], rows,
+                           title="traced requests (follow one with --request ID)"))
     return 0
 
 
@@ -735,6 +808,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         chunk_timeout=args.chunk_timeout,
         max_retries=args.max_retries,
         pre_lex=not args.no_pre_lex,
+        request_tracing=not args.no_request_tracing,
+        slow_threshold=args.slow_threshold,
+        slow_log_size=args.slow_log_size,
     )
     service = QueryService(config)
     grammar = _read(args.grammar) if args.grammar else None
@@ -751,6 +827,119 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server.run()
     print("# repro serve: shut down cleanly")
     return 0
+
+
+def _top_rates(curr: dict, prev: dict | None, dt: float) -> dict[str, float]:
+    """Per-second deltas between two /varz snapshots."""
+    if prev is None or dt <= 0:
+        return {}
+    rates: dict[str, float] = {}
+    for status, value in curr.get("requests", {}).items():
+        before = prev.get("requests", {}).get(status, 0)
+        rates[f"req {status}/s"] = (value - before) / dt
+    rates["batches/s"] = (
+        curr.get("batches_total", 0) - prev.get("batches_total", 0)
+    ) / dt
+    return rates
+
+
+def _render_top(varz: dict, prev: dict | None, dt: float, slow_n: int) -> str:
+    """One terminal frame of ``repro top`` (pure function of snapshots)."""
+    from .bench.reporting import banner, format_table
+
+    cfg = varz.get("config", {})
+    lines = [banner("repro top")]
+    lines.append(
+        f"uptime {varz.get('uptime_seconds', 0):.0f}s · "
+        f"backend {cfg.get('backend', '?')} · workers {cfg.get('workers', '?')} · "
+        f"tracing {'on' if cfg.get('request_tracing') else 'off'}"
+    )
+    lines.append(
+        f"queue {varz.get('queue_depth', 0)}/{cfg.get('max_queue', '?')} · "
+        f"in-flight {varz.get('in_flight', 0)} · "
+        f"documents {varz.get('documents', 0)} · "
+        f"engines {varz.get('engines', 0)} · "
+        f"batches {varz.get('batches_total', 0):.0f}"
+    )
+    rates = _top_rates(varz, prev, dt)
+    if rates:
+        lines.append(" · ".join(f"{k} {v:.1f}" for k, v in sorted(rates.items())))
+    requests = varz.get("requests", {})
+    if requests:
+        lines.append(format_table(
+            ["status", "total"],
+            [[s, requests[s]] for s in sorted(requests)], title="requests"))
+    latency = varz.get("latency", {})
+
+    def _row(name: str, summary: dict) -> list:
+        def ms(key: str):
+            v = summary.get(key)
+            return None if v is None else v * 1e3
+        return [name, summary.get("count"), ms("p50"), ms("p95"), ms("p99")]
+
+    lat_rows = [_row("request", latency.get("request_seconds", {}))]
+    for stage, summary in latency.get("stages", {}).items():
+        lat_rows.append(_row(f"  {stage}", summary))
+    lat_rows.append(_row("merged pass", latency.get("batch_seconds", {})))
+    lines.append(format_table(["interval", "count", "p50 ms", "p95 ms", "p99 ms"],
+                              lat_rows, title="latency"))
+    slow = varz.get("slow_log", {})
+    entries = slow.get("entries", [])[-slow_n:]
+    if entries:
+        rows = [
+            [e.get("seq"), e.get("request"), e.get("doc"), e.get("total_ms"),
+             e.get("stages_ms", {}).get("queue_wait"),
+             e.get("stages_ms", {}).get("execute"),
+             e.get("batch_size")]
+            for e in entries
+        ]
+        lines.append(format_table(
+            ["seq", "request", "doc", "total ms", "queue ms", "exec ms", "size"],
+            rows,
+            title=f"slow requests (threshold "
+                  f"{slow.get('threshold_seconds', 0) * 1e3:.0f} ms, "
+                  f"{slow.get('recorded', 0)} recorded)"))
+    return "\n".join(lines) + "\n"
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from .service.client import QueryClient, ServiceError
+
+    client = QueryClient(args.host, args.port)
+    try:
+        varz = client.varz(n=args.slow)
+    except (OSError, ServiceError) as exc:
+        print(f"error: no service at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    if args.once:
+        print(_render_top(varz, None, 0.0, args.slow), end="")
+        return 0
+    prev, prev_t = None, 0.0
+    frames = 0
+    try:
+        while True:
+            now = time.monotonic()
+            frame = _render_top(varz, prev, now - prev_t if prev else 0.0,
+                                args.slow)
+            # clear + home keeps the view in place like top(1)
+            sys.stdout.write("\x1b[2J\x1b[H" + frame)
+            sys.stdout.flush()
+            frames += 1
+            if args.count and frames >= args.count:
+                return 0
+            prev, prev_t = varz, now
+            time.sleep(args.interval)
+            varz = client.varz(n=args.slow)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        print()
+        return 0
+    except (OSError, ServiceError) as exc:
+        print(f"\nerror: lost the service at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -488,7 +488,8 @@ class GapEngine(_EngineBase):
 
     # -- execution --------------------------------------------------------
 
-    def _pipeline(self) -> ParallelPipeline:
+    def _pipeline(self, tracer: Tracer | None = None,
+                  journal: Journal | None = None) -> ParallelPipeline:
         policy = GapPolicy(
             self.automaton,
             self.table,
@@ -496,9 +497,10 @@ class GapEngine(_EngineBase):
             switch_to_stack=self.switch_to_stack,
         )
         return ParallelPipeline(
-            self.automaton, policy, self.anchor_sids, self.backend, self.tracer,
+            self.automaton, policy, self.anchor_sids, self.backend,
+            tracer if tracer is not None else self.tracer,
             resilience=self.resilience, faults=self.faults, kernel=self.kernel,
-            journal=self.journal,
+            journal=journal if journal is not None else self.journal,
         )
 
     def run(
@@ -508,6 +510,8 @@ class GapEngine(_EngineBase):
         learn: bool = False,
         chunks: list | None = None,
         chunk_tokens: tuple | None = None,
+        tracer: Tracer | None = None,
+        journal: Journal | None = None,
     ) -> QueryResult:
         """Query ``text``; with ``learn=True`` also extend the learned grammar.
 
@@ -520,10 +524,16 @@ class GapEngine(_EngineBase):
         ``chunks``/``chunk_tokens`` reuse a precomputed split (and
         optionally pre-lexed per-chunk token tuples) — see
         :meth:`repro.transducer.pipeline.ParallelPipeline.run`.
+
+        ``tracer``/``journal`` override the engine's defaults *for
+        this run only* — a GAP pipeline is constructed per run, so
+        concurrent runs of one shared (e.g. service-cached) engine can
+        each collect into their own tracer without racing.
         """
         result = self._result(
-            self._pipeline().run(text, n_chunks or self.n_chunks,
-                                 chunks=chunks, chunk_tokens=chunk_tokens),
+            self._pipeline(tracer, journal).run(
+                text, n_chunks or self.n_chunks,
+                chunks=chunks, chunk_tokens=chunk_tokens),
             decoder=self._text_decoder(text),
         )
         if learn:
@@ -531,11 +541,17 @@ class GapEngine(_EngineBase):
         return result
 
     def run_tokens(
-        self, tokens: list, n_chunks: int | None = None, learn: bool = False
+        self,
+        tokens: list,
+        n_chunks: int | None = None,
+        learn: bool = False,
+        tracer: Tracer | None = None,
+        journal: Journal | None = None,
     ) -> QueryResult:
         """Parallel GAP evaluation over a pre-tokenised stream (e.g. JSON)."""
         result = self._result(
-            self._pipeline().run_tokens(tokens, n_chunks or self.n_chunks),
+            self._pipeline(tracer, journal).run_tokens(
+                tokens, n_chunks or self.n_chunks),
             decoder=self._token_decoder(tokens),
         )
         if learn:

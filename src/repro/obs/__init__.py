@@ -20,7 +20,12 @@ this package gives every run a measurable shape:
   default via the zero-cost :data:`NULL_JOURNAL`;
 * :mod:`repro.obs.report` — ``repro report`` / ``repro explain``:
   terminal and self-contained HTML run reports built from spans +
-  journal + stats;
+  journal + stats, plus the ``/statusz`` operator dashboard renderer;
+* :mod:`repro.obs.reqtrace` — **per-request stage traces** for the
+  query service (queue wait / batch assembly / execute / respond),
+  disabled at zero cost by :data:`NULL_REQUEST_TRACE`;
+* :mod:`repro.obs.slowlog` — the threshold-triggered, ring-buffered
+  **slow-request log** behind ``/varz`` and ``/statusz``;
 * :mod:`repro.obs.logsetup` — stdlib :mod:`logging` wiring for the
   ``repro`` logger hierarchy (package ``NullHandler`` by default,
   ``configure_logging`` for CLI ``--log-level``).
@@ -57,9 +62,18 @@ from .report import (
     build_report,
     explain_chunk,
     format_explain,
+    format_request,
     render_html,
+    render_statusz,
     render_terminal,
 )
+from .reqtrace import (
+    NULL_REQUEST_TRACE,
+    STAGES,
+    NullRequestTrace,
+    RequestTrace,
+)
+from .slowlog import SlowEntry, SlowLog
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -70,10 +84,16 @@ __all__ = [
     "Journal",
     "MetricsRegistry",
     "NULL_JOURNAL",
+    "NULL_REQUEST_TRACE",
     "NULL_TRACER",
     "NullJournal",
+    "NullRequestTrace",
     "NullTracer",
+    "RequestTrace",
     "RunReport",
+    "STAGES",
+    "SlowEntry",
+    "SlowLog",
     "Span",
     "Tracer",
     "build_report",
@@ -83,9 +103,11 @@ __all__ = [
     "configure_logging",
     "explain_chunk",
     "format_explain",
+    "format_request",
     "format_timeline",
     "get_logger",
     "render_html",
+    "render_statusz",
     "render_terminal",
     "table_registry",
     "write_chrome_trace",

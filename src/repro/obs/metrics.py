@@ -28,6 +28,7 @@ matches) onto the ``repro_*`` metric names documented in
 from __future__ import annotations
 
 import re
+import threading
 from bisect import bisect_left
 from collections.abc import Sequence
 
@@ -127,7 +128,14 @@ class Gauge(_Metric):
 
 
 class Histogram(_Metric):
-    """Cumulative-bucket distribution (Prometheus ``le`` semantics)."""
+    """Cumulative-bucket distribution (Prometheus ``le`` semantics).
+
+    ``observe`` is thread-safe: service instrumentation records from
+    scheduler workers and HTTP handler threads concurrently, and a
+    torn ``sum``/``count``/bucket triple would corrupt every quantile
+    derived from it.  The lock is uncontended in the common case (one
+    short critical section per observation).
+    """
 
     kind = "histogram"
 
@@ -145,21 +153,76 @@ class Histogram(_Metric):
         self._bucket_counts = [0] * len(self.buckets)
         self.sum: float = 0.0
         self.count: int = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.sum += value
-        self.count += 1
         i = bisect_left(self.buckets, value)
-        if i < len(self._bucket_counts):
-            self._bucket_counts[i] += 1
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            if i < len(self._bucket_counts):
+                self._bucket_counts[i] += 1
 
     def cumulative_counts(self) -> list[int]:
         """Per-bucket cumulative counts (the exported ``le`` values)."""
         out: list[int] = []
         running = 0
-        for c in self._bucket_counts:
+        with self._lock:
+            counts = list(self._bucket_counts)
+        for c in counts:
             running += c
             out.append(running)
+        return out
+
+    def quantile(self, q: float) -> float | None:
+        """Bucket-interpolated quantile estimate (``0 <= q <= 1``).
+
+        The classic Prometheus ``histogram_quantile`` estimator:
+        find the first bucket whose cumulative count reaches
+        ``q * count`` and interpolate linearly inside it (the lower
+        edge of the first bucket is 0).  Observations above the last
+        finite bound clamp to that bound.  Returns ``None`` while the
+        histogram is empty.
+
+        The estimate is exact whenever the underlying values sit
+        uniformly inside their buckets (the estimator's model); the
+        unit tests pin it against hand-computed interpolations on
+        synthetic bucket fills.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            total = self.count
+            counts = list(self._bucket_counts)
+        if total == 0:
+            return None
+        rank = q * total
+        running = 0.0
+        for i, c in enumerate(counts):
+            if c == 0:
+                continue
+            prev = running
+            running += c
+            if running >= rank:
+                lo = self.buckets[i - 1] if i > 0 else 0.0
+                hi = self.buckets[i]
+                if rank <= prev:  # quantile falls on the bucket edge
+                    return lo if i > 0 else hi
+                return lo + (hi - lo) * (rank - prev) / c
+        # the remaining mass is above the last finite bound: clamp
+        return self.buckets[-1]
+
+    def quantiles(self, qs: Sequence[float] = (0.5, 0.95, 0.99)) -> dict[str, float | None]:
+        """Several quantiles at once, keyed ``p50``-style for exports."""
+        return {f"p{q * 100:g}": self.quantile(q) for q in qs}
+
+    def summary(self, qs: Sequence[float] = (0.5, 0.95, 0.99)) -> dict:
+        """``count``/``sum`` plus the requested quantiles (one JSON row)."""
+        with self._lock:
+            count, total = self.count, self.sum
+        out: dict = {"count": count, "sum": round(total, 6)}
+        for key, value in self.quantiles(qs).items():
+            out[key] = None if value is None else round(value, 6)
         return out
 
     def samples(self) -> list[tuple[str, dict[str, str], float]]:

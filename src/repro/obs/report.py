@@ -36,8 +36,10 @@ __all__ = [
     "build_report",
     "explain_chunk",
     "format_explain",
+    "format_request",
     "render_terminal",
     "render_html",
+    "render_statusz",
 ]
 
 
@@ -456,5 +458,207 @@ def render_html(report: RunReport) -> str:
         parts.append(_html_table(["event", "count"], report.event_counts))
     parts.append('<p class="footer">Generated by <code>repro report</code> — '
                  "self-contained, no external assets.</p>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# following one request through the service journal
+
+
+def format_request(journal: Journal, request_id: int) -> str:
+    """Replay one service request's journal events as aligned text.
+
+    The service tags every lifecycle event (``admit`` / ``expire`` /
+    ``respond`` / ``trace``) with ``request=<id>`` and every ``batch``
+    event with the ids it served, so one request's whole journey —
+    including the merged pass it shared and that pass's chunk spans —
+    reconstructs from the journal alone (``repro report
+    --from-journal … --request N``).
+    """
+    from ..bench.reporting import format_table  # lazy: avoids an import cycle
+
+    mine = [ev for ev in journal.events if ev.args.get("request") == request_id]
+    if not mine:
+        return f"request {request_id}: no journal events (unknown id?)\n"
+    batch_seqs = {
+        ev.args["batch_seq"] for ev in mine if "batch_seq" in ev.args
+    }
+    batches = [
+        ev for ev in journal.events
+        if ev.kind == "batch" and ev.args.get("batch_seq") in batch_seqs
+    ]
+    lines = [f"request {request_id}"]
+    rows = [
+        [ev.kind, ev.args.get("doc", ""), _request_event_detail(ev)]
+        for ev in sorted(mine + batches, key=lambda ev: ev.seq)
+    ]
+    lines.append(format_table(["event", "doc", "detail"], rows))
+    trace = next((ev for ev in mine if ev.kind == "trace"), None)
+    if trace is not None:
+        stages = trace.args.get("stages_ms", {})
+        if stages:
+            lines.append(format_table(
+                ["stage", "ms"], [[k, v] for k, v in stages.items()],
+                title="stage breakdown",
+            ))
+        spans = trace.args.get("chunk_spans", [])
+        if spans:
+            lines.append(format_table(
+                ["chunk", "start ms", "dur ms"], [list(row) for row in spans],
+                title="chunk spans (owning batch)",
+            ))
+    return "\n".join(lines) + "\n"
+
+
+def _request_event_detail(ev: Event) -> str:
+    a = ev.args
+    if ev.kind == "admit":
+        return f"queries={a.get('queries', '?')}"
+    if ev.kind == "batch":
+        return (f"seq={a.get('batch_seq', '?')} size={a.get('size', '?')} "
+                f"merged={a.get('merged_queries', '?')} "
+                f"exec_s={a.get('exec_seconds', '?')}")
+    if ev.kind == "respond":
+        return f"batch_seq={a.get('batch_seq', '?')} matches={a.get('matches', '?')}"
+    if ev.kind == "trace":
+        return f"total_ms={a.get('total_ms', '?')} batch_seq={a.get('batch_seq', '?')}"
+    if ev.kind == "expire":
+        return "deadline passed before execution"
+    return ""
+
+
+# ---------------------------------------------------------------------------
+# /statusz — the live operator dashboard (pure function of one varz dict)
+
+
+def _ms(value: object) -> object:
+    """Seconds → milliseconds for display; passes ``None`` through."""
+    if isinstance(value, (int, float)):
+        return value * 1e3
+    return value
+
+
+def _rate(hits: float, misses: float) -> object:
+    total = hits + misses
+    return hits / total if total else None
+
+
+def render_statusz(varz: dict) -> str:
+    """The ``/statusz`` dashboard as one self-contained HTML document.
+
+    Same contract as :func:`render_html`: a pure function of its input
+    (the service's :meth:`~repro.service.service.QueryService.varz`
+    snapshot) — inline CSS only, no scripts, no network assets, and
+    byte-identical output for identical input.  All freshness lives in
+    the data, none in the renderer.
+    """
+    cfg = varz.get("config", {})
+    latency = varz.get("latency", {})
+    slow = varz.get("slow_log", {})
+    parts: list[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        "<title>repro service status</title>",
+        f"<style>\n{_CSS}</style>",
+        '</head><body class="viz-root">',
+        "<h1>repro service status</h1>",
+    ]
+    meta_bits = [
+        f"uptime: {_fmt_cell(varz.get('uptime_seconds'))} s",
+        f"backend: {_esc(cfg.get('backend', '?'))}",
+        f"workers: {_esc(cfg.get('workers', '?'))}",
+        f"tracing: {'on' if cfg.get('request_tracing') else 'off'}",
+    ]
+    parts.append(f'<p class="meta">{" · ".join(meta_bits)}</p>')
+
+    parts.append("<h2>Service</h2>")
+    parts.append(_html_table(
+        ["queue depth", "in flight", "documents", "warm engines",
+         "batches", "journal events"],
+        [[varz.get("queue_depth"), varz.get("in_flight"),
+          varz.get("documents"), varz.get("engines"),
+          varz.get("batches_total"),
+          varz.get("journal", {}).get("events")]],
+    ))
+
+    requests = varz.get("requests", {})
+    if requests:
+        parts.append("<h2>Requests by status</h2>")
+        parts.append(_html_table(
+            ["status", "total"],
+            [[status, requests[status]] for status in sorted(requests)],
+        ))
+
+    parts.append("<h2>Latency (ms)</h2>")
+    lat_rows: list[list[object]] = []
+    req_lat = latency.get("request_seconds", {})
+    lat_rows.append(["request (end-to-end)", req_lat.get("count"),
+                     _ms(req_lat.get("p50")), _ms(req_lat.get("p95")),
+                     _ms(req_lat.get("p99"))])
+    for stage, summary in latency.get("stages", {}).items():
+        lat_rows.append([f"stage: {stage}", summary.get("count"),
+                         _ms(summary.get("p50")), _ms(summary.get("p95")),
+                         _ms(summary.get("p99"))])
+    batch_lat = latency.get("batch_seconds", {})
+    lat_rows.append(["merged pass", batch_lat.get("count"),
+                     _ms(batch_lat.get("p50")), _ms(batch_lat.get("p95")),
+                     _ms(batch_lat.get("p99"))])
+    parts.append(_html_table(["interval", "count", "p50", "p95", "p99"], lat_rows))
+
+    batch_size = varz.get("batch_size", {})
+    parts.append("<h2>Batch occupancy</h2>")
+    parts.append(_html_table(
+        ["passes", "p50", "p95", "p99"],
+        [[batch_size.get("count"), batch_size.get("p50"),
+          batch_size.get("p95"), batch_size.get("p99")]],
+    ))
+
+    engine_cache = varz.get("engine_cache", {})
+    compile_cache = varz.get("compile_cache", {})
+    parts.append("<h2>Caches</h2>")
+    parts.append(_html_table(
+        ["cache", "hits", "misses", "hit rate"],
+        [
+            ["warm engines", engine_cache.get("hit", 0),
+             engine_cache.get("miss", 0),
+             _rate(engine_cache.get("hit", 0), engine_cache.get("miss", 0))],
+            ["dense tables", compile_cache.get("hits", 0),
+             compile_cache.get("misses", 0),
+             _rate(compile_cache.get("hits", 0), compile_cache.get("misses", 0))],
+        ],
+    ))
+
+    parts.append("<h2>Slow requests</h2>")
+    parts.append(
+        f'<p class="meta">threshold: '
+        f"{_fmt_cell(_ms(slow.get('threshold_seconds')))} ms · "
+        f"recorded: {_esc(slow.get('recorded', 0))} · "
+        f"evicted: {_esc(slow.get('evicted', 0))}</p>"
+    )
+    entries = slow.get("entries", [])
+    if entries:
+        rows = []
+        for e in entries:
+            stages_ms = e.get("stages_ms", {})
+            rows.append([
+                e.get("seq"), e.get("request"), e.get("doc"),
+                e.get("total_ms"),
+                stages_ms.get("queue_wait"), stages_ms.get("batch_assembly"),
+                stages_ms.get("execute"), stages_ms.get("respond"),
+                e.get("batch_seq"), e.get("batch_size"),
+                e.get("deadline_fraction"),
+            ])
+        parts.append(_html_table(
+            ["seq", "request", "doc", "total ms", "queue ms", "assembly ms",
+             "exec ms", "respond ms", "batch", "size", "deadline frac"],
+            rows,
+        ))
+    else:
+        parts.append('<p class="meta">none over threshold</p>')
+
+    parts.append('<p class="footer">Served at <code>/statusz</code> — '
+                 "self-contained, no external assets; data from "
+                 "<code>/varz</code>.</p>")
     parts.append("</body></html>")
     return "\n".join(parts) + "\n"

@@ -37,6 +37,8 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from ..obs.reqtrace import NULL_REQUEST_TRACE, NullRequestTrace, RequestTrace
+
 __all__ = [
     "Request",
     "QueueFull",
@@ -71,6 +73,8 @@ class Request:
     #: absolute monotonic deadline; ``None`` waits indefinitely
     deadline: float | None = None
     enqueued: float = field(default_factory=_clock)
+    #: per-request stage trace; the no-op singleton when tracing is off
+    trace: RequestTrace | NullRequestTrace = NULL_REQUEST_TRACE
 
     def expired(self, now: float | None = None) -> bool:
         if self.deadline is None:
@@ -99,6 +103,7 @@ class BatchScheduler:
         max_batch: int = 16,
         batch_wait: float = 0.01,
         workers: int = 4,
+        trace_requests: bool = False,
     ) -> None:
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
@@ -109,6 +114,7 @@ class BatchScheduler:
         self._execute = execute
         self.max_batch = max_batch
         self.batch_wait = batch_wait
+        self.trace_requests = trace_requests
         self._queue: queue.Queue[Request | None] = queue.Queue(maxsize=max_queue)
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-svc-batch"
@@ -120,6 +126,13 @@ class BatchScheduler:
         )
         self._started = False
         self._lock = threading.Lock()
+        # queue depth and in-flight count are tracked together under
+        # one lock so a metrics scrape reads a consistent pair (a
+        # request leaving the queue and entering execution moves
+        # between the two atomically; see snapshot())
+        self._state_lock = threading.Lock()
+        self._depth = 0
+        self._in_flight = 0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -143,7 +156,11 @@ class BatchScheduler:
                 req = self._queue.get_nowait()
             except queue.Empty:
                 break
-            if req is not None and not req.future.done():
+            if req is None:
+                continue
+            with self._state_lock:
+                self._depth -= 1
+            if not req.future.done():
                 req.future.set_exception(ServiceClosed("service shut down"))
         self._pool.shutdown(wait=True)
 
@@ -152,8 +169,20 @@ class BatchScheduler:
         return self._closed.is_set()
 
     def depth(self) -> int:
-        """Current queue depth (approximate, for the gauge)."""
-        return self._queue.qsize()
+        """Current queue depth (for the gauge)."""
+        with self._state_lock:
+            return self._depth
+
+    def snapshot(self) -> dict[str, int]:
+        """Queue depth and in-flight count, read under ONE lock.
+
+        A scrape composing ``depth()`` and an in-flight read as two
+        calls can observe a torn pair (a request counted in both or in
+        neither while it moves from queue to execution); this method
+        is the consistent read the metrics/``/varz`` surfaces use.
+        """
+        with self._state_lock:
+            return {"queue_depth": self._depth, "in_flight": self._in_flight}
 
     # -- admission -----------------------------------------------------
 
@@ -167,12 +196,16 @@ class BatchScheduler:
             req_id=next(self._ids), doc_id=doc_id, queries=queries,
             deadline=deadline,
         )
+        if self.trace_requests:
+            req.trace = RequestTrace(enqueued=req.enqueued)
         try:
             self._queue.put_nowait(req)
         except queue.Full:
             raise QueueFull(
                 f"request queue is full ({self._queue.maxsize} waiting)"
             ) from None
+        with self._state_lock:
+            self._depth += 1
         return req
 
     # -- dispatch ------------------------------------------------------
@@ -187,6 +220,7 @@ class BatchScheduler:
                 continue
             if first is None:
                 return
+            first.trace.mark("dequeued")
             batch = [first]
             cutoff = _clock() + self.batch_wait
             while len(batch) < self.max_batch:
@@ -200,10 +234,17 @@ class BatchScheduler:
                 if nxt is None:
                     self._run_groups(batch)
                     return
+                nxt.trace.mark("dequeued")
                 batch.append(nxt)
             self._run_groups(batch)
 
     def _run_groups(self, batch: list[Request]) -> None:
+        # one lock acquisition moves the whole batch from "queued" to
+        # "in flight" — a concurrent snapshot() never sees a request
+        # in both states or in neither
+        with self._state_lock:
+            self._depth -= len(batch)
+            self._in_flight += len(batch)
         groups: dict[str, list[Request]] = {}
         for req in batch:
             groups.setdefault(req.doc_id, []).append(req)
@@ -217,3 +258,6 @@ class BatchScheduler:
             for req in group:
                 if not req.future.done():
                     req.future.set_exception(exc)
+        finally:
+            with self._state_lock:
+                self._in_flight -= len(group)

@@ -80,9 +80,30 @@ class QueryClient:
         """The raw Prometheus text exposition."""
         return self._request("GET", "/metrics")
 
-    def journal(self) -> str:
-        """The request-lifecycle journal as raw JSONL."""
-        return self._request("GET", "/journal")
+    def journal(self, n: int | None = None, since: int | None = None) -> str:
+        """The request-lifecycle journal as raw JSONL.
+
+        ``n`` keeps the newest ``n`` events; ``since`` only events
+        with a sequence number greater than ``since`` (polling cursor).
+        """
+        return self._request("GET", self._with_params("/journal", n, since))
+
+    def varz(self, n: int | None = None, since: int | None = None) -> dict:
+        """The operator snapshot (``n``/``since`` bound the slow log)."""
+        return self._request("GET", self._with_params("/varz", n, since))
+
+    def statusz(self) -> str:
+        """The self-contained HTML dashboard."""
+        return self._request("GET", "/statusz")
+
+    @staticmethod
+    def _with_params(path: str, n: int | None, since: int | None) -> str:
+        params = []
+        if n is not None:
+            params.append(f"n={n}")
+        if since is not None:
+            params.append(f"since={since}")
+        return path + ("?" + "&".join(params) if params else "")
 
     def documents(self) -> list[dict]:
         return self._request("GET", "/documents")["documents"]

@@ -8,7 +8,15 @@ service's bounded queue, not the socket layer):
 ====================  =====================================================
 ``GET  /healthz``     liveness: ``{"status": "ok", "documents": N}``
 ``GET  /metrics``     Prometheus text exposition (the service registry)
-``GET  /journal``     request-lifecycle journal as JSONL (bounded)
+``GET  /journal``     request-lifecycle journal as JSONL (bounded);
+                      ``?n=``/``?since=`` limit to the newest ``n``
+                      events / events after sequence number ``since``
+``GET  /varz``        one JSON snapshot of the operator surface
+                      (gauges, counters, latency percentiles, slow
+                      log; ``?n=``/``?since=`` bound the slow-log
+                      entries) — what ``repro top`` polls
+``GET  /statusz``     the same snapshot as a self-contained HTML
+                      dashboard (no scripts, no external assets)
 ``GET  /documents``   registered documents and their preparation summary
 ``POST /documents``   ingest: ``{"content": ..., "name"?, "grammar"?,
                       "n_chunks"?}`` (or ``{"path": ...}`` to read a
@@ -29,6 +37,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from ..core.engine import EngineError
 from ..obs.logsetup import get_logger
@@ -87,19 +96,55 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return data
 
+    @staticmethod
+    def _int_param(params: dict, key: str) -> int | None:
+        """Parse one optional non-negative integer query parameter.
+
+        Raises :class:`ValueError` (→ 400) on anything that is not a
+        plain base-10 non-negative integer, including repeats.
+        """
+        values = params.get(key)
+        if values is None:
+            return None
+        if len(values) != 1:
+            raise ValueError(f"'{key}' given more than once")
+        raw = values[0]
+        try:
+            value = int(raw, 10)
+        except ValueError:
+            raise ValueError(f"'{key}' must be an integer, got {raw!r}") from None
+        if value < 0:
+            raise ValueError(f"'{key}' must be >= 0, got {value}")
+        return value
+
     # -- routes --------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
-        if self.path == "/healthz":
+        parts = urlsplit(self.path)
+        route = parts.path
+        try:
+            params = parse_qs(parts.query, keep_blank_values=True,
+                              strict_parsing=bool(parts.query))
+            n = self._int_param(params, "n")
+            since = self._int_param(params, "since")
+        except ValueError as exc:
+            self._error(400, f"bad query string: {exc}")
+            return
+        if route == "/healthz":
             self._send(200, {"status": "ok",
                              "documents": len(self.service.registry)})
-        elif self.path == "/metrics":
+        elif route == "/metrics":
             self._send(200, self.service.metrics_text(),
                        content_type="text/plain; version=0.0.4")
-        elif self.path == "/journal":
-            self._send(200, self.service.journal_jsonl(),
+        elif route == "/journal":
+            self._send(200, self.service.journal_jsonl(n=n, since=since),
                        content_type="application/jsonl")
-        elif self.path == "/documents":
+        elif route == "/varz":
+            self._send(200, self.service.varz(slow_n=n, slow_since=since))
+        elif route == "/statusz":
+            self._send(200, self.service.statusz_html(),
+                       content_type="text/html; charset=utf-8")
+        elif route == "/documents":
             self._send(200, {"documents": self.service.registry.list()})
         else:
             self._error(404, f"no route {self.path}")

@@ -38,6 +38,7 @@ ladder the CLI flags engage.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import OrderedDict
@@ -47,6 +48,9 @@ from typing import TYPE_CHECKING
 from ..core.engine import GapEngine
 from ..obs.journal import Journal
 from ..obs.metrics import MetricsRegistry
+from ..obs.reqtrace import STAGES
+from ..obs.slowlog import SlowEntry, SlowLog
+from ..obs.tracer import Tracer
 from ..parallel.backend import get_backend
 from ..parallel.resilience import RetryPolicy
 from .batching import (
@@ -67,6 +71,9 @@ _clock = time.monotonic
 
 #: batch-size histogram buckets (requests per merged pass)
 _BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+#: the p-levels every latency surface reports
+_QUANTILES = (0.5, 0.95, 0.99)
 
 
 @dataclass(frozen=True, slots=True)
@@ -96,6 +103,14 @@ class ServiceConfig:
     engine_cache_size: int = 32
     pre_lex: bool = True
     journal_limit: int = 65536
+    #: per-request stage tracing (off = NullRequestTrace fast path;
+    #: the CI overhead gate pins the instrumented/disabled delta)
+    request_tracing: bool = True
+    #: end-to-end latency (seconds) beyond which a request's full span
+    #: breakdown is captured in the slow-request log
+    slow_threshold: float = 0.5
+    #: slow-log ring capacity (old entries fall off the back)
+    slow_log_size: int = 128
 
     def resilience(self) -> RetryPolicy | None:
         if self.chunk_timeout is None and self.max_retries is None:
@@ -127,7 +142,35 @@ class QueryService:
             max_batch=self.config.max_batch,
             batch_wait=self.config.batch_wait,
             workers=self.config.workers,
+            trace_requests=self.config.request_tracing,
         )
+        self.slow_log = SlowLog(
+            threshold=self.config.slow_threshold,
+            capacity=self.config.slow_log_size,
+        )
+        self._batch_seq = itertools.count()
+        # the SLO surface's histograms, created up-front so varz() and
+        # /statusz can read them without get-or-create races
+        self._h_batch_size = self.metrics.histogram(
+            "repro_service_batch_size", "Requests answered per merged pass",
+            buckets=_BATCH_BUCKETS,
+        )
+        self._h_batch_seconds = self.metrics.histogram(
+            "repro_service_batch_seconds",
+            "Wall-clock duration of one merged pass",
+        )
+        self._h_request_seconds = self.metrics.histogram(
+            "repro_service_request_seconds",
+            "Request latency from admission to response",
+        )
+        self._stage_hists = {
+            stage: self.metrics.histogram(
+                "repro_service_stage_seconds",
+                "Request latency decomposed by lifecycle stage",
+                stage=stage,
+            )
+            for stage in STAGES
+        }
         self._closed = False
         self.started_at = time.time()
 
@@ -229,6 +272,7 @@ class QueryService:
         live: list[Request] = []
         for req in group:
             if req.expired(now):
+                req.trace.mark("responded", now)
                 with self._obs_lock:
                     self._count_request("expired")
                     if self.journal.enabled:
@@ -251,10 +295,20 @@ class QueryService:
             return
 
         merged = tuple(sorted({q for req in live for q in req.queries}))
+        batch_seq = next(self._batch_seq)
+        tracing = self.config.request_tracing
+        # each batch gets its own engine tracer so concurrent batches on
+        # one warm engine never share span lists (per-run override; see
+        # GapEngine.run) — its chunk spans are stitched under the batch
+        batch_tracer = Tracer() if tracing else None
         t0 = _clock()
+        if tracing:
+            for req in live:
+                req.trace.mark("exec_start", t0)
+                req.trace.batch_seq = batch_seq
         try:
             engine = self._engine_for(doc, merged)
-            result = self._run(engine, doc)
+            result = self._run(engine, doc, batch_tracer)
         except Exception as exc:
             for req in live:
                 if not req.future.done():
@@ -263,62 +317,114 @@ class QueryService:
                 self._count_request("error", len(live))
                 if self.journal.enabled:
                     self.journal.record("batch", doc=doc_id, size=len(live),
-                                        error=str(exc))
+                                        batch_seq=batch_seq, error=str(exc))
             return
-        exec_s = _clock() - t0
+        exec_end = _clock()
+        exec_s = exec_end - t0
+
+        chunk_rows: list[list[object]] = []
+        if batch_tracer is not None:
+            chunk_spans = batch_tracer.chunk_spans()
+            if chunk_spans:
+                base = min(s.t0 for s in chunk_spans)
+                chunk_rows = [
+                    [s.name, round((s.t0 - base) * 1e3, 3),
+                     round((s.t1 - s.t0) * 1e3, 3)]
+                    for s in sorted(chunk_spans, key=lambda s: s.name)
+                ]
 
         matches = result.matches
         stats = result.stats.summary()
         batch_info = {
+            "seq": batch_seq,
             "size": len(live),
             "merged_queries": len(merged),
             "exec_seconds": exec_s,
         }
         responded = _clock()
+        responses: list[dict] = []
         for req in live:
-            response = {
+            if tracing:
+                req.trace.mark("exec_end", exec_end)
+                req.trace.chunk_spans = chunk_rows
+            responses.append({
+                "request_id": req.req_id,
                 "doc_id": doc_id,
                 "matches": {q: list(matches.get(q, [])) for q in req.queries},
                 "counts": {q: len(matches.get(q, [])) for q in req.queries},
                 "batch": dict(batch_info),
                 "stats": stats,
-            }
-            req.future.set_result(response)
+            })
+            req.trace.mark("responded")
         with self._obs_lock:
             self._count_request("ok", len(live))
             self.metrics.counter(
                 "repro_service_batches_total", "Merged-automaton passes executed"
             ).inc()
-            self.metrics.histogram(
-                "repro_service_batch_size", "Requests answered per merged pass",
-                buckets=_BATCH_BUCKETS,
-            ).observe(len(live))
-            self.metrics.histogram(
-                "repro_service_batch_seconds",
-                "Wall-clock duration of one merged pass",
-            ).observe(exec_s)
-            hist = self.metrics.histogram(
-                "repro_service_request_seconds",
-                "Request latency from admission to response",
-            )
+            self._h_batch_size.observe(len(live))
+            self._h_batch_seconds.observe(exec_s)
             for req in live:
-                hist.observe(max(0.0, responded - req.enqueued))
+                self._h_request_seconds.observe(max(0.0, responded - req.enqueued))
+            if tracing:
+                for req in live:
+                    for stage, secs in req.trace.stage_seconds().items():
+                        self._stage_hists[stage].observe(secs)
             if self.journal.enabled:
                 self.journal.record(
-                    "batch", doc=doc_id, size=len(live),
+                    "batch", doc=doc_id, size=len(live), batch_seq=batch_seq,
                     merged_queries=len(merged), exec_seconds=round(exec_s, 6),
+                    requests=[req.req_id for req in live],
                 )
                 for req in live:
                     self.journal.record(
                         "respond", doc=doc_id, request=req.req_id,
+                        batch_seq=batch_seq,
                         matches=sum(len(matches.get(q, ())) for q in req.queries),
                     )
+                if tracing:
+                    for req in live:
+                        # to_dict carries batch_seq + the chunk spans
+                        self.journal.record(
+                            "trace", doc=doc_id, request=req.req_id,
+                            **req.trace.to_dict(),
+                        )
+        if tracing:
+            for req in live:
+                trace = req.trace
+                self._consider_slow(doc_id, req, trace, batch_seq,
+                                    len(live), chunk_rows)
+        # futures resolve last: once a client wakes it immediately
+        # competes for the interpreter, so finishing the bookkeeping
+        # first keeps the observability work off that contended window
+        for req, response in zip(live, responses):
+            req.future.set_result(response)
 
-    def _run(self, engine: GapEngine, doc: DocumentRecord):
+    def _consider_slow(self, doc_id, req, trace, batch_seq, batch_size,
+                       chunk_rows) -> None:
+        self.slow_log.consider(
+            trace.total,
+            lambda seq, wall_ts: SlowEntry(
+                seq=seq,
+                req_id=req.req_id,
+                doc_id=doc_id,
+                queries=req.queries,
+                total_ms=trace.total * 1e3,
+                stages_ms={
+                    k: v * 1e3 for k, v in trace.stage_seconds().items()
+                },
+                deadline_fraction=trace.deadline_fraction(req.deadline),
+                batch_seq=batch_seq,
+                batch_size=batch_size,
+                chunk_spans=chunk_rows,
+                wall_ts=wall_ts,
+            ),
+        )
+
+    def _run(self, engine: GapEngine, doc: DocumentRecord, tracer=None):
         if doc.kind == "json":
-            return engine.run_tokens(doc.tokens)
+            return engine.run_tokens(doc.tokens, tracer=tracer)
         return engine.run(doc.text, chunks=doc.chunks,
-                          chunk_tokens=doc.chunk_tokens)
+                          chunk_tokens=doc.chunk_tokens, tracer=tracer)
 
     def _engine_for(self, doc: DocumentRecord, merged: tuple[str, ...]) -> GapEngine:
         key = (doc.doc_id, merged)
@@ -366,7 +472,14 @@ class QueryService:
             ).inc()
 
     def metrics_text(self) -> str:
-        """The ``/metrics`` payload: refresh gauges, render Prometheus text."""
+        """The ``/metrics`` payload: refresh gauges, render Prometheus text.
+
+        Scheduler state comes from ONE :meth:`BatchScheduler.snapshot`
+        call, so the exported queue-depth/in-flight pair is consistent —
+        two separate reads could observe a request counted in both (or
+        neither) while a batch moves from the queue into execution.
+        """
+        sched = self._scheduler.snapshot()
         with self._engine_lock:
             n_engines = len(self._engines)
         from ..xpath.compile_tables import compile_cache_info
@@ -375,7 +488,10 @@ class QueryService:
         with self._obs_lock:
             self.metrics.gauge(
                 "repro_service_queue_depth", "Requests waiting for dispatch"
-            ).set(self._scheduler.depth())
+            ).set(sched["queue_depth"])
+            self.metrics.gauge(
+                "repro_service_in_flight", "Requests currently executing"
+            ).set(sched["in_flight"])
             self.metrics.gauge(
                 "repro_service_documents", "Documents currently registered"
             ).set(len(self.registry))
@@ -393,9 +509,97 @@ class QueryService:
                 "repro_service_compile_cache_misses",
                 "Dense-table compile cache misses (process-wide)",
             ).set(cache["misses"])
+            self.metrics.gauge(
+                "repro_service_slow_requests", "Slow-log entries currently buffered"
+            ).set(len(self.slow_log))
             return self.metrics.to_prometheus()
 
-    def journal_jsonl(self) -> str:
-        """The request-lifecycle journal as JSONL (bounded; see config)."""
+    def journal_jsonl(self, n: int | None = None, since: int | None = None) -> str:
+        """The request-lifecycle journal as JSONL (bounded; see config).
+
+        ``since`` keeps only events with ``seq > since`` (the polling
+        cursor); ``n`` keeps the newest ``n`` of what remains.
+        """
         with self._obs_lock:
-            return self.journal.to_jsonl()
+            events = list(self.journal.events)
+        if since is not None:
+            events = [ev for ev in events if ev.seq > since]
+        if n is not None and n >= 0:
+            events = events[-n:] if n else []
+        import json
+
+        lines = [
+            json.dumps(ev.to_dict(), separators=(",", ":"), sort_keys=True)
+            for ev in events
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def varz(self, slow_n: int | None = None, slow_since: int | None = None) -> dict:
+        """One JSON snapshot of the whole operator surface (``/varz``).
+
+        Everything ``/statusz`` renders comes from this dict, so the
+        two surfaces can never disagree; ``repro top`` polls it and
+        derives rates from successive snapshots.
+        """
+        sched = self._scheduler.snapshot()
+        with self._engine_lock:
+            n_engines = len(self._engines)
+        from ..xpath.compile_tables import compile_cache_info
+
+        cache = compile_cache_info()
+        requests: dict[str, float] = {}
+        engine_cache: dict[str, float] = {}
+        batches_total = 0.0
+        with self._obs_lock:
+            for metric in self.metrics:
+                if metric.name == "repro_service_requests_total":
+                    requests[metric.labels.get("status", "")] = metric.value
+                elif metric.name == "repro_service_engine_cache_total":
+                    engine_cache[metric.labels.get("event", "")] = metric.value
+                elif metric.name == "repro_service_batches_total":
+                    batches_total = metric.value
+            latency = {
+                "request_seconds": self._h_request_seconds.summary(_QUANTILES),
+                "batch_seconds": self._h_batch_seconds.summary(_QUANTILES),
+                "stages": {
+                    stage: hist.summary(_QUANTILES)
+                    for stage, hist in self._stage_hists.items()
+                },
+            }
+            batch_size = self._h_batch_size.summary(_QUANTILES)
+            journal_len = len(self.journal)
+            journal_dropped = self.journal.dropped
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "queue_depth": sched["queue_depth"],
+            "in_flight": sched["in_flight"],
+            "documents": len(self.registry),
+            "engines": n_engines,
+            "requests": requests,
+            "batches_total": batches_total,
+            "batch_size": batch_size,
+            "engine_cache": engine_cache,
+            "compile_cache": dict(cache),
+            "latency": latency,
+            "slow_log": {
+                "threshold_seconds": self.slow_log.threshold,
+                "recorded": self.slow_log.recorded,
+                "evicted": self.slow_log.evicted,
+                "entries": self.slow_log.to_dicts(n=slow_n, since=slow_since),
+            },
+            "journal": {"events": journal_len, "dropped": journal_dropped},
+            "config": {
+                "backend": self.config.backend,
+                "max_queue": self.config.max_queue,
+                "max_batch": self.config.max_batch,
+                "batch_wait": self.config.batch_wait,
+                "workers": self.config.workers,
+                "request_tracing": self.config.request_tracing,
+            },
+        }
+
+    def statusz_html(self) -> str:
+        """The ``/statusz`` operator dashboard (rendered from :meth:`varz`)."""
+        from ..obs.report import render_statusz
+
+        return render_statusz(self.varz())

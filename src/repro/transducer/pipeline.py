@@ -136,14 +136,17 @@ def _run_one_chunk(ctx: _Ctx, chunk: Chunk, attempt: int = 0) -> ChunkResult:
 
     # traced path: one lane per worker; lexing is materialised so the
     # lex span measures tokenisation separately from transduction
+    # (pre-lexed chunks skip that span — there is nothing to measure,
+    # and the span machinery would charge the traced path a phantom
+    # cost the untraced path never pays)
     tracer = Tracer(tid=chunk.index + 1)
     with tracer.span(f"chunk[{chunk.index}]", cat="chunk") as sp:
-        with tracer.span("lex", cat="chunk") as lex_sp:
-            if ctx.pretokens is not None:
-                tokens = list(ctx.pretokens[chunk.index])
-            else:
+        if ctx.pretokens is not None:
+            tokens = ctx.pretokens[chunk.index]
+        else:
+            with tracer.span("lex", cat="chunk") as lex_sp:
                 tokens = list(lex_range(ctx.text, chunk.begin, chunk.end))
-            lex_sp.args["tokens"] = len(tokens)
+                lex_sp.args["tokens"] = len(tokens)
         result = runner.run_chunk(
             tokens, chunk.index, chunk.begin, chunk.end,
             start_states=start, journal=jr,

@@ -391,7 +391,7 @@ class TestObservability:
             _json.loads(line)["kind"]
             for line in service.journal_jsonl().splitlines()
         ]
-        assert kinds == ["ingest", "admit", "batch", "respond"]
+        assert kinds == ["ingest", "admit", "batch", "respond", "trace"]
 
 
 # ---------------------------------------------------------------------------
