@@ -134,6 +134,10 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="prior document(s) to learn a partial grammar from (speculative mode)")
     q.add_argument("--text", action="store_true", help="decode matched elements' text")
     q.add_argument("--stats", action="store_true", help="print execution statistics")
+    q.add_argument("--artifact-store", metavar="DIR",
+                   help="persistent artifact store: reuse stored compiled "
+                        "tables, chunk splits and token caches, and publish "
+                        "what this run computes")
     _add_kernel_arg(q)
     _add_obs_args(q)
     _add_resilience_args(q)
@@ -296,6 +300,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         "breakdown is captured in the slow log (default 0.5)")
     v.add_argument("--slow-log-size", type=int, default=128, metavar="N",
                    help="slow-log ring capacity (default 128)")
+    v.add_argument("--artifact-store", metavar="DIR",
+                   help="persistent artifact store for warm starts: compiled "
+                        "tables write through, document splits/token caches "
+                        "are cached aside (see docs/PERFORMANCE.md)")
     v.add_argument("--document", action="append", default=[], metavar="FILE",
                    help="ingest FILE at startup (repeatable)")
     v.add_argument("-g", "--grammar", metavar="FILE",
@@ -320,6 +328,24 @@ def _build_parser() -> argparse.ArgumentParser:
     t.add_argument("--slow", type=int, default=5, metavar="N",
                    help="slow-log entries shown (default 5)")
     t.set_defaults(func=_cmd_top)
+
+    st = sub.add_parser(
+        "store",
+        help="operate on a persistent artifact store directory",
+    )
+    st_sub = st.add_subparsers(required=True, metavar="action", dest="action")
+    st_stats = st_sub.add_parser("stats", help="per-kind artifact counts and sizes")
+    st_verify = st_sub.add_parser(
+        "verify", help="checksum-verify every artifact (exit 1 on any invalid)")
+    st_gc = st_sub.add_parser(
+        "gc", help="remove invalid artifacts and stale temp files")
+    st_gc.add_argument("--max-age", type=float, metavar="SECONDS",
+                       help="also prune valid artifacts older than SECONDS")
+    for sp in (st_stats, st_verify, st_gc):
+        sp.add_argument("dir", help="artifact store directory")
+        sp.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit machine-readable JSON")
+        sp.set_defaults(func=_cmd_store)
     return parser
 
 
@@ -487,13 +513,17 @@ def _build_query_engine(args: argparse.Namespace, content: str, as_json: bool, t
     return engine
 
 
-def _execute(engine, args: argparse.Namespace, content: str, tokens):
+def _execute(engine, args: argparse.Namespace, content: str, tokens, prep=None):
     if tokens is not None:
         if args.engine == "seq":
             return engine.run_tokens(tokens)
         return engine.run_tokens(tokens, n_chunks=args.chunks)
     if args.engine == "seq":
         return engine.run(content)
+    if prep is not None:
+        chunks, chunk_tokens = prep
+        return engine.run(content, n_chunks=args.chunks,
+                          chunks=chunks, chunk_tokens=chunk_tokens)
     return engine.run(content, n_chunks=args.chunks)
 
 
@@ -502,13 +532,36 @@ def _cmd_query(args: argparse.Namespace) -> int:
     content = _read(args.file)
     as_json = _looks_like_json(content)
     tokens = None
-    if as_json:
-        from .jsonstream import tokenize_json
+    store = None
+    prep = None
+    if getattr(args, "artifact_store", None):
+        from .store import ArtifactStore, prepare_json, prepare_xml
+        from .xpath.compile_tables import set_artifact_store
 
-        tokens = tokenize_json(content)
+        store = ArtifactStore(args.artifact_store, journal=journal)
+        set_artifact_store(store)
+    try:
+        if as_json:
+            if store is not None:
+                from .store import prepare_json
 
-    with _build_query_engine(args, content, as_json, tracer, journal) as engine:
-        result = _execute(engine, args, content, tokens)
+                tokens = prepare_json(store, content)
+            else:
+                from .jsonstream import tokenize_json
+
+                tokens = tokenize_json(content)
+        elif store is not None and args.engine != "seq":
+            from .store import prepare_xml
+
+            prep = prepare_xml(store, content, args.chunks, tracer=tracer)
+
+        with _build_query_engine(args, content, as_json, tracer, journal) as engine:
+            result = _execute(engine, args, content, tokens, prep=prep)
+    finally:
+        if store is not None:
+            from .xpath.compile_tables import set_artifact_store
+
+            set_artifact_store(None)
     if args.engine == "gap":
         print(f"# engine: gap ({engine.mode})")
 
@@ -533,6 +586,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         cache = compile_cache_info()
         print(f"  compile_cache_hits: {cache['hits']}")
         print(f"  compile_cache_misses: {cache['misses']}")
+        print(f"  compiles: {cache['compiles']}")
+        if store is not None:
+            for key, value in store.counters().items():
+                print(f"  store_{key}: {value}")
 
     registry = None
     if args.metrics_out:
@@ -811,6 +868,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_tracing=not args.no_request_tracing,
         slow_threshold=args.slow_threshold,
         slow_log_size=args.slow_log_size,
+        artifact_store=args.artifact_store,
     )
     service = QueryService(config)
     grammar = _read(args.grammar) if args.grammar else None
@@ -940,6 +998,63 @@ def _cmd_top(args: argparse.Namespace) -> int:
         print(f"\nerror: lost the service at {args.host}:{args.port}: {exc}",
               file=sys.stderr)
         return 1
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """Operator maintenance over one artifact store directory."""
+    import json as _json
+    import os
+
+    from .bench.reporting import format_table
+    from .store import ArtifactStore
+
+    if not os.path.isdir(args.dir):
+        print(f"error: {args.dir} is not a directory", file=sys.stderr)
+        return 1
+    store = ArtifactStore(args.dir)
+    infos = store.scan()
+
+    if args.action == "gc":
+        result = store.gc(max_age=args.max_age)
+        if args.as_json:
+            print(_json.dumps(result, sort_keys=True))
+        else:
+            print(f"# gc {args.dir}: removed {result['removed']} artifact(s), "
+                  f"kept {result['kept']}, "
+                  f"pruned {result['tmp_removed']} temp file(s)")
+        return 0
+
+    by_kind: dict[str, dict[str, int]] = {}
+    for info in infos:
+        row = by_kind.setdefault(
+            info.kind, {"artifacts": 0, "bytes": 0, "invalid": 0})
+        row["artifacts"] += 1
+        row["bytes"] += info.n_bytes
+        if not info.valid:
+            row["invalid"] += 1
+    invalid = [i for i in infos if not i.valid]
+
+    if args.as_json:
+        out = {"root": store.root, "kinds": by_kind,
+               "invalid": [
+                   {"kind": i.kind, "key": i.key, "reason": i.reason}
+                   for i in invalid
+               ]}
+        print(_json.dumps(out, sort_keys=True))
+    else:
+        rows = [
+            [kind, row["artifacts"], row["bytes"], row["invalid"]]
+            for kind, row in sorted(by_kind.items())
+        ]
+        print(format_table(
+            ["kind", "artifacts", "bytes", "invalid"], rows,
+            title=f"artifact store {store.root}",
+        ))
+        for info in invalid:
+            print(f"  invalid {info.kind}/{info.key}: {info.reason}")
+    if args.action == "verify" and invalid:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -35,6 +35,12 @@ full schema):
                    (``attempts``, ``cause``)
 ``cache_hit`` /    compile-cache lookup outcome (``size``)
 ``cache_miss``
+``store_hit`` /    artifact-store read outcome (``artifact`` kind;
+``store_miss``     hits also carry ``bytes``)
+``store_write``    an artifact published to the store (``artifact``,
+                   ``bytes``)
+``store_invalid``  an artifact rejected as corrupt, truncated or stale
+                   (``artifact``, ``reason``)
 =================  ========================================================
 
 Design contract (mirrors the tracer exactly):
@@ -78,6 +84,10 @@ EVENT_KINDS = (
     "fallback",
     "cache_hit",
     "cache_miss",
+    "store_hit",
+    "store_miss",
+    "store_write",
+    "store_invalid",
 )
 
 #: default event-count bound per journal

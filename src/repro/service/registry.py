@@ -49,7 +49,21 @@ __all__ = [
 
 
 class RegistryFull(RuntimeError):
-    """Ingestion refused: the registry is at its document bound."""
+    """Ingestion refused: the registry is at its document bound.
+
+    Carries the configured ``capacity`` and the rejected document's
+    content hash (``doc_id``) so operators can see *which* ingestion
+    was refused and against what bound — the HTTP layer surfaces both
+    in the 429 body.
+    """
+
+    def __init__(self, capacity: int, doc_id: str) -> None:
+        super().__init__(
+            f"registry full ({capacity}/{capacity} documents); "
+            f"rejected document {doc_id}"
+        )
+        self.capacity = capacity
+        self.doc_id = doc_id
 
 
 class UnknownDocument(KeyError):
@@ -111,11 +125,20 @@ class DocumentRecord:
 class DocumentRegistry:
     """Bounded, thread-safe store of ingested documents."""
 
-    def __init__(self, max_documents: int = 64, pre_lex: bool = True) -> None:
+    def __init__(
+        self,
+        max_documents: int = 64,
+        pre_lex: bool = True,
+        store=None,
+    ) -> None:
         if max_documents < 1:
             raise ValueError(f"max_documents must be >= 1, got {max_documents}")
         self.max_documents = max_documents
         self.pre_lex = pre_lex
+        #: optional :class:`repro.store.ArtifactStore` — cache-aside
+        #: tier for splits and token caches, so a restarted service
+        #: skips re-lexing documents it has seen before
+        self.store = store
         self._docs: dict[str, DocumentRecord] = {}
         self._lock = threading.Lock()
 
@@ -144,10 +167,7 @@ class DocumentRegistry:
             if existing is not None:
                 return existing
             if len(self._docs) >= self.max_documents:
-                raise RegistryFull(
-                    f"registry holds {len(self._docs)} document(s), "
-                    f"the configured maximum"
-                )
+                raise RegistryFull(self.max_documents, doc_id)
         record = self._prepare(doc_id, text, name, grammar, n_chunks)
         with self._lock:
             # a racing register of the same content wins harmlessly
@@ -156,10 +176,7 @@ class DocumentRegistry:
             if existing is not None:
                 return existing
             if len(self._docs) >= self.max_documents:
-                raise RegistryFull(
-                    f"registry holds {len(self._docs)} document(s), "
-                    f"the configured maximum"
-                )
+                raise RegistryFull(self.max_documents, doc_id)
             self._docs[doc_id] = record
         return record
 
@@ -202,20 +219,33 @@ class DocumentRegistry:
         if isinstance(grammar, str):
             grammar = _parse_grammar(grammar)
         if _looks_like_json(text):
-            from ..jsonstream import tokenize_json
+            if self.store is not None:
+                from ..store.docprep import prepare_json
 
+                tokens = prepare_json(self.store, text)
+            else:
+                from ..jsonstream import tokenize_json
+
+                tokens = tokenize_json(text)
             return DocumentRecord(
                 doc_id=doc_id, name=name or doc_id, kind="json", text=text,
-                grammar=grammar, n_chunks=n_chunks, tokens=tokenize_json(text),
+                grammar=grammar, n_chunks=n_chunks, tokens=tokens,
             )
         if grammar is None and "<!DOCTYPE" in text[:65536]:
             grammar = parse_dtd(text)
-        chunks = split_chunks(text, n_chunks)
-        chunk_tokens = None
-        if self.pre_lex:
-            chunk_tokens = tuple(
-                tuple(lex_range(text, c.begin, c.end)) for c in chunks
+        if self.store is not None:
+            from ..store.docprep import prepare_xml
+
+            chunks, chunk_tokens = prepare_xml(
+                self.store, text, n_chunks, pre_lex=self.pre_lex
             )
+        else:
+            chunks = split_chunks(text, n_chunks)
+            chunk_tokens = None
+            if self.pre_lex:
+                chunk_tokens = tuple(
+                    tuple(lex_range(text, c.begin, c.end)) for c in chunks
+                )
         return DocumentRecord(
             doc_id=doc_id, name=name or doc_id, kind="xml", text=text,
             grammar=grammar, n_chunks=n_chunks, chunks=chunks,

@@ -197,7 +197,13 @@ class _Handler(BaseHTTPRequestHandler):
                 grammar=grammar, n_chunks=n_chunks,
             )
         except RegistryFull as exc:
-            self._error(429, str(exc))
+            # the body names the bound and the refused content hash so
+            # a client can tell "my document" from "registry pressure"
+            self._send(429, {
+                "error": str(exc),
+                "capacity": exc.capacity,
+                "doc_id": exc.doc_id,
+            })
             return
         except (EngineError, ValueError, RuntimeError) as exc:
             self._error(400, f"ingestion failed: {exc}")

@@ -111,6 +111,10 @@ class ServiceConfig:
     slow_threshold: float = 0.5
     #: slow-log ring capacity (old entries fall off the back)
     slow_log_size: int = 128
+    #: directory for the persistent artifact store (``None`` = off):
+    #: compiled tables write through, document splits/token caches are
+    #: cache-aside, so a restarted service warm-starts from disk
+    artifact_store: str | None = None
 
     def resilience(self) -> RetryPolicy | None:
         if self.chunk_timeout is None and self.max_retries is None:
@@ -126,16 +130,35 @@ class QueryService:
 
     def __init__(self, config: ServiceConfig | None = None) -> None:
         self.config = config or ServiceConfig()
-        self.registry = DocumentRegistry(
-            max_documents=self.config.max_documents, pre_lex=self.config.pre_lex
-        )
         self.metrics = MetricsRegistry()
         self.journal = Journal(limit=self.config.journal_limit)
+        self._obs_lock = threading.Lock()
+        # the persistent artifact tier: one store instance shared by
+        # the registry (cache-aside) and — via the process-global hook
+        # in compile_tables — every engine compilation (write-through)
+        self.store = None
+        self._installed_store = False
+        if self.config.artifact_store is not None:
+            from ..store import ArtifactStore
+            from ..xpath.compile_tables import set_artifact_store
+
+            self.store = ArtifactStore(
+                self.config.artifact_store,
+                metrics=self.metrics,
+                journal=self.journal,
+                obs_lock=self._obs_lock,
+            )
+            set_artifact_store(self.store)
+            self._installed_store = True
+        self.registry = DocumentRegistry(
+            max_documents=self.config.max_documents,
+            pre_lex=self.config.pre_lex,
+            store=self.store,
+        )
         self._backend = get_backend(self.config.backend)
         self._resilience = self.config.resilience()
         self._engines: OrderedDict[tuple, GapEngine] = OrderedDict()
         self._engine_lock = threading.Lock()
-        self._obs_lock = threading.Lock()
         self._scheduler = BatchScheduler(
             self._execute_group,
             max_queue=self.config.max_queue,
@@ -191,6 +214,14 @@ class QueryService:
         # engines hold the backend *instance* and therefore never close
         # it; the service created it by name and closes it exactly once
         self._backend.close()
+        if self._installed_store:
+            # uninstall the process-global compile-cache hook so a
+            # later service (tests construct many) cannot write into a
+            # closed service's store directory
+            from ..xpath.compile_tables import get_artifact_store, set_artifact_store
+
+            if get_artifact_store() is self.store:
+                set_artifact_store(None)
 
     def __enter__(self) -> "QueryService":
         return self.start()
@@ -580,6 +611,7 @@ class QueryService:
             "batch_size": batch_size,
             "engine_cache": engine_cache,
             "compile_cache": dict(cache),
+            "store": self.store.counters() if self.store is not None else None,
             "latency": latency,
             "slow_log": {
                 "threshold_seconds": self.slow_log.threshold,

@@ -1,0 +1,24 @@
+"""Persistent compiled-artifact store — warm starts at fleet scale.
+
+See :mod:`repro.store.artifacts` for the on-disk contract (atomic
+publication, checksum-verified reads, version-stamped invalidation),
+:mod:`repro.store.codec` for the compact binary artifact encodings,
+and :mod:`repro.store.docprep` for cache-aside document preparation.
+The write-through wiring under the structural compile cache lives in
+:mod:`repro.xpath.compile_tables` (``set_artifact_store``).
+"""
+
+from .artifacts import ArtifactInfo, ArtifactStore, KINDS
+from .codec import CodecError, SCHEMAS
+from .docprep import content_key, prepare_json, prepare_xml
+
+__all__ = [
+    "ArtifactInfo",
+    "ArtifactStore",
+    "CodecError",
+    "KINDS",
+    "SCHEMAS",
+    "content_key",
+    "prepare_json",
+    "prepare_xml",
+]

@@ -1,0 +1,138 @@
+"""Cache-aside document preparation over the artifact store.
+
+The expensive per-document work the service registry (and the CLI
+one-shots) repeat on every cold start is splitting and lexing:
+tag-aligned chunking is a linear scan, and pre-lexing tokenises the
+whole document.  These helpers look both up in an
+:class:`~repro.store.artifacts.ArtifactStore` by **document content
+hash** before computing, and publish what they compute — the classic
+cache-aside pattern, complementing the write-through wiring under the
+compile cache.
+
+Decoded artifacts are sanity-checked against the document they claim
+to describe (chunk coverage, token-run count); any mismatch — however
+it got there — invalidates the artifact and recomputes, so a stale or
+foreign artifact can never poison a result.
+
+Tracer contract: the ``split``/``lex`` phase spans are opened **only
+when the work actually runs**.  A fully warm preparation emits no such
+spans — which is exactly what the warm-start differential test asserts
+to prove the work was skipped rather than merely fast.
+"""
+
+from __future__ import annotations
+
+from hashlib import sha256
+
+from ..obs.tracer import NULL_TRACER
+from ..xmlstream.chunking import Chunk, split_chunks
+from ..xmlstream.lexer import lex_range
+from . import codec
+from .artifacts import ArtifactStore
+
+__all__ = ["content_key", "prepare_xml", "prepare_json"]
+
+
+def content_key(text: str, n_chunks: int = 0) -> str:
+    """The store key for one document's derived artifacts.
+
+    Split and token artifacts depend on the chunk width, so it is part
+    of the key; pass ``n_chunks=0`` for width-independent artifacts
+    (the flat JSON token list).
+    """
+    h = sha256()
+    h.update(f"{n_chunks}\x00".encode())
+    h.update(text.encode("utf-8"))
+    return h.hexdigest()
+
+
+def _stored_chunks(
+    store: ArtifactStore, key: str, text: str
+) -> list[Chunk] | None:
+    payload = store.get("split", key)
+    if payload is None:
+        return None
+    try:
+        chunks = codec.decode_chunks(payload)
+    except codec.CodecError as exc:
+        store.invalidate("split", key, f"decode:{exc}")
+        return None
+    # the artifact must actually cover this document
+    if chunks and (chunks[0].begin != 0 or chunks[-1].end != len(text)):
+        store.invalidate("split", key, "coverage-mismatch")
+        return None
+    return chunks
+
+
+def _stored_chunk_tokens(
+    store: ArtifactStore, key: str, n_chunks: int
+) -> tuple | None:
+    payload = store.get("tokens", key)
+    if payload is None:
+        return None
+    try:
+        chunk_tokens = codec.decode_chunk_tokens(payload)
+    except codec.CodecError as exc:
+        store.invalidate("tokens", key, f"decode:{exc}")
+        return None
+    if len(chunk_tokens) != n_chunks:
+        store.invalidate("tokens", key, "chunk-count-mismatch")
+        return None
+    return chunk_tokens
+
+
+def prepare_xml(
+    store: ArtifactStore | None,
+    text: str,
+    n_chunks: int,
+    pre_lex: bool = True,
+    tracer=NULL_TRACER,
+) -> tuple[list[Chunk], tuple | None]:
+    """Chunk list and (optionally) per-chunk token tuples for ``text``.
+
+    Identical results to ``split_chunks`` + per-chunk ``lex_range``;
+    with a warm ``store`` both computations are skipped entirely (and
+    no ``split``/``lex`` spans are recorded).  ``store=None`` degrades
+    to the plain computation.
+    """
+    key = content_key(text, n_chunks) if store is not None else ""
+    chunks = _stored_chunks(store, key, text) if store is not None else None
+    if chunks is None:
+        with tracer.span("split", cat="phase") as sp:
+            chunks = split_chunks(text, n_chunks)
+            sp.args["n_chunks"] = len(chunks)
+        if store is not None:
+            store.put("split", key, codec.encode_chunks(chunks))
+    if not pre_lex:
+        return chunks, None
+    chunk_tokens = (
+        _stored_chunk_tokens(store, key, len(chunks))
+        if store is not None else None
+    )
+    if chunk_tokens is None:
+        with tracer.span("lex", cat="phase") as sp:
+            chunk_tokens = tuple(
+                tuple(lex_range(text, c.begin, c.end)) for c in chunks
+            )
+            sp.args["tokens"] = sum(len(t) for t in chunk_tokens)
+        if store is not None:
+            store.put("tokens", key, codec.encode_chunk_tokens(chunk_tokens))
+    return chunks, chunk_tokens
+
+
+def prepare_json(store: ArtifactStore | None, text: str) -> list:
+    """The flat token list for a JSON document (width-independent)."""
+    from ..jsonstream import tokenize_json
+
+    key = content_key(text, 0) if store is not None else ""
+    if store is not None:
+        payload = store.get("tokens", key)
+        if payload is not None:
+            try:
+                return codec.decode_tokens(payload)
+            except codec.CodecError as exc:
+                store.invalidate("tokens", key, f"decode:{exc}")
+    tokens = tokenize_json(text)
+    if store is not None:
+        store.put("tokens", key, codec.encode_tokens(tokens))
+    return tokens

@@ -58,6 +58,8 @@ __all__ = [
     "compiled_tables",
     "compile_cache_info",
     "clear_compile_cache",
+    "set_artifact_store",
+    "get_artifact_store",
 ]
 
 #: bounded LRU size for the structural compile cache
@@ -207,10 +209,62 @@ def compile_tables(
 _cache: OrderedDict[tuple, KernelTables] = OrderedDict()
 _hits = 0
 _misses = 0
+_compiles = 0
 #: guards every _cache/_hits/_misses access — the query service
 #: compiles from multiple scheduler worker threads, and OrderedDict
 #: move_to_end/popitem during a concurrent lookup corrupts the dict
 _cache_lock = threading.Lock()
+
+#: optional persistent tier under the in-memory cache (see
+#: :mod:`repro.store`): an in-memory miss consults the store before
+#: compiling, and a genuine compile writes through.  Typed loosely to
+#: keep this module import-free of :mod:`repro.store` at load time.
+_store = None
+
+
+def set_artifact_store(store) -> None:
+    """Install (or with ``None`` remove) the persistent artifact store.
+
+    Process-global, like the cache it backs: every ``compiled_tables``
+    call in the process — service scheduler threads, CLI one-shots,
+    benchmark drivers — shares the same persistent tier.
+    """
+    global _store
+    with _cache_lock:
+        _store = store
+
+
+def get_artifact_store():
+    """The installed persistent store, or ``None``."""
+    with _cache_lock:
+        return _store
+
+
+def _store_key(key: tuple) -> str:
+    """The structural cache key, hashed for the persistent store.
+
+    ``key`` is a nest of str/int/bool/None tuples, so its ``repr`` is
+    deterministic across processes and interpreter runs — exactly the
+    property the in-memory key relies on for equality, lifted to a
+    stable content hash.
+    """
+    from hashlib import sha256
+
+    return sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+def _store_get(store, skey: str) -> "KernelTables | None":
+    """Decode a stored compilation; any defect is a clean miss."""
+    from ..store import codec
+
+    payload = store.get("tables", skey)
+    if payload is None:
+        return None
+    try:
+        return codec.decode_kernel_tables(payload)
+    except codec.CodecError as exc:
+        store.invalidate("tables", skey, f"decode:{exc}")
+        return None
 
 
 def _automaton_key(a: QueryAutomaton) -> tuple:
@@ -257,7 +311,7 @@ def compiled_tables(
     harmless (equal content) and cheaper than holding the lock across
     a full table compilation.
     """
-    global _hits, _misses
+    global _hits, _misses, _compiles
     key = (
         _automaton_key(automaton),
         _table_key(table),
@@ -272,13 +326,28 @@ def compiled_tables(
         else:
             _misses += 1
             size = len(_cache)
+        store = _store
     if cached is not None:
         if journal.enabled:
             journal.record("cache_hit", size=size)
         return cached
     if journal.enabled:
         journal.record("cache_miss", size=size)
-    tables = compile_tables(automaton, table, anchor_sids)
+    # persistent tier: a warm store turns the miss into a decode
+    # (hit/miss/invalid accounting lives in the store itself)
+    tables = None
+    skey = ""
+    if store is not None:
+        skey = _store_key(key)
+        tables = _store_get(store, skey)
+    if tables is None:
+        tables = compile_tables(automaton, table, anchor_sids)
+        with _cache_lock:
+            _compiles += 1
+        if store is not None:
+            from ..store import codec
+
+            store.put("tables", skey, codec.encode_kernel_tables(tables))
     with _cache_lock:
         _cache[key] = tables
         _cache.move_to_end(key)
@@ -288,15 +357,23 @@ def compiled_tables(
 
 
 def compile_cache_info() -> dict[str, int]:
-    """Cache statistics: ``{"hits": ..., "misses": ..., "size": ...}``."""
+    """Cache statistics: hits/misses/size plus ``compiles`` — the number
+    of genuine table compilations (a warm artifact store turns misses
+    into decodes, so ``compiles`` stays at zero on a warm start)."""
     with _cache_lock:
-        return {"hits": _hits, "misses": _misses, "size": len(_cache)}
+        return {
+            "hits": _hits,
+            "misses": _misses,
+            "size": len(_cache),
+            "compiles": _compiles,
+        }
 
 
 def clear_compile_cache() -> None:
     """Drop all cached tables and reset the hit/miss counters."""
-    global _hits, _misses
+    global _hits, _misses, _compiles
     with _cache_lock:
         _cache.clear()
         _hits = 0
         _misses = 0
+        _compiles = 0

@@ -159,7 +159,7 @@ class TestCompileCache:
         t2 = compiled_tables(e.automaton, e.table, e.anchor_sids)
         assert t1 is t2
         info = compile_cache_info()
-        assert info == {"hits": 1, "misses": 1, "size": 1}
+        assert info == {"hits": 1, "misses": 1, "size": 1, "compiles": 1}
 
     def test_hit_on_equal_content_distinct_objects(self):
         """Two engines over the same (query, grammar) share one compile."""
@@ -209,7 +209,8 @@ class TestCompileCache:
         e = running_engine
         compiled_tables(e.automaton, e.table, e.anchor_sids)
         clear_compile_cache()
-        assert compile_cache_info() == {"hits": 0, "misses": 0, "size": 0}
+        assert compile_cache_info() == {
+            "hits": 0, "misses": 0, "size": 0, "compiles": 0}
 
 
 # ---------------------------------------------------------------------------
