@@ -1,0 +1,58 @@
+"""Structural-memoization speedup artifact: memo vs plain dense kernel.
+
+Not a paper figure — the engineering artifact behind the ``BENCH_8.json``
+CI regression gate.  Reuses the exact methodology of
+:mod:`repro.bench.memo_bench` (pre-lexed chunks, warmed memo,
+interleaved repeats, min-of-R, full-pipeline correctness cross-check)
+so the emitted table and the gated baseline are directly comparable,
+and emits one row per workload via :func:`conftest.emit` for the perf
+trajectory.
+
+Run with ``pytest benchmarks/bench_memo.py -s`` (no pytest-benchmark
+needed; the measurement loop is self-timing).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.memo_bench import measure_memo_speedup
+
+from benchmarks.conftest import emit
+
+
+@pytest.fixture(scope="module")
+def record():
+    return measure_memo_speedup()
+
+
+@pytest.mark.bench
+def test_memo_speedup(record):
+    headers = ["dataset", "tokens", "plain tok/s", "memo tok/s",
+               "memo/plain", "hits", "rejects"]
+    rows = [
+        [
+            d["dataset"],
+            d["tokens"],
+            round(d["plain_tokens_per_s"]),
+            round(d["memo_tokens_per_s"]),
+            round(d["memo_over_plain"], 2),
+            d["memo_hits"],
+            d["memo_rejects"],
+        ]
+        for d in record["datasets"]
+    ]
+    rows.append(["combined", "", "", "", round(record["memo_over_plain"], 2),
+                 "", ""])
+    width = [12, 8, 13, 13, 12, 8, 8]
+    lines = ["".join(str(h).ljust(w) for h, w in zip(headers, width))]
+    lines += ["".join(str(c).ljust(w) for c, w in zip(row, width)) for row in rows]
+    emit("memo_speedup", "\n".join(lines), headers=headers, rows=rows)
+
+    # the memo must be a clear win on the repetitive workloads overall;
+    # the stronger 1.5x floor is gated via BENCH_8.json
+    assert record["memo_over_plain"] > 1.0
+    by_name = {d["dataset"]: d for d in record["datasets"]}
+    # Lineitem is the memo's defining workload: near-total span coverage
+    assert by_name["lineitem"]["memo_over_plain"] > 1.2
+    assert by_name["lineitem"]["memo_hits"] > 0

@@ -48,6 +48,7 @@ from ..xmlstream.lexer import lex_range
 __all__ = [
     "measure_kernel_throughput",
     "gate_failures",
+    "discover_baselines",
     "append_history",
     "load_history",
     "history_failures",
@@ -159,6 +160,40 @@ def gate_failures(
     return failures
 
 
+def discover_baselines(directory: str = ".") -> list[str]:
+    """Every recorded ``BENCH_*.json`` baseline, in PR-number order.
+
+    The gate runs against *all* of them — each PR that records a
+    baseline keeps being enforced, not just the newest one.  Files
+    whose ``BENCH_<n>`` prefix is non-numeric sort after the numbered
+    ones, alphabetically.
+    """
+    import glob
+    import re
+
+    paths = glob.glob(os.path.join(directory, "BENCH_*.json"))
+
+    def order(path: str) -> tuple[int, str]:
+        m = re.match(r"BENCH_(\d+)\.json$", os.path.basename(path))
+        return (int(m.group(1)) if m else 1 << 31, os.path.basename(path))
+
+    return sorted(paths, key=order)
+
+
+def _gate_one(record_by_kind: dict, baseline: dict, path: str,
+              threshold: float) -> list[str]:
+    """Dispatch one baseline file to its benchmark's gate check."""
+    kind = baseline.get("benchmark", "kernel_throughput")
+    current = record_by_kind.get(kind)
+    if current is None:
+        return [f"{path}: no measurement for benchmark kind {kind!r}"]
+    if kind == "memo_speedup":
+        from .memo_bench import memo_gate_failures
+
+        return memo_gate_failures(current, baseline, threshold)
+    return gate_failures(current, baseline, threshold)
+
+
 def append_history(record: dict, path: str = DEFAULT_HISTORY) -> None:
     """Append one measurement to the JSONL history (creating parents).
 
@@ -250,7 +285,7 @@ def run_bench(
     repeats: int = 3,
     out: str | None = None,
     gate: bool = False,
-    baseline_path: str = "BENCH_3.json",
+    baseline_path: str | None = None,
     threshold: float = DEFAULT_THRESHOLD,
     update_baseline: bool = False,
     history_path: str | None = DEFAULT_HISTORY,
@@ -258,10 +293,14 @@ def run_bench(
 ) -> int:
     """CLI body for ``repro bench``; returns the process exit code.
 
-    ``history_path`` appends the measurement to a JSONL trajectory
-    (``None`` disables); ``check_history`` additionally fails the run
-    when the ratio drops more than ``threshold`` below the rolling
-    median of prior records (loaded *before* this run is appended).
+    ``baseline_path=None`` with ``gate=True`` discovers and enforces
+    *every* ``BENCH_*.json`` baseline in the working directory,
+    dispatching each to its benchmark's measurement and gate check; an
+    explicit path gates against that one file only.  ``history_path``
+    appends the measurement to a JSONL trajectory (``None`` disables);
+    ``check_history`` additionally fails the run when the ratio drops
+    more than ``threshold`` below the rolling median of prior records
+    (loaded *before* this run is appended).
     """
     record = measure_kernel_throughput(
         dataset=dataset, scale=scale, n_chunks=n_chunks,
@@ -295,33 +334,54 @@ def run_bench(
 
     if update_baseline:
         # preserve a recorded floor across refreshes
+        target = baseline_path or "BENCH_3.json"
         try:
-            with open(baseline_path, encoding="utf-8") as fh:
+            with open(target, encoding="utf-8") as fh:
                 previous = json.load(fh)
         except (OSError, ValueError):
             previous = {}
         if "min_ratio" in previous:
             record["min_ratio"] = previous["min_ratio"]
-        with open(baseline_path, "w", encoding="utf-8") as fh:
+        with open(target, "w", encoding="utf-8") as fh:
             json.dump(record, fh, indent=2)
             fh.write("\n")
-        print(f"# baseline updated: {baseline_path}")
+        print(f"# baseline updated: {target}")
 
     if gate:
-        try:
-            with open(baseline_path, encoding="utf-8") as fh:
-                baseline = json.load(fh)
-        except OSError as exc:
-            print(f"gate: cannot read baseline {baseline_path}: {exc}")
+        paths = [baseline_path] if baseline_path else discover_baselines()
+        if not paths:
+            print("gate: no BENCH_*.json baselines found")
             return 1
-        failures = gate_failures(record, baseline, threshold)
-        if failures:
-            for failure in failures:
-                print(f"gate FAIL: {failure}")
+        # each baseline names its benchmark; measure each kind once
+        measured: dict[str, dict] = {"kernel_throughput": record}
+        failed = False
+        for path in paths:
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    baseline = json.load(fh)
+            except (OSError, ValueError) as exc:
+                print(f"gate FAIL: cannot read baseline {path}: {exc}")
+                failed = True
+                continue
+            kind = baseline.get("benchmark", "kernel_throughput")
+            if kind == "memo_speedup" and kind not in measured:
+                from .memo_bench import format_memo_report, measure_memo_speedup
+
+                measured[kind] = measure_memo_speedup(repeats=repeats)
+                print(format_memo_report(measured[kind]))
+            failures = _gate_one(measured, baseline, path, threshold)
+            if failures:
+                for failure in failures:
+                    print(f"gate FAIL [{path}]: {failure}")
+                failed = True
+            else:
+                current = measured[kind]
+                headline = ("dense/object "
+                            f"{current['dense_over_object']:.2f}x"
+                            if kind == "kernel_throughput" else
+                            f"memo/plain {current['memo_over_plain']:.2f}x")
+                print(f"gate OK [{path}]: {headline} "
+                      f"(threshold {threshold:.0%})")
+        if failed:
             return 1
-        print(
-            f"gate OK: dense/object {record['dense_over_object']:.2f}x "
-            f"(baseline {baseline.get('dense_over_object', float('nan')):.2f}x, "
-            f"threshold {threshold:.0%})"
-        )
     return exit_code

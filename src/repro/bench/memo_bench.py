@@ -1,0 +1,199 @@
+"""Structural-memoization microbenchmark + regression gate (``BENCH_8.json``).
+
+Measures the dense kernel with the structural-repetition memo
+(:mod:`repro.xpath.subseq`) against the plain dense kernel on the
+repetitive paper workloads — Lineitem (one element skeleton repeated
+per row) and XMark (partially repetitive item trees) — and gates CI on
+the combined memo/plain throughput ratio.
+
+Methodology mirrors :mod:`repro.bench.kernel_bench` exactly: chunks
+are pre-split and pre-lexed so the measurement isolates transduction;
+repeats are interleaved and the best wall-clock time per kernel is
+kept; a full-pipeline run per configuration cross-checks that memo-on
+and memo-off produce identical matches and counters before anything is
+timed.  Two extra points specific to the memo:
+
+* the memo runner is **warmed with one untimed pass** first — the
+  steady-state regime (plans built, first-sight spans recorded) is
+  what the memo exists for, and what production runs see from the
+  second occurrence of a structure onward;
+* the gated ratio is the **combined** plain/memo time over both
+  datasets (per-dataset ratios are recorded alongside): Lineitem is
+  where repetition dominates and the memo pays off, XMark bounds the
+  overhead on partially repetitive input.
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+
+from ..core.engine import GapEngine
+from ..core.gap_transducer import GapPolicy
+from ..core.kernel import DenseRunner
+from ..datasets import dataset_by_name, generate_query_set
+from ..xmlstream.chunking import split_chunks
+from ..xmlstream.lexer import lex_range
+from ..xpath.compile_tables import compiled_tables
+from ..xpath.subseq import MemoTable
+from .kernel_bench import DEFAULT_THRESHOLD
+
+__all__ = [
+    "DEFAULT_WORKLOADS",
+    "measure_memo_speedup",
+    "memo_gate_failures",
+    "format_memo_report",
+]
+
+#: (dataset, scale) pairs the gate runs — the paper's repetitive
+#: workloads; Lineitem is weighted larger because per-row repetition is
+#: its defining property
+DEFAULT_WORKLOADS = (("lineitem", 8.0), ("xmark", 4.0))
+
+
+def _measure_one(
+    dataset: str, scale: float, n_chunks: int, n_queries: int,
+    repeats: int, seed: int,
+) -> dict:
+    ds = dataset_by_name(dataset)
+    text = ds.generate(scale=scale, seed=seed)
+    queries = generate_query_set(ds, n_queries)
+
+    # correctness cross-check through the full pipeline before timing:
+    # a benchmark of a wrong memo is worthless
+    memo_run = GapEngine(queries, grammar=ds.grammar, memo=True).run(
+        text, n_chunks=n_chunks
+    )
+    plain_run = GapEngine(queries, grammar=ds.grammar, memo=False).run(
+        text, n_chunks=n_chunks
+    )
+    if memo_run.matches != plain_run.matches:
+        raise RuntimeError(f"memo mismatch on {dataset}: matches diverged")
+    if memo_run.stats.counters != plain_run.stats.counters:
+        raise RuntimeError(f"memo mismatch on {dataset}: counters diverged")
+
+    engine = GapEngine(queries, grammar=ds.grammar)
+    policy = GapPolicy(engine.automaton, engine.table)
+    chunks = split_chunks(text, n_chunks)
+    chunk_tokens = [list(lex_range(text, c.begin, c.end)) for c in chunks]
+    n_tokens = sum(len(toks) for toks in chunk_tokens)
+    initial = frozenset((engine.automaton.initial,))
+    tables = compiled_tables(engine.automaton, engine.table, engine.anchor_sids)
+
+    def run_all(runner) -> float:
+        t0 = perf_counter()
+        for chunk, toks in zip(chunks, chunk_tokens):
+            start = initial if chunk.index == 0 else None
+            runner.run_chunk(toks, chunk.index, chunk.begin, chunk.end,
+                             start_states=start)
+        return perf_counter() - t0
+
+    # a private memo table: the measurement must not inherit (or leak)
+    # state through the process-wide registry or the artifact store
+    memo_table = MemoTable(tables)
+    plain = DenseRunner(engine.automaton, policy, engine.anchor_sids)
+    memoized = DenseRunner(engine.automaton, policy, engine.anchor_sids,
+                           memo=memo_table)
+    run_all(memoized)  # warm: plans built, first-sight spans recorded
+    run_all(plain)
+    plain_times: list[float] = []
+    memo_times: list[float] = []
+    for _ in range(repeats):  # interleaved so drift hits both kernels
+        plain_times.append(run_all(plain))
+        memo_times.append(run_all(memoized))
+    t_plain = min(plain_times)
+    t_memo = min(memo_times)
+    stats = memo_table.stats()
+
+    return {
+        "dataset": dataset,
+        "scale": scale,
+        "tokens": n_tokens,
+        "bytes": len(text),
+        "matches": sum(len(v) for v in memo_run.matches.values()),
+        "plain_seconds": t_plain,
+        "memo_seconds": t_memo,
+        "plain_tokens_per_s": n_tokens / t_plain,
+        "memo_tokens_per_s": n_tokens / t_memo,
+        "memo_over_plain": t_plain / t_memo,
+        "memo_hits": stats["hits"],
+        "memo_misses": stats["misses"],
+        "memo_rejects": stats["rejects"],
+        "memo_sequences": stats["sequences"],
+    }
+
+
+def measure_memo_speedup(
+    workloads=DEFAULT_WORKLOADS,
+    n_chunks: int = 8,
+    n_queries: int = 4,
+    repeats: int = 5,
+    seed: int = 0,
+) -> dict:
+    """Time memo vs plain dense kernel; return the comparison record."""
+    datasets = [
+        _measure_one(name, scale, n_chunks, n_queries, repeats, seed)
+        for name, scale in workloads
+    ]
+    t_plain = sum(d["plain_seconds"] for d in datasets)
+    t_memo = sum(d["memo_seconds"] for d in datasets)
+    return {
+        "benchmark": "memo_speedup",
+        "n_chunks": n_chunks,
+        "n_queries": n_queries,
+        "repeats": repeats,
+        "datasets": datasets,
+        "plain_seconds": t_plain,
+        "memo_seconds": t_memo,
+        "memo_over_plain": t_plain / t_memo,
+    }
+
+
+def memo_gate_failures(
+    current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Regression checks of ``current`` against ``baseline`` (empty = pass)."""
+    failures: list[str] = []
+    ratio = current["memo_over_plain"]
+    base_ratio = baseline.get("memo_over_plain")
+    if base_ratio is not None:
+        floor = base_ratio * (1.0 - threshold)
+        if ratio < floor:
+            failures.append(
+                f"memo/plain throughput ratio regressed: {ratio:.2f}x < "
+                f"{floor:.2f}x (baseline {base_ratio:.2f}x - {threshold:.0%})"
+            )
+    min_ratio = baseline.get("min_ratio")
+    if min_ratio is not None and ratio < min_ratio:
+        failures.append(
+            f"memo/plain throughput ratio {ratio:.2f}x below the recorded "
+            f"floor {min_ratio:.2f}x"
+        )
+    return failures
+
+
+def format_memo_report(record: dict) -> str:
+    lines = [
+        f"structural memoization — {record['n_chunks']} chunks, "
+        f"{record['n_queries']} queries"
+    ]
+    for d in record["datasets"]:
+        lines.append(
+            f"  {d['dataset']:9s} scale {d['scale']:<4g} "
+            f"{d['tokens']:7d} tokens: plain {d['plain_seconds'] * 1e3:7.2f} ms, "
+            f"memo {d['memo_seconds'] * 1e3:7.2f} ms -> "
+            f"{d['memo_over_plain']:.2f}x "
+            f"(hits {d['memo_hits']}, rejects {d['memo_rejects']})"
+        )
+    lines.append(f"  combined memo/plain: {record['memo_over_plain']:.2f}x")
+    return "\n".join(lines)
+
+
+def main(out: str | None = None) -> dict:  # pragma: no cover - driver
+    record = measure_memo_speedup()
+    print(format_memo_report(record))
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+    return record

@@ -25,9 +25,11 @@ Nine commands mirror the library's workflow:
 
 ``bench``
     Measure dense vs object kernel throughput on a benchmark dataset
-    and (with ``--gate``) fail if the dense/object ratio regressed
-    against the recorded baseline (``BENCH_3.json``) — the CI
-    performance gate (see ``docs/PERFORMANCE.md``).  Each measurement
+    and (with ``--gate``) discover every recorded ``BENCH_*.json``
+    baseline and fail if any of its benchmarks regressed — kernel
+    throughput (``BENCH_3.json``) and structural-memoization speedup
+    (``BENCH_8.json``) — the CI performance gate (see
+    ``docs/PERFORMANCE.md``).  Each measurement
     is appended to a JSONL history (``--history``/``--no-history``)
     and ``--check-history`` fails the run when the ratio drops below
     the rolling median of prior records.
@@ -192,11 +194,12 @@ def _build_parser() -> argparse.ArgumentParser:
     b.add_argument("-o", "--out", metavar="FILE",
                    help="write the measurement record as JSON")
     b.add_argument("--gate", action="store_true",
-                   help="fail (exit 1) if the dense/object throughput ratio "
-                        "regressed more than --threshold vs the baseline")
-    b.add_argument("--baseline", default="BENCH_3.json", metavar="FILE",
+                   help="fail (exit 1) if any recorded benchmark ratio "
+                        "regressed more than --threshold vs its baseline")
+    b.add_argument("--baseline", default=None, metavar="FILE",
                    help="recorded baseline for --gate/--update-baseline "
-                        "(default: BENCH_3.json)")
+                        "(default: discover and enforce every BENCH_*.json "
+                        "for --gate; BENCH_3.json for --update-baseline)")
     b.add_argument("--threshold", type=float, default=0.15,
                    help="tolerated relative ratio drop for --gate (default 0.15)")
     b.add_argument("--update-baseline", action="store_true",
@@ -353,6 +356,10 @@ def _add_kernel_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument("--kernel", choices=("dense", "object"), default="dense",
                    help="chunk executor: dense table-driven kernel (default) or "
                         "the object-graph oracle")
+    p.add_argument("--memo", action=argparse.BooleanOptionalAction, default=True,
+                   help="structural-repetition memoization in the dense kernel "
+                        "(default on; --no-memo disables; no effect on the "
+                        "object kernel)")
 
 
 def _add_resilience_args(p: argparse.ArgumentParser) -> None:
@@ -489,7 +496,7 @@ def _build_query_engine(args: argparse.Namespace, content: str, as_json: bool, t
         return PPTransducerEngine(
             args.queries, n_chunks=args.chunks, backend=args.backend, tracer=tracer,
             resilience=resilience, faults=faults, kernel=args.kernel,
-            journal=journal,
+            memo=args.memo, journal=journal,
         )
     grammar = None
     if args.grammar:
@@ -500,7 +507,7 @@ def _build_query_engine(args: argparse.Namespace, content: str, as_json: bool, t
         args.queries, grammar=grammar, n_chunks=args.chunks,
         backend=args.backend, tracer=tracer,
         resilience=resilience, faults=faults, kernel=args.kernel,
-        journal=journal,
+        memo=args.memo, journal=journal,
     )
     for prior in args.learn:
         prior_text = _read(prior)
@@ -658,11 +665,13 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
         ("pp", PPTransducerEngine(queries, n_chunks=args.cores,
                                   backend=args.backend, tracer=tracer,
                                   resilience=resilience, faults=faults,
-                                  kernel=args.kernel, journal=journal)),
+                                  kernel=args.kernel, memo=args.memo,
+                                  journal=journal)),
         ("gap", GapEngine(queries, grammar=ds.grammar, n_chunks=args.cores,
                           backend=args.backend, tracer=tracer,
                           resilience=resilience, faults=faults,
-                          kernel=args.kernel, journal=journal)),
+                          kernel=args.kernel, memo=args.memo,
+                          journal=journal)),
     ):
         with engine:
             res = engine.run(xml)
@@ -856,6 +865,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         n_chunks=args.chunks,
         kernel=args.kernel,
+        memo=args.memo,
         max_queue=args.max_queue,
         max_batch=args.max_batch,
         batch_wait=args.batch_wait,

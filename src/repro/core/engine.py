@@ -147,6 +147,13 @@ class _EngineBase:
     structured path-lifecycle event stream (the flight recorder); the
     default :data:`~repro.obs.journal.NULL_JOURNAL` records nothing at
     effectively zero cost.
+
+    ``memo`` enables structural-repetition memoization for the dense
+    kernel (default on; ignored by the object kernel and the
+    sequential engine): repeated whole-element token spans replay from
+    a shared memo instead of re-running the token loop, with matches,
+    segments and counters observationally identical to ``memo=False``
+    — see :mod:`repro.xpath.subseq`.
     """
 
     def __init__(
@@ -159,12 +166,14 @@ class _EngineBase:
         faults: FaultPlane | str | None = None,
         kernel: str = "dense",
         journal: Journal | None = None,
+        memo: bool = True,
     ) -> None:
         if not queries:
             raise EngineError("at least one query is required")
         if kernel not in KERNELS:
             raise EngineError(f"unknown kernel {kernel!r} (choose from {KERNELS})")
         self.kernel = kernel
+        self.memo = bool(memo)
         self.queries = [str(q) for q in queries]
         self.compiled, self.registry = compile_queries(self.queries)
         self.automaton = build_automaton(self.registry.automaton_inputs(), minimize=minimize)
@@ -337,16 +346,17 @@ class PPTransducerEngine(_EngineBase):
         faults: FaultPlane | str | None = None,
         kernel: str = "dense",
         journal: Journal | None = None,
+        memo: bool = True,
     ) -> None:
         super().__init__(queries, backend, minimize=minimize, tracer=tracer,
                          resilience=resilience, faults=faults, kernel=kernel,
-                         journal=journal)
+                         journal=journal, memo=memo)
         self.n_chunks = n_chunks
         self.policy = BaselinePolicy(self.automaton)
         self._pipeline = ParallelPipeline(
             self.automaton, self.policy, self.anchor_sids, self.backend, self.tracer,
             resilience=self.resilience, faults=self.faults, kernel=self.kernel,
-            journal=self.journal,
+            journal=self.journal, memo=self.memo,
         )
 
     def run(
@@ -414,10 +424,11 @@ class GapEngine(_EngineBase):
         faults: FaultPlane | str | None = None,
         kernel: str = "dense",
         journal: Journal | None = None,
+        memo: bool = True,
     ) -> None:
         super().__init__(queries, backend, minimize=minimize, tracer=tracer,
                          resilience=resilience, faults=faults, kernel=kernel,
-                         journal=journal)
+                         journal=journal, memo=memo)
         if mode not in ("auto", "nonspec", "spec"):
             raise EngineError(f"unknown mode {mode!r} (expected auto/nonspec/spec)")
         self.n_chunks = n_chunks
@@ -501,6 +512,7 @@ class GapEngine(_EngineBase):
             tracer if tracer is not None else self.tracer,
             resilience=self.resilience, faults=self.faults, kernel=self.kernel,
             journal=journal if journal is not None else self.journal,
+            memo=self.memo,
         )
 
     def run(

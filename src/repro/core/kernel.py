@@ -43,6 +43,7 @@ the pipeline silently falls back to the object kernel for them.
 from __future__ import annotations
 
 import logging
+from bisect import bisect_left
 from collections.abc import Iterable
 
 from ..obs.journal import NULL_JOURNAL
@@ -109,6 +110,7 @@ class DenseRunner:
         policy: PathPolicy,
         anchor_sids: frozenset[int] = frozenset(),
         tables: KernelTables | None = None,
+        memo=None,
     ) -> None:
         if tables is None:
             tables = tables_for_policy(automaton, policy, anchor_sids)
@@ -121,6 +123,10 @@ class DenseRunner:
         self.policy = policy
         self.anchor_sids = anchor_sids
         self.tables = tables
+        #: optional :class:`repro.xpath.subseq.MemoTable` — structural-
+        #: repetition memoization, consulted only by the single-stack
+        #: fast loop (``None`` runs the plain dense kernel)
+        self._memo = memo
         # DEBUG logging is sampled once per chunk, not per token
         self._debug = False
         # journal + chunk identity of the run_chunk call in progress
@@ -141,9 +147,15 @@ class DenseRunner:
         """Process one chunk; mirrors ``ChunkRunner.run_chunk`` exactly.
 
         ``journal`` records path-lifecycle events at the same sites the
-        object runner does; the fast loops are never instrumented (they
-        only run while no lifecycle event is possible), so the default
-        :data:`~repro.obs.journal.NULL_JOURNAL` costs nothing.
+        object runner does; the fast loops are never instrumented per
+        token (they only run while no lifecycle event is possible), so
+        the default :data:`~repro.obs.journal.NULL_JOURNAL` costs
+        nothing.  With a memo attached, span-granular ``memo_hit`` /
+        ``memo_miss`` events are recorded at consultation sites and
+        ``memo_reject`` events at plan adoption — cache events, like
+        ``cache_hit``: deterministic per run but dependent on what the
+        shared memo already holds, so they are excluded from the
+        cross-backend byte-equality contract the lifecycle stream keeps.
         """
         T = self.tables
         policy = self.policy
@@ -217,6 +229,16 @@ class DenseRunner:
         # two-path loop additionally works with switching disabled
         fast_ok = switch_enabled and not always
         two_ok = not always
+
+        # structural-repetition memo: the per-list plan names the
+        # whole-element spans worth consulting; rejects (hash collisions
+        # caught by exact verification) are journalled per run
+        memo = self._memo
+        plan = memo.plan_for(toks) if (memo is not None and fast_ok) else None
+        if plan is not None and plan.rejects and journal.enabled:
+            for rj, rl in plan.rejects:
+                journal.record("memo_reject", chunk=index,
+                               offset=toks[rj].offset, tokens=rl)
 
         i = 0
         n_tok = len(toks)
@@ -306,26 +328,143 @@ class DenseRunner:
                 pop = stack.pop
                 extend = events.extend
                 n_fast = 0
-                while i < n_tok:
-                    tok = toks[i]
-                    kind = tok.kind
-                    if kind == _START:
-                        push(state)
-                        depth += 1
-                        state = trans[state * S + sym_of(tok.name, other_sym)]
-                        if accept_flags[state]:
-                            off = tok.offset
-                            extend(hit(sid, off, depth) for sid in accepts[state])
-                    elif kind == _END:
-                        if not stack:
-                            break  # divergence: general loop takes this token
-                        if close_flags[state]:
-                            off = tok.offset
-                            extend(close(sid, off, depth) for sid in close_accepts[state])
-                        state = pop()
-                        depth -= 1
-                    i += 1
-                    n_fast += 1
+                if plan is None:
+                    while i < n_tok:
+                        tok = toks[i]
+                        kind = tok.kind
+                        if kind == _START:
+                            push(state)
+                            depth += 1
+                            state = trans[state * S + sym_of(tok.name, other_sym)]
+                            if accept_flags[state]:
+                                off = tok.offset
+                                extend(hit(sid, off, depth) for sid in accepts[state])
+                        elif kind == _END:
+                            if not stack:
+                                break  # divergence: general loop takes this token
+                            if close_flags[state]:
+                                off = tok.offset
+                                extend(close(sid, off, depth) for sid in close_accepts[state])
+                            state = pop()
+                            depth -= 1
+                        i += 1
+                        n_fast += 1
+                else:
+                    # ---- memo-aware variant: identical token semantics,
+                    # plus consult/record/replay at planned span starts.
+                    # A planned span is a whole element, so inside it the
+                    # stack never dips below its entry level: once the
+                    # fast loop holds at the span's START, the entire
+                    # span completes in it, the net stack delta is zero
+                    # and the exit state equals the entry state — which
+                    # is what makes replay exact.
+                    append_ev = events.append
+                    starts = plan.starts
+                    span_at = plan.spans
+                    n_starts = len(starts)
+                    p = bisect_left(starts, i)
+                    jr_on = journal.enabled
+                    underflow = False
+                    # unlocked GIL-atomic reads of the shared entry dict;
+                    # counters and LRU touches are flushed in one locked
+                    # call when this pass ends (see MemoTable.flush_chunk)
+                    entry_of = memo.entries.get
+                    m_hits = 0
+                    m_misses = 0
+                    touched: list = []
+                    touch = touched.append
+                    while i < n_tok:
+                        if p < n_starts and i == starts[p]:
+                            p += 1
+                            seq_id, span_len = span_at[i]
+                            entry = entry_of((state, seq_id))
+                            base = i
+                            if entry is not None:
+                                m_hits += 1
+                                touch((state, seq_id))
+                                if jr_on:
+                                    journal.record(
+                                        "memo_hit", chunk=index,
+                                        offset=toks[base].offset,
+                                        seq=seq_id, tokens=span_len)
+                                for ek, sid, k, rd in entry.events:
+                                    off = toks[base + k].offset
+                                    append_ev(hit(sid, off, depth + rd)
+                                              if ek == 0 else
+                                              close(sid, off, depth + rd))
+                                state = entry.exit_state
+                                i = base + span_len
+                                n_fast += span_len
+                                while p < n_starts and starts[p] < i:
+                                    p += 1
+                                continue
+                            # miss: execute the span, recording events
+                            # relative to its start for future replays
+                            m_misses += 1
+                            if jr_on:
+                                journal.record(
+                                    "memo_miss", chunk=index,
+                                    offset=toks[base].offset,
+                                    seq=seq_id, tokens=span_len)
+                            rel: list = []
+                            rel_append = rel.append
+                            d0 = depth
+                            s0 = state
+                            stop = base + span_len
+                            while i < stop:
+                                tok = toks[i]
+                                kind = tok.kind
+                                if kind == _START:
+                                    push(state)
+                                    depth += 1
+                                    state = trans[state * S + sym_of(tok.name, other_sym)]
+                                    if accept_flags[state]:
+                                        off = tok.offset
+                                        for sid in accepts[state]:
+                                            append_ev(hit(sid, off, depth))
+                                            rel_append((0, sid, i - base, depth - d0))
+                                elif kind == _END:
+                                    if not stack:
+                                        # unreachable for a balanced span;
+                                        # defensively hand the token to
+                                        # the general loop unrecorded
+                                        underflow = True
+                                        break
+                                    if close_flags[state]:
+                                        off = tok.offset
+                                        for sid in close_accepts[state]:
+                                            append_ev(close(sid, off, depth))
+                                            rel_append((1, sid, i - base, depth - d0))
+                                    state = pop()
+                                    depth -= 1
+                                i += 1
+                                n_fast += 1
+                            if underflow:
+                                break
+                            memo.insert(s0, seq_id, state, tuple(rel))
+                            while p < n_starts and starts[p] < i:
+                                p += 1
+                            continue
+                        tok = toks[i]
+                        kind = tok.kind
+                        if kind == _START:
+                            push(state)
+                            depth += 1
+                            state = trans[state * S + sym_of(tok.name, other_sym)]
+                            if accept_flags[state]:
+                                off = tok.offset
+                                extend(hit(sid, off, depth) for sid in accepts[state])
+                        elif kind == _END:
+                            if not stack:
+                                break  # divergence: general loop takes this token
+                            if close_flags[state]:
+                                off = tok.offset
+                                extend(close(sid, off, depth) for sid in close_accepts[state])
+                            state = pop()
+                            depth -= 1
+                        i += 1
+                        n_fast += 1
+                    memo.flush_chunk(m_hits, m_misses, touched)
                 g.state = state
                 counters.stack_tokens += n_fast
                 if i >= n_tok:

@@ -88,6 +88,9 @@ EVENT_KINDS = (
     "store_miss",
     "store_write",
     "store_invalid",
+    "memo_hit",
+    "memo_miss",
+    "memo_reject",
 )
 
 #: default event-count bound per journal

@@ -381,6 +381,25 @@ def collect_run_metrics(
                 "Dense-table compile cache hits (process-wide)").inc(cache["hits"])
     reg.counter("repro_compile_cache_misses_total",
                 "Dense-table compile cache misses (process-wide)").inc(cache["misses"])
+    memo = cache["memo"]
+    reg.counter("repro_memo_hits_total",
+                "Structural memo replays in the dense kernel (process-wide)"
+                ).inc(memo["hits"])
+    reg.counter("repro_memo_misses_total",
+                "Structural memo lookups that recorded a new entry "
+                "(process-wide)").inc(memo["misses"])
+    reg.counter("repro_memo_rejects_total",
+                "Hash-colliding near-repeats rejected by exact comparison "
+                "(process-wide)").inc(memo["rejects"])
+    reg.counter("repro_memo_evictions_total",
+                "Memo entries evicted at capacity (process-wide)"
+                ).inc(memo["evictions"])
+    reg.gauge("repro_memo_entries",
+              "Live memo entries across registered tables (process-wide)"
+              ).set(memo["entries"])
+    reg.gauge("repro_memo_sequences",
+              "Interned structural subsequences (process-wide)"
+              ).set(memo["sequences"])
     reg.gauge("repro_mapping_entries", "Mapping entries at chunk completion").set(c.mapping_entries)
     reg.gauge("repro_avg_starting_paths",
               "Average starting execution paths per chunk (Table 5)").set(stats.avg_starting_paths)

@@ -92,6 +92,9 @@ class ServiceConfig:
     backend: str = "thread"
     n_chunks: int = 8
     kernel: str = "dense"
+    #: structural-repetition memoization in the dense kernel (no effect
+    #: on the object kernel)
+    memo: bool = True
     max_queue: int = 64
     max_batch: int = 16
     batch_wait: float = 0.01
@@ -471,6 +474,7 @@ class QueryService:
             n_chunks=doc.n_chunks,
             backend=self._backend,  # shared instance: service-owned
             kernel=self.config.kernel,
+            memo=self.config.memo,
             resilience=self._resilience,
         )
         with self._engine_lock:
@@ -540,6 +544,19 @@ class QueryService:
                 "repro_service_compile_cache_misses",
                 "Dense-table compile cache misses (process-wide)",
             ).set(cache["misses"])
+            memo = cache["memo"]
+            self.metrics.gauge(
+                "repro_service_memo_hits",
+                "Structural memo replays in the dense kernel (process-wide)",
+            ).set(memo["hits"])
+            self.metrics.gauge(
+                "repro_service_memo_misses",
+                "Structural memo lookups that recorded (process-wide)",
+            ).set(memo["misses"])
+            self.metrics.gauge(
+                "repro_service_memo_entries",
+                "Live memo entries across registered tables (process-wide)",
+            ).set(memo["entries"])
             self.metrics.gauge(
                 "repro_service_slow_requests", "Slow-log entries currently buffered"
             ).set(len(self.slow_log))
@@ -578,6 +595,7 @@ class QueryService:
         from ..xpath.compile_tables import compile_cache_info
 
         cache = compile_cache_info()
+        memo = cache.pop("memo")
         requests: dict[str, float] = {}
         engine_cache: dict[str, float] = {}
         batches_total = 0.0
@@ -611,6 +629,7 @@ class QueryService:
             "batch_size": batch_size,
             "engine_cache": engine_cache,
             "compile_cache": dict(cache),
+            "memo": dict(memo),
             "store": self.store.counters() if self.store is not None else None,
             "latency": latency,
             "slow_log": {

@@ -56,6 +56,8 @@ __all__ = [
     "decode_chunk_tokens",
     "encode_tokens",
     "decode_tokens",
+    "encode_memo_table",
+    "decode_memo_table",
 ]
 
 
@@ -71,6 +73,7 @@ SCHEMAS = {
     "feasible": 1,   # FeasibleTable (object form)
     "split": 1,      # chunk lists (document registry)
     "tokens": 1,     # pre-lexed token caches (document registry)
+    "subseq": 1,     # interned-subsequence memo snapshots (dense kernel)
 }
 
 _BYTEORDER = 0 if sys.byteorder == "little" else 1
@@ -480,6 +483,105 @@ def _decode_token_payload(payload: bytes, mode: int) -> list[list[Token]]:
     runs = [_decode_token_run(r, strings) for _ in range(r.u32())]
     r.expect_end()
     return runs
+
+
+# ---------------------------------------------------------------------------
+# interned-subsequence memo snapshots
+# ---------------------------------------------------------------------------
+
+
+def encode_memo_table(seqs, entries) -> bytes:
+    """A :class:`~repro.xpath.subseq.MemoTable` snapshot.
+
+    ``seqs`` is the interned-sequence dictionary (each sequence an
+    exact-key tuple of structural ``(kind, name)`` pairs, name blanked
+    for TEXT tokens); ``entries`` maps ``(entry_state, seq_id)`` to
+    ``(exit_state, events)`` with events as ``(evkind, sid, tok_idx,
+    rel_depth)`` tuples.  Names go through a shared string table —
+    memoized spans are repetitive structure by definition, so the same
+    few tags dominate.
+    """
+    strings: list[str] = []
+    table: dict[str, int] = {}
+    body = _Writer()
+    body.u32(len(seqs))
+    for key in seqs:
+        body.u32(len(key))
+        for kind, name in key:
+            body.u8(int(kind))
+            ref = table.get(name)
+            if ref is None:
+                ref = table[name] = len(strings)
+                strings.append(name)
+            body.u32(ref)
+    items = sorted(entries.items())
+    body.u32(len(items))
+    for (state, seq_id), (exit_state, events) in items:
+        body.i64(state)
+        body.u32(seq_id)
+        body.i64(exit_state)
+        body.u32(len(events))
+        for evkind, sid, tok_idx, rel_depth in events:
+            body.u8(evkind)
+            body.u32(sid)
+            body.u32(tok_idx)
+            body.i64(rel_depth)
+    w = _Writer()
+    w.u32(len(strings))
+    for s in strings:
+        w.string(s)
+    w.buf += body.buf
+    return w.done()
+
+
+def decode_memo_table(payload: bytes) -> tuple[list[tuple], dict]:
+    r = _Reader(payload)
+    n_strings = r.u32()
+    if n_strings > len(payload):
+        raise CodecError(f"implausible string table size {n_strings}")
+    strings = [r.string() for _ in range(n_strings)]
+    n_seqs = r.u32()
+    if n_seqs > len(payload):
+        raise CodecError(f"implausible sequence count {n_seqs}")
+    seqs: list[tuple] = []
+    for _ in range(n_seqs):
+        n_toks = r.u32()
+        key = []
+        for _ in range(n_toks):
+            kind = r.u8()
+            if kind > 2:
+                raise CodecError(f"bad token kind {kind} in memo sequence")
+            ref = r.u32()
+            if ref >= n_strings:
+                raise CodecError("memo string reference out of range")
+            key.append((kind, strings[ref]))
+        seqs.append(tuple(key))
+    entries: dict = {}
+    n_entries = r.u32()
+    if n_entries > len(payload):
+        raise CodecError(f"implausible entry count {n_entries}")
+    for _ in range(n_entries):
+        state = r.i64()
+        seq_id = r.u32()
+        if seq_id >= n_seqs:
+            raise CodecError("memo entry references unknown sequence")
+        exit_state = r.i64()
+        events = []
+        for _ in range(r.u32()):
+            evkind = r.u8()
+            if evkind > 1:
+                raise CodecError(f"bad memo event kind {evkind}")
+            events.append((evkind, r.u32(), r.u32(), r.i64()))
+        if (state, seq_id) in entries:
+            raise CodecError("duplicate memo entry key")
+        entries[(state, seq_id)] = (exit_state, tuple(events))
+    r.expect_end()
+    return seqs, entries
+
+
+# ---------------------------------------------------------------------------
+# token cache entry points
+# ---------------------------------------------------------------------------
 
 
 def encode_chunk_tokens(chunk_tokens) -> bytes:

@@ -90,6 +90,11 @@ class _Ctx:
     #: — ``None`` selects the object kernel; typed loosely to keep this
     #: module import-free of :mod:`repro.core`
     tables: object | None = None
+    #: structural-repetition memoization for the dense kernel: workers
+    #: resolve the shared per-tables :class:`repro.xpath.subseq.MemoTable`
+    #: from their process-local registry (the table itself holds a lock
+    #: and is not shipped)
+    memo: bool = False
     #: pre-lexed token tuples, one per chunk index — a serving-layer
     #: cache (the document registry lexes once per document); ``None``
     #: keeps the lex-in-worker path
@@ -105,20 +110,27 @@ def _skip_leading_end(tokens, begin: int):
     yield from it
 
 
-def _make_runner(automaton, policy, anchor_sids, tables):
+def _make_runner(automaton, policy, anchor_sids, tables, memo=False):
     """Instantiate the chunk executor a compiled-tables value selects."""
     if tables is not None:
         # deferred import: repro.core imports this module at load time
         from ..core.kernel import DenseRunner
 
-        return DenseRunner(automaton, policy, anchor_sids, tables=tables)
+        memo_table = None
+        if memo:
+            from ..xpath.subseq import memo_for_tables
+
+            memo_table = memo_for_tables(tables)
+        return DenseRunner(automaton, policy, anchor_sids, tables=tables,
+                           memo=memo_table)
     return ChunkRunner(automaton, policy, anchor_sids)
 
 
 def _run_one_chunk(ctx: _Ctx, chunk: Chunk, attempt: int = 0) -> ChunkResult:
     """Worker body: lex and execute one chunk (module-level: picklable)."""
     corrupt = apply_faults(ctx.faults, chunk.index, attempt)
-    runner = _make_runner(ctx.automaton, ctx.policy, ctx.anchor_sids, ctx.tables)
+    runner = _make_runner(ctx.automaton, ctx.policy, ctx.anchor_sids, ctx.tables,
+                          memo=ctx.memo)
     start = frozenset((ctx.automaton.initial,)) if chunk.index == 0 else None
     jr = Journal() if ctx.journal else NULL_JOURNAL
     if not ctx.trace:
@@ -235,6 +247,7 @@ class ParallelPipeline:
         faults: FaultPlane | str | None = None,
         kernel: str = "dense",
         journal: Journal | None = None,
+        memo: bool = True,
     ) -> None:
         if kernel not in KERNELS:
             raise ValueError(f"unknown kernel {kernel!r} (choose from {KERNELS})")
@@ -257,6 +270,17 @@ class ParallelPipeline:
             self._tables = tables_for_policy(
                 automaton, policy, anchor_sids, journal=self.journal
             )
+        # structural-repetition memoization (default on for the dense
+        # kernel; observationally identical to memo-off — see
+        # :mod:`repro.xpath.subseq`)
+        self.memo = bool(memo) and self._tables is not None
+
+    def _persist_memo(self) -> None:
+        """Write the memo through to the artifact store when warranted."""
+        if self.memo:
+            from ..xpath.subseq import maybe_persist_memo
+
+            maybe_persist_memo(self._tables)
 
     def run_tokens(self, tokens: list, n_chunks: int) -> ParallelRunResult:
         """Execute the three phases over a materialised token list.
@@ -295,7 +319,8 @@ class ParallelPipeline:
 
         tracer = self.tracer
         journal = self.journal
-        runner = _make_runner(self.automaton, self.policy, self.anchor_sids, self._tables)
+        runner = _make_runner(self.automaton, self.policy, self.anchor_sids,
+                              self._tables, memo=self.memo)
         results: list[ChunkResult] = []
         for ci, (i0, i1) in enumerate(zip(edges, edges[1:])):
             begin = offsets[i0]
@@ -343,6 +368,7 @@ class ParallelPipeline:
                 misspeculations=totals.misspeculations,
                 reprocessed_tokens=totals.reprocessed_tokens,
             )
+        self._persist_memo()
         return ParallelRunResult(
             events=events, final_state=state, counters=totals, chunk_counters=per_chunk
         )
@@ -381,7 +407,7 @@ class ParallelPipeline:
         ctx = _Ctx(text, self.automaton, self.policy, self.anchor_sids,
                    trace=tracer.enabled, journal=journal.enabled,
                    faults=self.faults, tables=self._tables,
-                   pretokens=chunk_tokens)
+                   pretokens=chunk_tokens, memo=self.memo)
         report: ResilienceReport | None = None
         with tracer.span("parallel", cat="phase"):
             if self.resilience is not None:
@@ -446,6 +472,7 @@ class ParallelPipeline:
                 misspeculations=totals.misspeculations,
                 reprocessed_tokens=totals.reprocessed_tokens,
             )
+        self._persist_memo()
         return ParallelRunResult(
             events=events, final_state=state, counters=totals, chunk_counters=per_chunk
         )

@@ -24,6 +24,14 @@ from .compile_tables import (
     compiled_tables,
 )
 from .events import EventKind, MatchEvent, close, hit
+from .subseq import (
+    MemoTable,
+    SubseqDict,
+    clear_memo_tables,
+    memo_for_tables,
+    memo_info,
+    set_memo_defaults,
+)
 from .filtering import FilterError, IntervalForest, apply_filters, collect_events
 from .parser import parse_relative_path, parse_xpath
 from .reference import Document, Element, build_document, evaluate, evaluate_offsets
@@ -53,11 +61,13 @@ __all__ = [
     "JoinMode",
     "KernelTables",
     "MatchEvent",
+    "MemoTable",
     "Path",
     "QueryAutomaton",
     "Step",
     "SubQuery",
     "SubRegistry",
+    "SubseqDict",
     "Term",
     "WILDCARD",
     "XPathError",
@@ -65,6 +75,7 @@ __all__ = [
     "build_automaton",
     "build_document",
     "clear_compile_cache",
+    "clear_memo_tables",
     "close",
     "collect_events",
     "compile_cache_info",
@@ -75,6 +86,9 @@ __all__ = [
     "evaluate",
     "evaluate_offsets",
     "hit",
+    "memo_for_tables",
+    "memo_info",
     "parse_relative_path",
     "parse_xpath",
+    "set_memo_defaults",
 ]

@@ -356,17 +356,27 @@ def compiled_tables(
     return tables
 
 
-def compile_cache_info() -> dict[str, int]:
+def compile_cache_info() -> dict:
     """Cache statistics: hits/misses/size plus ``compiles`` — the number
     of genuine table compilations (a warm artifact store turns misses
-    into decodes, so ``compiles`` stays at zero on a warm start)."""
+    into decodes, so ``compiles`` stays at zero on a warm start).
+
+    The ``memo`` key aggregates the structural-repetition memo layer
+    (:mod:`repro.xpath.subseq`) that rides on the compiled tables:
+    per-process entry/sequence totals, hit/miss/reject counters and the
+    configured capacity.
+    """
     with _cache_lock:
-        return {
+        info: dict = {
             "hits": _hits,
             "misses": _misses,
             "size": len(_cache),
             "compiles": _compiles,
         }
+    from .subseq import memo_info
+
+    info["memo"] = memo_info()
+    return info
 
 
 def clear_compile_cache() -> None:

@@ -1,0 +1,603 @@
+"""Structural-repetition memoization for the dense kernel.
+
+The paper's workloads (Lineitem, XMark) are dominated by near-identical
+repeated subtrees, yet the dense kernel pays full per-token cost on
+every repetition.  Following Maneth & Sebastian (*XPath Node Selection
+over Grammar-Compressed Trees*, arXiv:1311.5573), repeated structure
+can be queried at O(1) per re-occurrence after first sight.  This
+module adapts that idea to the streaming kernel:
+
+* **subsequence interning** (:class:`SubseqDict`) — repeated tag
+  *sequences* are detected with a rolling polynomial hash over the
+  pre-lexed token stream and interned once.  Both the hash and the
+  exact key are *structural*: the per-token sequence of kinds and
+  element names, with text content deliberately excluded.  That is the
+  kernel's entire observable input in the single-live-path regime —
+  the fast loop never reads a TEXT token, transitions and accepts are
+  functions of tag names alone, and replayed match offsets are read
+  from the *current* occurrence's tokens — so near-identical repeats
+  (the paper's Lineitem rows: same element skeleton, different
+  character data) legitimately share one interned id.  Every hash
+  candidate is still **verified by exact comparison** of the full
+  structural key before an interned id is reused; a candidate whose
+  key differs from every interned sequence under its hash — a genuine
+  hash collision — is a **reject** (counted, journalled as
+  ``memo_reject``) and is interned as its own new sequence so *its*
+  future repeats can still hit;
+* **transition memoization** (:class:`MemoTable`) — a bounded LRU
+  mapping ``(entry state, interned subsequence id)`` to ``(exit state,
+  relative match events)``.  Only *whole-element* spans (a START token
+  through its matching END) are interned: inside such a span the stack
+  never dips below its entry level, the net stack delta is zero and the
+  exit state equals the entry state, so a recorded traversal replays
+  exactly — the kernel skips the token loop and re-emits the recorded
+  events with offsets rebased to the current occurrence's actual
+  tokens and depths rebased to the current element depth.
+
+The memo is consulted **only in the single-live-path regime** (the
+kernel's single-stack fast loop): with one live path, no feasibility
+check, divergence or convergence can fire inside a balanced span, so
+replay is observationally identical — same matches, same segments, and
+the same :class:`~repro.transducer.counters.WorkCounters` (a span of
+``L`` tokens adds exactly ``L`` to ``stack_tokens``, hit or miss).
+
+Memo tables are registered per :class:`KernelTables` object.  The
+structural compile cache guarantees one tables object per (query,
+grammar) within a process, so a grammar or query change produces a new
+tables object and therefore a fresh memo — the invalidation path.  The
+registry holds strong references: a registered tables object can never
+be garbage collected while its memo lives, so an ``id()`` can never be
+reused to read another grammar's memo.
+
+Lock discipline mirrors the compile cache: one :class:`threading.Lock`
+per memo table serialises plan construction, entry lookup/insert and
+counter updates (the query service runs chunks from concurrent worker
+threads); a module lock guards the registry.
+
+When a persistent artifact store is installed (see
+:func:`repro.xpath.compile_tables.set_artifact_store`), interned
+subsequence dictionaries and their memo entries persist under the new
+``subseq`` schema kind, keyed by a content hash of the owning tables —
+a warm start reloads the memo and replays from the first run.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from collections import OrderedDict
+
+from ..xmlstream.tokens import TokenKind
+from .compile_tables import KernelTables, get_artifact_store
+
+__all__ = [
+    "MemoTable",
+    "SubseqDict",
+    "SpanPlan",
+    "memo_for_tables",
+    "clear_memo_tables",
+    "memo_info",
+    "set_memo_defaults",
+    "maybe_persist_memo",
+]
+
+_START = int(TokenKind.START)
+_END = int(TokenKind.END)
+_TEXT = int(TokenKind.TEXT)
+
+#: relative-event kinds inside a recorded span
+EV_HIT = 0
+EV_CLOSE = 1
+
+#: rolling-hash modulus (Mersenne prime) and base — fixed constants so
+#: hashes are deterministic across processes and interpreter runs
+#: (Python's own ``hash()`` is seed-salted and useless for persistence)
+_MOD = (1 << 61) - 1
+_BASE = 1_000_003
+
+#: structural value of a text token: content-independent by design —
+#: the fast loop never reads TEXT tokens, so character data cannot
+#: influence a span's transitions, events or exit state
+_TEXT_VAL = 5
+
+#: defaults for memo tables created by the registry
+_DEFAULT_CAPACITY = 4096
+_DEFAULT_MIN_SPAN = 8
+_DEFAULT_MAX_SPAN = 4096
+#: total tokens' worth of per-chunk plans each memo table may pin
+_DEFAULT_PLAN_BUDGET = 1 << 20
+
+
+def _name_value(name: str, kind: int, cache: dict) -> int:
+    """Deterministic structural value of one tag token."""
+    v = cache.get(name)
+    if v is None:
+        v = zlib.crc32(name.encode("utf-8", "surrogatepass"))
+        cache[name] = v
+    return (v << 2) + kind + 11
+
+
+class SubseqDict:
+    """Interned exact token subsequences, indexed by structural hash.
+
+    An interned sequence's *exact key* is a tuple of ``(kind, name)``
+    pairs with ``name`` blanked for TEXT tokens: exactly the input the
+    single-path fast loop observes.  Text content, attribute values
+    and byte layout are excluded on purpose — the kernel never reads
+    them inside a balanced span, and replayed events take their
+    offsets from the current occurrence's actual tokens, so spans that
+    differ only in character data or attribute bytes replay exactly.
+    The key exists to catch what the polynomial hash alone cannot
+    rule out: two structurally *different* spans colliding on
+    ``(hash, length)``.
+
+    Not thread-safe on its own; the owning :class:`MemoTable`'s lock
+    serialises all access.
+    """
+
+    __slots__ = ("seqs", "by_hash", "_name_vals")
+
+    def __init__(self) -> None:
+        #: id → exact key
+        self.seqs: list[tuple] = []
+        #: (structural hash, length) → interned ids sharing it
+        self.by_hash: dict[tuple[int, int], list[int]] = {}
+        self._name_vals: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.seqs)
+
+    # -- structural hashing -------------------------------------------
+
+    def token_values(self, toks) -> list[int]:
+        """Per-token structural values (text content excluded)."""
+        cache = self._name_vals
+        out = []
+        append = out.append
+        for t in toks:
+            k = t.kind
+            append(_TEXT_VAL if k == _TEXT else _name_value(t.name, k, cache))
+        return out
+
+    @staticmethod
+    def prefix_hashes(values: list[int]) -> tuple[list[int], list[int]]:
+        """Polynomial prefix hashes and base powers for O(1) span hashes."""
+        n = len(values)
+        pre = [0] * (n + 1)
+        pows = [1] * (n + 1)
+        h = 0
+        p = 1
+        for i, v in enumerate(values):
+            h = (h * _BASE + v) % _MOD
+            pre[i + 1] = h
+            p = (p * _BASE) % _MOD
+            pows[i + 1] = p
+        return pre, pows
+
+    @staticmethod
+    def span_hash(pre: list[int], pows: list[int], j: int, length: int) -> int:
+        return (pre[j + length] - pre[j] * pows[length]) % _MOD
+
+    # -- interning ----------------------------------------------------
+
+    @staticmethod
+    def exact_key(toks, j: int, length: int) -> tuple:
+        return tuple(
+            (k, "" if k == _TEXT else t.name)
+            for t in toks[j : j + length]
+            for k in (int(t.kind),)
+        )
+
+    def intern(self, h: int, length: int, key: tuple) -> tuple[int, bool]:
+        """Intern ``key`` under hash bucket ``(h, length)``.
+
+        Returns ``(seq_id, rejected)``: ``rejected`` is True when the
+        bucket already held sequences but none matched exactly — the
+        near-repeat case the structural hash cannot distinguish.
+        """
+        bucket = self.by_hash.get((h, length))
+        if bucket is not None:
+            for sid in bucket:
+                if self.seqs[sid] == key:
+                    return sid, False
+            rejected = True
+        else:
+            bucket = self.by_hash.setdefault((h, length), [])
+            rejected = False
+        sid = len(self.seqs)
+        self.seqs.append(key)
+        bucket.append(sid)
+        return sid, rejected
+
+    def has_hash(self, h: int, length: int) -> bool:
+        return (h, length) in self.by_hash
+
+
+class SpanPlan:
+    """Per-token-list memoization plan: which spans to consult.
+
+    ``starts`` is the sorted list of span start indices, ``spans`` maps
+    a start index to its ``(seq_id, length)`` (each START token opens
+    exactly one element, so the mapping is unambiguous), and
+    ``rejects`` records ``(start index, length)`` of occurrences whose
+    exact verification failed against an already-interned sequence.
+    """
+
+    __slots__ = ("starts", "spans", "rejects")
+
+    def __init__(self, starts, spans, rejects) -> None:
+        self.starts = starts
+        self.spans = spans
+        self.rejects = rejects
+
+
+class _Entry:
+    """One memoized traversal: exit state + relative match events.
+
+    ``events`` is a tuple of ``(EV_HIT|EV_CLOSE, sid, token index
+    within the span, depth above the span's entry depth)``; replay
+    rebases offsets from the current occurrence's actual tokens.
+    """
+
+    __slots__ = ("exit_state", "events")
+
+    def __init__(self, exit_state: int, events: tuple) -> None:
+        self.exit_state = exit_state
+        self.events = events
+
+
+class MemoTable:
+    """Shared, bounded ``(entry state, subsequence id)`` → replay memo."""
+
+    def __init__(
+        self,
+        tables: KernelTables,
+        capacity: int = _DEFAULT_CAPACITY,
+        min_span: int = _DEFAULT_MIN_SPAN,
+        max_span: int = _DEFAULT_MAX_SPAN,
+        plan_budget: int = _DEFAULT_PLAN_BUDGET,
+    ) -> None:
+        self.tables = tables
+        self.capacity = capacity
+        self.min_span = max(2, min_span)
+        self.max_span = max_span
+        self.plan_budget = plan_budget
+        self.subseqs = SubseqDict()
+        self.entries: OrderedDict[tuple[int, int], _Entry] = OrderedDict()
+        self.lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.rejects = 0
+        self.evictions = 0
+        self.dirty = False
+        #: id(token list) → (strong token-list ref, plan); the strong
+        #: reference pins the list so its id cannot be reused while the
+        #: cache entry lives
+        self._plans: OrderedDict[int, tuple] = OrderedDict()
+        self._plan_tokens = 0
+        self._skey: str | None = None
+
+    # -- planning ------------------------------------------------------
+
+    def plan_for(self, toks) -> SpanPlan | None:
+        """The (cached) memoization plan for one chunk's token list."""
+        key = id(toks)
+        with self.lock:
+            cached = self._plans.get(key)
+            if cached is not None and cached[0] is toks:
+                self._plans.move_to_end(key)
+                return cached[1]
+            plan = self._build_plan(toks)
+            self._plans[key] = (toks, plan)
+            self._plan_tokens += len(toks)
+            while self._plan_tokens > self.plan_budget and len(self._plans) > 1:
+                _, (old, _p) = self._plans.popitem(last=False)
+                self._plan_tokens -= len(old)
+            return plan
+
+    def _build_plan(self, toks) -> SpanPlan | None:
+        """Detect repeated whole-element spans; caller holds the lock."""
+        n = len(toks)
+        min_span = self.min_span
+        if n < min_span:
+            return None
+        max_span = self.max_span
+        # whole-element spans: a START and its matching END inside this
+        # chunk's token list (anything cut by a chunk boundary never
+        # forms a span here, so replay cannot cross a split boundary)
+        open_stack: list[int] = []
+        spans: list[tuple[int, int]] = []
+        for idx in range(n):
+            k = toks[idx].kind
+            if k == _START:
+                open_stack.append(idx)
+            elif k == _END:
+                if open_stack:
+                    j = open_stack.pop()
+                    length = idx + 1 - j
+                    if min_span <= length <= max_span:
+                        spans.append((j, length))
+        if not spans:
+            return None
+
+        sd = self.subseqs
+        values = sd.token_values(toks)
+        pre, pows = sd.prefix_hashes(values)
+        span_hash = sd.span_hash
+
+        # a span qualifies when its structural hash repeats — within
+        # this list or against the already-interned dictionary
+        counts: dict[tuple[int, int], int] = {}
+        hashes: list[int] = []
+        for j, length in spans:
+            h = span_hash(pre, pows, j, length)
+            hashes.append(h)
+            counts[(h, length)] = counts.get((h, length), 0) + 1
+
+        starts: list[int] = []
+        plan_spans: dict[int, tuple[int, int]] = {}
+        rejects: list[tuple[int, int]] = []
+        n_seqs_before = len(sd.seqs)
+        for (j, length), h in zip(spans, hashes):
+            if counts[(h, length)] < 2 and not sd.has_hash(h, length):
+                continue
+            sid, rejected = sd.intern(h, length, sd.exact_key(toks, j, length))
+            if rejected:
+                self.rejects += 1
+                rejects.append((j, length))
+            plan_spans[j] = (sid, length)
+            starts.append(j)
+        if len(sd.seqs) != n_seqs_before:
+            self.dirty = True
+        if not plan_spans:
+            return None
+        starts.sort()
+        return SpanPlan(starts, plan_spans, tuple(rejects))
+
+    # -- memo entries --------------------------------------------------
+
+    def lookup(self, state: int, seq_id: int) -> _Entry | None:
+        """Hit/miss-counted entry lookup (LRU touch on hit)."""
+        key = (state, seq_id)
+        with self.lock:
+            e = self.entries.get(key)
+            if e is not None:
+                self.hits += 1
+                self.entries.move_to_end(key)
+            else:
+                self.misses += 1
+            return e
+
+    def flush_chunk(self, hits: int, misses: int, touched: list) -> None:
+        """Batched counter/LRU update from one chunk's fast loop.
+
+        The kernel reads ``entries.get`` directly — a GIL-atomic dict
+        lookup needing no lock (a concurrently evicted entry is still a
+        valid immutable object) — and defers hit/miss counting and LRU
+        touches to one locked flush per fast-loop pass, so the per-span
+        overhead stays below the cost of re-running a small span.
+        Counter totals remain exact; only the touch timing is batched.
+        """
+        with self.lock:
+            self.hits += hits
+            self.misses += misses
+            entries = self.entries
+            for key in touched:
+                if key in entries:
+                    entries.move_to_end(key)
+
+    def insert(self, state: int, seq_id: int, exit_state: int, events: tuple) -> None:
+        key = (state, seq_id)
+        with self.lock:
+            if key not in self.entries:
+                self.entries[key] = _Entry(exit_state, events)
+                self.dirty = True
+                while len(self.entries) > self.capacity:
+                    self.entries.popitem(last=False)
+                    self.evictions += 1
+
+    # -- stats / persistence ------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        with self.lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "rejects": self.rejects,
+                "evictions": self.evictions,
+                "entries": len(self.entries),
+                "sequences": len(self.subseqs),
+                "capacity": self.capacity,
+            }
+
+    def store_key(self) -> str:
+        """Content hash of the owning tables — the persistence key."""
+        if self._skey is None:
+            from hashlib import sha256
+
+            from ..store import codec
+
+            self._skey = sha256(codec.encode_kernel_tables(self.tables)).hexdigest()
+        return self._skey
+
+    def snapshot(self) -> tuple[list[tuple], dict]:
+        """A consistent (sequences, entries) copy for encoding."""
+        with self.lock:
+            seqs = list(self.subseqs.seqs)
+            entries = {
+                key: (e.exit_state, e.events) for key, e in self.entries.items()
+            }
+            return seqs, entries
+
+    def adopt(self, seqs: list[tuple], entries: dict) -> None:
+        """Preload a decoded snapshot (fresh table only, pre-publication)."""
+        with self.lock:
+            sd = self.subseqs
+            for key in seqs:
+                values = [
+                    _TEXT_VAL
+                    if kind == _TEXT
+                    else _name_value(name, kind, sd._name_vals)
+                    for kind, name in key
+                ]
+                h = 0
+                for v in values:
+                    h = (h * _BASE + v) % _MOD
+                sid = len(sd.seqs)
+                sd.seqs.append(key)
+                sd.by_hash.setdefault((h, len(key)), []).append(sid)
+            for (state, sid), (exit_state, events) in sorted(entries.items()):
+                if sid < len(sd.seqs):
+                    self.entries[(state, sid)] = _Entry(exit_state, tuple(events))
+            while len(self.entries) > self.capacity:
+                self.entries.popitem(last=False)
+                self.evictions += 1
+
+
+# ---------------------------------------------------------------------------
+# per-tables registry
+# ---------------------------------------------------------------------------
+
+_registry: OrderedDict[int, MemoTable] = OrderedDict()
+_registry_lock = threading.Lock()
+#: bounded: each slot pins one KernelTables strongly (via MemoTable.tables)
+_REGISTRY_MAX = 16
+
+
+def set_memo_defaults(
+    capacity: int | None = None,
+    min_span: int | None = None,
+    max_span: int | None = None,
+) -> dict[str, int]:
+    """Adjust defaults for registry-created memo tables (tests/tuning).
+
+    Returns the previous defaults so callers can restore them.
+    """
+    global _DEFAULT_CAPACITY, _DEFAULT_MIN_SPAN, _DEFAULT_MAX_SPAN
+    prev = {
+        "capacity": _DEFAULT_CAPACITY,
+        "min_span": _DEFAULT_MIN_SPAN,
+        "max_span": _DEFAULT_MAX_SPAN,
+    }
+    if capacity is not None:
+        _DEFAULT_CAPACITY = capacity
+    if min_span is not None:
+        _DEFAULT_MIN_SPAN = min_span
+    if max_span is not None:
+        _DEFAULT_MAX_SPAN = max_span
+    return prev
+
+
+def memo_for_tables(tables: KernelTables) -> MemoTable:
+    """The process-wide memo table for one compiled-tables object.
+
+    The registry key is the tables' identity; the held strong reference
+    makes identity a sound key (no id reuse while registered), and the
+    structural compile cache makes identity equivalent to structural
+    equality within a process.  A new tables object — a grammar or
+    query change — therefore starts from an empty (or store-warmed)
+    memo.
+    """
+    tid = id(tables)
+    with _registry_lock:
+        mt = _registry.get(tid)
+        if mt is not None and mt.tables is tables:
+            _registry.move_to_end(tid)
+            return mt
+    mt = MemoTable(
+        tables,
+        capacity=_DEFAULT_CAPACITY,
+        min_span=_DEFAULT_MIN_SPAN,
+        max_span=_DEFAULT_MAX_SPAN,
+    )
+    store = get_artifact_store()
+    if store is not None:
+        _load_memo(mt, store)
+    with _registry_lock:
+        cur = _registry.get(tid)
+        if cur is not None and cur.tables is tables:
+            return cur  # lost the publication race; keep the first
+        _registry[tid] = mt
+        while len(_registry) > _REGISTRY_MAX:
+            _registry.popitem(last=False)
+    return mt
+
+
+def clear_memo_tables() -> None:
+    """Drop every registered memo table (tests / operator reset)."""
+    with _registry_lock:
+        _registry.clear()
+
+
+def memo_info() -> dict[str, int]:
+    """Aggregate memo statistics across all registered tables."""
+    with _registry_lock:
+        memos = list(_registry.values())
+    out = {
+        "tables": len(memos),
+        "entries": 0,
+        "sequences": 0,
+        "hits": 0,
+        "misses": 0,
+        "rejects": 0,
+        "evictions": 0,
+        "capacity": _DEFAULT_CAPACITY,
+    }
+    for mt in memos:
+        s = mt.stats()
+        out["entries"] += s["entries"]
+        out["sequences"] += s["sequences"]
+        out["hits"] += s["hits"]
+        out["misses"] += s["misses"]
+        out["rejects"] += s["rejects"]
+        out["evictions"] += s["evictions"]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# persistence (artifact store, schema kind "subseq")
+# ---------------------------------------------------------------------------
+
+
+def _load_memo(mt: MemoTable, store) -> bool:
+    """Warm a fresh memo table from the store; any defect is a miss."""
+    from ..store import codec
+
+    try:
+        skey = mt.store_key()
+    except Exception:  # pragma: no cover - tables must be encodable
+        return False
+    payload = store.get("subseq", skey)
+    if payload is None:
+        return False
+    try:
+        seqs, entries = codec.decode_memo_table(payload)
+    except codec.CodecError as exc:
+        store.invalidate("subseq", skey, f"decode:{exc}")
+        return False
+    mt.adopt(seqs, entries)
+    mt.dirty = False
+    return True
+
+
+def maybe_persist_memo(tables: KernelTables) -> bool:
+    """Write the tables' memo through to the artifact store if dirty.
+
+    Called by the pipeline after a run; a no-op without an installed
+    store, an unregistered tables object, or a clean memo.
+    """
+    store = get_artifact_store()
+    if store is None:
+        return False
+    with _registry_lock:
+        mt = _registry.get(id(tables))
+        if mt is None or mt.tables is not tables:
+            return False
+    if not mt.dirty:
+        return False
+    from ..store import codec
+
+    seqs, entries = mt.snapshot()
+    store.put("subseq", mt.store_key(), codec.encode_memo_table(seqs, entries))
+    mt.dirty = False
+    return True

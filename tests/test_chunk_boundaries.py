@@ -165,3 +165,69 @@ class TestMidConstructCutsAreImpossible:
         hi = lo + len(bad_substring)
         for offset in iter_tag_offsets(xml):
             assert not (lo < offset < hi), (offset, bad_substring)
+
+
+class TestMemoAcrossBoundaries:
+    """The structural memo must be invisible at every split position.
+
+    Memoized spans are whole elements *within one chunk's token list*;
+    an element cut by a chunk boundary must never replay from the memo.
+    The stress: a repetitive document split at every admissible
+    boundary selection — so each repeated row gets cut at every
+    interior offset in some run — with one warm shared memo across all
+    splits (entries interned from whole-row chunks must not leak into
+    runs where that row is cut).  Memo-on and memo-off runs must agree
+    on the full joined event stream and every counter.
+    """
+
+    XML = "<t>" + "".join(
+        f"<r><a>v{i}</a><b>w</b></r>" for i in range(6)
+    ) + "</t>"
+    QS = ["/t/r/a", "//b"]
+
+    def test_every_split_position(self):
+        from repro.xpath import clear_memo_tables, memo_info, set_memo_defaults
+
+        prev = set_memo_defaults(min_span=4)
+        clear_memo_tables()
+        try:
+            seq = SequentialEngine(self.QS).run(self.XML)
+            on = GapEngine(self.QS, memo=True)
+            off = GapEngine(self.QS, memo=False)
+            xml = self.XML
+            n_splits = 0
+            for boundaries in _splits(xml):
+                chunks = split_at_offsets(len(xml), boundaries)
+                r_on = on.run(xml, chunks=chunks)
+                r_off = off.run(xml, chunks=chunks)
+                assert r_on.offsets_by_id == r_off.offsets_by_id == \
+                    seq.offsets_by_id, boundaries
+                assert r_on.stats.counters.as_dict() == \
+                    r_off.stats.counters.as_dict(), boundaries
+                n_splits += 1
+            assert n_splits > 100  # the sweep really enumerated the space
+            # the memo genuinely engaged across the sweep (whole-row
+            # chunks replayed); cut rows were handled by the plain path
+            info = memo_info()
+            assert info["hits"] > 0, info
+        finally:
+            set_memo_defaults(**prev)
+            clear_memo_tables()
+
+    def test_chunk_counts_with_memoized_rows(self):
+        """Engine-level: memo on/off matches agree for every chunk count."""
+        from repro.xpath import clear_memo_tables, set_memo_defaults
+
+        prev = set_memo_defaults(min_span=4)
+        clear_memo_tables()
+        try:
+            seq = SequentialEngine(self.QS).run(self.XML)
+            for n_chunks in range(1, len(_interior(self.XML)) + 3):
+                on = GapEngine(self.QS, memo=True).run(self.XML, n_chunks=n_chunks)
+                off = GapEngine(self.QS, memo=False).run(self.XML,
+                                                         n_chunks=n_chunks)
+                assert on.offsets_by_id == off.offsets_by_id == \
+                    seq.offsets_by_id, n_chunks
+        finally:
+            set_memo_defaults(**prev)
+            clear_memo_tables()

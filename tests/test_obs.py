@@ -420,12 +420,13 @@ class TestJournal:
         assert line["tag"] == "b" and line["args"]["killed"] == 2
 
     def test_event_kinds_pinned(self):
-        assert len(EVENT_KINDS) == 16
+        assert len(EVENT_KINDS) == 19
         assert {"path_spawn", "path_killed", "converge", "switch",
                 "misspeculation", "reprocess", "retry", "timeout",
                 "invalid", "fallback", "cache_hit", "cache_miss",
                 "store_hit", "store_miss", "store_write",
-                "store_invalid"} == set(EVENT_KINDS)
+                "store_invalid", "memo_hit", "memo_miss",
+                "memo_reject"} == set(EVENT_KINDS)
 
     def test_event_pickles(self):
         ev = Event("path_spawn", chunk=1, offset=5, tag="a", seq=3,
@@ -457,11 +458,18 @@ class TestJournaledEngines:
 
     @staticmethod
     def _lifecycle(journal):
-        """Kind/position/payload view, ignoring seq and driver-side events."""
+        """Kind/position/payload view, ignoring seq and cache events.
+
+        Cache events (compile cache, structural memo) depend on what
+        the shared process-wide caches already hold, so only the
+        path-lifecycle stream carries the cross-kernel/backend
+        determinism contract.
+        """
         return [
             (ev.kind, ev.chunk, ev.offset, ev.tag, tuple(sorted(ev.args.items())))
             for ev in journal.events
-            if ev.kind not in ("cache_hit", "cache_miss")
+            if ev.kind not in ("cache_hit", "cache_miss",
+                               "memo_hit", "memo_miss", "memo_reject")
         ]
 
     def test_journaled_run_matches_unjournaled(self):

@@ -608,3 +608,202 @@ class TestServiceWarmStart:
         assert get_artifact_store() is svc.store
         svc.close()
         assert get_artifact_store() is None
+
+
+# ---------------------------------------------------------------------------
+# structural-memo persistence (schema kind "subseq")
+# ---------------------------------------------------------------------------
+
+
+def _memo_payloads(data):
+    """Hypothesis-built (sequences, entries) in the codec's domain."""
+    kinds = st.integers(min_value=0, max_value=2)
+    names = st.text(min_size=0, max_size=6)
+    seq = st.lists(st.tuples(kinds, names), min_size=1, max_size=8).map(tuple)
+    seqs = data.draw(st.lists(seq, min_size=0, max_size=5))
+    entries = {}
+    if seqs:
+        n_entries = data.draw(st.integers(min_value=0, max_value=6))
+        for _ in range(n_entries):
+            key = (
+                data.draw(st.integers(min_value=-1, max_value=1 << 40)),
+                data.draw(st.integers(min_value=0, max_value=len(seqs) - 1)),
+            )
+            events = tuple(
+                (
+                    data.draw(st.integers(min_value=0, max_value=1)),
+                    data.draw(st.integers(min_value=0, max_value=1 << 20)),
+                    data.draw(st.integers(min_value=0, max_value=1 << 20)),
+                    data.draw(st.integers(min_value=-64, max_value=1 << 30)),
+                )
+                for _ in range(data.draw(st.integers(min_value=0, max_value=4)))
+            )
+            entries[key] = (
+                data.draw(st.integers(min_value=-1, max_value=1 << 40)),
+                events,
+            )
+    return seqs, entries
+
+
+class TestMemoCodec:
+    @given(data=st.data())
+    @HYP
+    def test_round_trip_exact(self, data):
+        seqs, entries = _memo_payloads(data)
+        payload = codec.encode_memo_table(seqs, entries)
+        back_seqs, back_entries = codec.decode_memo_table(payload)
+        assert back_seqs == list(seqs)
+        assert back_entries == entries
+
+    def test_live_snapshot_round_trips_and_warms(self):
+        """A real table's snapshot decodes back and warms a fresh table
+        to all-hits — the in-process model of a warm restart."""
+        from tests.test_table_compile import _MemoRig, _rows
+
+        xml = f"<t>{_rows('r', 8, payload=lambda i: str(i))}</t>"
+        rig = _MemoRig(xml, ["//r/a"])
+        rig.run_once(rig.runner())
+        seqs, entries = rig.memo.snapshot()
+        assert seqs and entries
+        payload = codec.encode_memo_table(seqs, entries)
+        assert codec.decode_memo_table(payload) == (seqs, entries)
+
+        warm = _MemoRig(xml, ["//r/a"])
+        warm.memo.adopt(*codec.decode_memo_table(payload))
+        warm.run_once(warm.runner())
+        stats = warm.memo.stats()
+        # every consulted span replays from the adopted entries
+        assert stats["misses"] == 0, stats
+        total = rig.memo.stats()
+        assert stats["hits"] == total["hits"] + total["misses"]
+
+    def test_trailing_garbage_rejected(self):
+        payload = codec.encode_memo_table([((0, "a"), (2, ""), (1, "a"))], {})
+        with pytest.raises(CodecError):
+            codec.decode_memo_table(payload + b"\x00")
+
+    def test_truncation_rejected(self):
+        payload = codec.encode_memo_table(
+            [((0, "a"), (1, "a"))], {(3, 0): (3, ((0, 1, 0, 1),))}
+        )
+        for cut in (1, len(payload) // 2, len(payload) - 1):
+            with pytest.raises(CodecError):
+                codec.decode_memo_table(payload[:cut])
+
+    def test_dangling_sequence_reference_rejected(self):
+        """The encoder is trusting; the decoder must not be."""
+        payload = codec.encode_memo_table([((0, "a"), (1, "a"))],
+                                          {(0, 99): (0, ())})
+        with pytest.raises(CodecError):
+            codec.decode_memo_table(payload)
+
+
+@pytest.mark.parametrize("mutation", sorted(_MUTATIONS))
+class TestMemoCorruption:
+    def test_corrupt_subseq_artifact_is_a_clean_miss(self, tmp_path, mutation):
+        store = ArtifactStore(str(tmp_path / "store"))
+        key = "cd" * 32
+        payload = codec.encode_memo_table(
+            [((0, "r"), (0, "a"), (2, ""), (1, "a"), (1, "r"))],
+            {(0, 0): (0, ((0, 2, 1, 1), (1, 2, 3, 1)))},
+        )
+        assert store.put("subseq", key, payload)
+        (info,) = store.scan()
+        assert info.kind == "subseq"
+        with open(info.path, "rb") as fh:
+            data = fh.read()
+        with open(info.path, "wb") as fh:
+            fh.write(_MUTATIONS[mutation](data))
+        assert store.get("subseq", key) is None
+        assert store.counters()["invalid"] == 1
+        # recovery: a republish verifies clean and hits
+        assert store.put("subseq", key, payload)
+        assert store.get("subseq", key) == payload
+
+
+_MEMO_RESTART = """
+import json, sys
+from repro.core.engine import GapEngine
+from repro.store import ArtifactStore
+from repro.xpath import memo_info, set_memo_defaults
+from repro.xpath.compile_tables import set_artifact_store
+
+doc_path, store_dir = sys.argv[1], sys.argv[2]
+text = open(doc_path).read()
+set_memo_defaults(min_span=4)
+store = ArtifactStore(store_dir)
+set_artifact_store(store)
+engine = GapEngine(["//r/a", "//b"], n_chunks=4, backend="serial", memo=True)
+result = engine.run(text)
+print(json.dumps({
+    "matches": {q: list(v) for q, v in result.matches.items()},
+    "memo": memo_info(),
+    "store": store.counters(),
+    "kinds": sorted({i.kind for i in store.scan()}),
+}))
+"""
+
+
+class TestMemoWarmRestart:
+    """The memo survives a process restart through the artifact store."""
+
+    def _doc(self, tmp_path) -> str:
+        path = str(tmp_path / "doc.xml")
+        rows = "".join(
+            f"<r><a>v{i}</a><b>w{i}</b></r>" for i in range(40)
+        )
+        with open(path, "w") as fh:
+            fh.write(f"<t>{rows}</t>")
+        return path
+
+    def _run(self, doc_path, store_dir):
+        proc = subprocess.run(
+            [sys.executable, "-c", _MEMO_RESTART, doc_path, store_dir],
+            env=_env(), cwd=os.path.dirname(os.path.dirname(__file__)),
+            capture_output=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr.decode()
+        return json.loads(proc.stdout)
+
+    def test_warm_restart_replays_from_first_sight(self, tmp_path):
+        doc_path = self._doc(tmp_path)
+        store_dir = str(tmp_path / "store")
+        cold = self._run(doc_path, store_dir)
+        warm = self._run(doc_path, store_dir)
+        warm2 = self._run(doc_path, store_dir)
+
+        # the cold process interned, recorded, and persisted the memo
+        assert cold["memo"]["misses"] >= 1
+        assert "subseq" in cold["kinds"]
+        # matches are identical across restarts
+        assert warm["matches"] == cold["matches"]
+        assert warm2["matches"] == cold["matches"]
+        # the warm process replays every span the cold process consulted:
+        # zero first-sight misses, hits absorb them exactly
+        assert warm["memo"]["misses"] == 0, warm["memo"]
+        assert warm["memo"]["hits"] == \
+            cold["memo"]["hits"] + cold["memo"]["misses"]
+        assert warm["memo"]["sequences"] == cold["memo"]["sequences"]
+        assert warm["store"]["invalid"] == 0
+        # and the warm-start state is reproducible run over run
+        assert warm2["memo"] == warm["memo"]
+
+    def test_corrupted_memo_artifact_recovers(self, tmp_path):
+        doc_path = self._doc(tmp_path)
+        store_dir = str(tmp_path / "store")
+        cold = self._run(doc_path, store_dir)
+        store = ArtifactStore(store_dir)
+        (subseq,) = [i for i in store.scan() if i.kind == "subseq"]
+        with open(subseq.path, "rb") as fh:
+            data = fh.read()
+        with open(subseq.path, "wb") as fh:
+            fh.write(_bit_flip(data))
+
+        relearn = self._run(doc_path, store_dir)
+        # clean miss: the run re-learns from scratch, results intact
+        assert relearn["matches"] == cold["matches"]
+        assert relearn["memo"]["misses"] == cold["memo"]["misses"]
+        assert relearn["store"]["invalid"] >= 1
+        # and the republished artifact warms the next restart again
+        warm = self._run(doc_path, store_dir)
+        assert warm["memo"]["misses"] == 0, warm["memo"]

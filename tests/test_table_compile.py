@@ -24,10 +24,14 @@ import pytest
 from repro import GapEngine, PPTransducerEngine
 from repro.grammar import parse_dtd, sample_partial_grammar
 from repro.xpath import (
+    MemoTable,
     clear_compile_cache,
+    clear_memo_tables,
     compile_cache_info,
     compile_tables,
     compiled_tables,
+    memo_for_tables,
+    set_memo_defaults,
 )
 
 from tests.conftest import RUNNING_DTD, RUNNING_QUERY
@@ -41,8 +45,10 @@ def running_engine():
 @pytest.fixture(autouse=True)
 def fresh_cache():
     clear_compile_cache()
+    clear_memo_tables()
     yield
     clear_compile_cache()
+    clear_memo_tables()
 
 
 # ---------------------------------------------------------------------------
@@ -159,7 +165,11 @@ class TestCompileCache:
         t2 = compiled_tables(e.automaton, e.table, e.anchor_sids)
         assert t1 is t2
         info = compile_cache_info()
+        memo = info.pop("memo")
         assert info == {"hits": 1, "misses": 1, "size": 1, "compiles": 1}
+        # the memo layer reports through the same surface
+        assert {"tables", "entries", "sequences", "hits", "misses",
+                "rejects", "evictions", "capacity"} <= set(memo)
 
     def test_hit_on_equal_content_distinct_objects(self):
         """Two engines over the same (query, grammar) share one compile."""
@@ -209,8 +219,9 @@ class TestCompileCache:
         e = running_engine
         compiled_tables(e.automaton, e.table, e.anchor_sids)
         clear_compile_cache()
-        assert compile_cache_info() == {
-            "hits": 0, "misses": 0, "size": 0, "compiles": 0}
+        info = compile_cache_info()
+        del info["memo"]
+        assert info == {"hits": 0, "misses": 0, "size": 0, "compiles": 0}
 
 
 # ---------------------------------------------------------------------------
@@ -306,3 +317,254 @@ class TestCacheThreadSafety:
         info = compile_cache_info()
         assert info["size"] <= len(engines)
         assert info["hits"] >= 0 and info["misses"] >= 0
+
+
+# ---------------------------------------------------------------------------
+# structural-repetition memo invariants (repro.xpath.subseq)
+# ---------------------------------------------------------------------------
+
+
+def _rows(tag: str, n: int, payload=lambda i: "t") -> str:
+    """``n`` structurally identical rows (payload may vary the text)."""
+    return "".join(
+        f"<{tag}><a>{payload(i)}</a><b>{payload(i)}</b></{tag}>"
+        for i in range(n)
+    )
+
+
+class _MemoRig:
+    """A dense runner over one pre-lexed chunk with a private memo table.
+
+    Mirrors the benchmark's setup: the memo is constructed directly
+    (never through the registry), so counter assertions see exactly
+    this rig's traffic.
+    """
+
+    def __init__(self, xml: str, qs, capacity: int = 64, min_span: int = 4):
+        from repro.core.gap_transducer import GapPolicy
+        from repro.xmlstream.lexer import lex_range
+
+        self.engine = GapEngine(qs)
+        self.policy = GapPolicy(self.engine.automaton, self.engine.table)
+        self.xml = xml
+        self.toks = list(lex_range(xml, 0, len(xml)))
+        self.tables = compiled_tables(
+            self.engine.automaton, self.engine.table, self.engine.anchor_sids
+        )
+        self.memo = MemoTable(self.tables, capacity=capacity, min_span=min_span)
+        self.initial = frozenset((self.engine.automaton.initial,))
+
+    def runner(self, memo=True):
+        from repro.core.kernel import DenseRunner
+
+        return DenseRunner(
+            self.engine.automaton, self.policy, self.engine.anchor_sids,
+            memo=self.memo if memo else None,
+        )
+
+    def run_once(self, runner):
+        return runner.run_chunk(self.toks, 0, 0, len(self.xml),
+                                start_states=self.initial)
+
+
+class TestMemoCounters:
+    """Hit/miss/reject accounting is exact, not approximate."""
+
+    def test_counts_on_repetitive_document(self):
+        """N identical rows: one miss interns, N-1 replays hit."""
+        n = 8
+        rig = _MemoRig(f"<t>{_rows('r', n)}</t>", ["//r/a"])
+        rig.run_once(rig.runner())
+        stats = rig.memo.stats()
+        assert stats["misses"] == 1, stats
+        assert stats["hits"] == n - 1, stats
+        assert stats["rejects"] == 0 and stats["evictions"] == 0, stats
+        assert stats["sequences"] == 1 and stats["entries"] == 1, stats
+
+    def test_text_variants_share_one_sequence(self):
+        """Near-repeats differing only in text are hits (structural key)."""
+        n = 6
+        xml = f"<t>{_rows('r', n, payload=lambda i: 'x' * (i + 1))}</t>"
+        rig = _MemoRig(xml, ["//r/b"])
+        rig.run_once(rig.runner())
+        stats = rig.memo.stats()
+        assert stats["sequences"] == 1, stats
+        assert stats["hits"] == n - 1 and stats["misses"] == 1, stats
+
+    def test_steady_state_is_all_hits(self):
+        """After the first pass every later pass replays every row."""
+        n = 5
+        rig = _MemoRig(f"<t>{_rows('r', n)}</t>", ["//r/a"])
+        runner = rig.runner()
+        rig.run_once(runner)
+        before = rig.memo.stats()
+        rig.run_once(runner)
+        after = rig.memo.stats()
+        assert after["hits"] - before["hits"] == n
+        assert after["misses"] == before["misses"]
+
+    def test_memoized_run_matches_plain(self):
+        """The rig itself is differential: memo on ≡ memo off."""
+        xml = f"<t>{_rows('r', 7, payload=lambda i: str(i))}</t>"
+        rig = _MemoRig(xml, ["//r/a", "//r"])
+        g_memo = rig.run_once(rig.runner(memo=True))
+        g_plain = rig.run_once(rig.runner(memo=False))
+
+        def flat(res):
+            return [
+                (
+                    c.restart_index,
+                    [
+                        {
+                            key: (e.events, e.final_state, e.pushed)
+                            for key, e in s.entries.items()
+                        }
+                        for s in c.segments
+                    ],
+                )
+                for c in res.cohorts
+            ]
+
+        assert flat(g_memo) == flat(g_plain)
+        assert g_memo.counters.as_dict() == g_plain.counters.as_dict()
+        assert rig.memo.stats()["hits"] > 0
+
+
+class TestMemoEviction:
+    """Bounded capacity evicts deterministically, oldest first."""
+
+    XML = "<t>" + _rows("r", 2) + _rows("s", 2) + _rows("u", 2) + "</t>"
+
+    def _run(self):
+        rig = _MemoRig(self.XML, ["//a"], capacity=2)
+        rig.run_once(rig.runner())
+        return rig.memo
+
+    def test_capacity_is_enforced(self):
+        memo = self._run()
+        stats = memo.stats()
+        assert stats["entries"] == 2, stats
+        assert stats["sequences"] == 3, stats
+        assert stats["evictions"] == 1, stats
+        assert stats["misses"] == 3 and stats["hits"] == 3, stats
+
+    def test_eviction_is_deterministic(self):
+        """Two identical runs evict the same entry and report the same
+        stats — the policy has no timing or hash-seed dependence."""
+        m1, m2 = self._run(), self._run()
+        assert m1.stats() == m2.stats()
+        assert list(m1.entries) == list(m2.entries)
+
+    def test_undercapacity_thrash_is_deterministic(self):
+        """Capacity below the working set thrashes — deterministically.
+
+        Three entry groups cycling through two slots: each pass
+        re-misses (and re-inserts, evicting the oldest) every group's
+        first occurrence and still hits its repeat.  The exact counts
+        pin the eviction policy; correctness is unaffected (misses
+        re-record, they never corrupt)."""
+        rig = _MemoRig(self.XML, ["//a"], capacity=2)
+        runner = rig.runner()
+        rig.run_once(runner)
+        first = rig.memo.stats()
+        rig.run_once(runner)
+        second = rig.memo.stats()
+        assert second["misses"] == first["misses"] + 3
+        assert second["hits"] == first["hits"] + 3
+        assert second["evictions"] == first["evictions"] + 3
+        assert second["entries"] == 2
+
+
+class TestMemoInvalidation:
+    """A grammar or query change yields a fresh memo (per-tables registry)."""
+
+    def test_same_inputs_share_one_memo(self):
+        e1 = GapEngine([RUNNING_QUERY], grammar=RUNNING_DTD)
+        e2 = GapEngine([RUNNING_QUERY], grammar=RUNNING_DTD)
+        t1 = compiled_tables(e1.automaton, e1.table, e1.anchor_sids)
+        t2 = compiled_tables(e2.automaton, e2.table, e2.anchor_sids)
+        assert t1 is t2  # structural compile cache
+        assert memo_for_tables(t1) is memo_for_tables(t2)
+
+    def test_query_change_gets_fresh_memo(self):
+        e1 = GapEngine([RUNNING_QUERY], grammar=RUNNING_DTD)
+        e2 = GapEngine(["/a/c"], grammar=RUNNING_DTD)
+        t1 = compiled_tables(e1.automaton, e1.table, e1.anchor_sids)
+        t2 = compiled_tables(e2.automaton, e2.table, e2.anchor_sids)
+        assert memo_for_tables(t1) is not memo_for_tables(t2)
+
+    def test_grammar_change_gets_fresh_memo(self):
+        full = GapEngine([RUNNING_QUERY], grammar=RUNNING_DTD)
+        part = GapEngine(
+            [RUNNING_QUERY],
+            grammar=sample_partial_grammar(parse_dtd(RUNNING_DTD), 0.5, seed=2),
+        )
+        tf = compiled_tables(full.automaton, full.table, full.anchor_sids)
+        tp = compiled_tables(part.automaton, part.table, part.anchor_sids)
+        assert memo_for_tables(tf) is not memo_for_tables(tp)
+
+    def test_clear_drops_registered_memos(self):
+        e = GapEngine([RUNNING_QUERY], grammar=RUNNING_DTD)
+        t = compiled_tables(e.automaton, e.table, e.anchor_sids)
+        m1 = memo_for_tables(t)
+        clear_memo_tables()
+        assert memo_for_tables(t) is not m1
+
+    def test_registry_honours_default_overrides(self):
+        prev = set_memo_defaults(capacity=7, min_span=3, max_span=99)
+        try:
+            e = GapEngine([RUNNING_QUERY], grammar=RUNNING_DTD)
+            t = compiled_tables(e.automaton, e.table, e.anchor_sids)
+            m = memo_for_tables(t)
+            assert (m.capacity, m.min_span, m.max_span) == (7, 3, 99)
+        finally:
+            set_memo_defaults(**prev)
+
+
+class TestMemoThreadSafety:
+    """Hammer one shared memo table from concurrent dense runners.
+
+    This is the service's actual shape: worker threads share the
+    registry memo for one (query, grammar).  The kernel's hit path
+    reads ``entries`` without the lock and batches counters through
+    ``flush_chunk``; under contention the contract is: no exceptions,
+    ``hits + misses`` exactly equals the number of planned spans
+    consulted (every consult is one or the other, races included), and
+    the table stays within capacity.
+    """
+
+    def test_concurrent_runs_stay_consistent(self):
+        import threading
+
+        n_rows, n_threads, per_thread = 10, 6, 15
+        rig = _MemoRig(f"<t>{_rows('r', n_rows)}</t>", ["//r/a"])
+        # one serial pass measures the consult count per pass (identical
+        # every pass: hit or miss, each planned span is consulted once)
+        rig.run_once(rig.runner())
+        s0 = rig.memo.stats()
+        per_pass = s0["hits"] + s0["misses"]
+        assert per_pass == n_rows
+
+        errors: list[Exception] = []
+        barrier = threading.Barrier(n_threads)
+
+        def worker() -> None:
+            try:
+                runner = rig.runner()
+                barrier.wait()
+                for _ in range(per_thread):
+                    rig.run_once(runner)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not errors
+        stats = rig.memo.stats()
+        total_passes = 1 + n_threads * per_thread
+        assert stats["hits"] + stats["misses"] == total_passes * per_pass
+        assert stats["entries"] <= rig.memo.capacity
+        assert stats["sequences"] == 1
