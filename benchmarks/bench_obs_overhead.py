@@ -1,18 +1,21 @@
 """Observability overhead gate: instrumented vs disabled within 3%.
 
-The tentpole's zero-overhead claim (ISSUE 6): request tracing, the
-per-stage histograms, the journal trace events and the slow log must
-be cheap enough that an operator can leave them on in production —
-and the disabled path (``NULL_REQUEST_TRACE`` + ``NULL_JOURNAL``)
-must cost nothing but a handful of no-op attribute lookups.
+The tentpole's zero-overhead claim (ISSUE 6, extended by ISSUE 9):
+request tracing, the per-stage histograms, the journal trace events,
+the slow log, the background telemetry collector + alert evaluation
+and the continuous stack sampler must be cheap enough that an
+operator can leave all of them on in production — and the disabled
+path (``NULL_REQUEST_TRACE`` + ``NULL_JOURNAL``, no collector, no
+sampler) must cost nothing but a handful of no-op attribute lookups.
 
 Methodology mirrors :mod:`repro.bench.kernel_bench`: two warm services
 over the same document — one fully instrumented (tracing on, journal
 on, zero slow-log threshold so *every* request takes the slow-log
-path), one with tracing off — answering identical serial request
-streams, interleaved per round, min-of-R.  The gate asserts the
-instrumented wall time stays within ``OVERHEAD_BUDGET`` (3%) of the
-disabled one.
+path, a fast-ticking collector with the default alert pack, the
+sampler at its default rate), one with everything off — answering
+identical serial request streams, interleaved per round, min-of-R.
+The gate asserts the instrumented wall time stays within
+``OVERHEAD_BUDGET`` (3%) of the disabled one.
 
 Run with ``pytest benchmarks/bench_obs_overhead.py -s``.
 """
@@ -36,7 +39,7 @@ from conftest import emit
 SCALE = 24.0
 N_CHUNKS = 4
 N_REQUESTS = 40  # serial requests per timed round
-REPEATS = 5      # interleaved rounds; min-of-R absorbs scheduler noise
+REPEATS = 7      # interleaved rounds; min-of-R absorbs scheduler noise
 QUERY_POOL = 4
 OVERHEAD_BUDGET = 3.0  # percent — the issue's acceptance gate
 
@@ -49,6 +52,14 @@ def _config(instrumented: bool) -> ServiceConfig:
         # threshold 0.0 puts every traced request through the slow log,
         # so the instrumented round pays the full observability bill
         slow_threshold=0.0 if instrumented else 1e9,
+        # the continuous-observability plane rides the instrumented
+        # side: a collector ticking 8x faster than production (plus
+        # the default alert pack evaluated each tick) and the sampler
+        # at its default rate — both threads run for the whole round
+        collector=instrumented,
+        collect_interval=0.25,
+        alert_rules=("default",) if instrumented else (),
+        sample=instrumented,
     )
 
 
@@ -79,9 +90,13 @@ def overhead_results():
             traced_s.append(_round_seconds(traced, doc_t.doc_id, requests))
             plain_s.append(_round_seconds(plain, doc_p.doc_id, requests))
 
-        # the instrumented service really did trace every request
+        # the instrumented service really did trace every request, and
+        # its collector + sampler actually ran during the rounds
         assert traced.slow_log.recorded >= REPEATS * N_REQUESTS
         assert plain.slow_log.recorded == 0
+        assert traced.telemetry.ticks > 0
+        assert traced.profile is not None and traced.profile.total > 0
+        assert plain._collector is None and plain._sampler is None
 
     best_traced, best_plain = min(traced_s), min(plain_s)
     return {

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Nine commands mirror the library's workflow:
+The commands mirror the library's workflow:
 
 ``query``
     Run XPath queries over an XML *or JSON* file (sniffed by content)
@@ -59,12 +59,22 @@ Nine commands mirror the library's workflow:
     recent slow requests.  ``--once`` prints a single snapshot and
     exits (the CI smoke check).
 
+``monitor``
+    Live telemetry view of a running service: poll
+    ``/varz?history=N`` and render the collector's time-series store
+    as sparkline panels plus the alert-rule table (firing set,
+    fire/resolve counts).  Shares ``top``'s polling plumbing;
+    ``--once`` prints one frame and exits.
+
 ``profile``
     Run a query with tracing on and print the per-chunk timeline
     (duration, tokens, mode switches per chunk); optionally write
     Chrome-tracing JSON (``--trace-out``, loadable in
     ``chrome://tracing`` / Perfetto) and a metrics snapshot
-    (``--metrics-out``).
+    (``--metrics-out``).  ``--sample`` additionally runs the
+    stack-sampling profiler during execution and prints the collapsed
+    (folded) stacks with a per-stage attribution table; ``--flame
+    OUT`` writes the self-contained HTML flame view.
 
 ``query``, ``speedup``, ``profile``, ``report`` and ``explain`` share
 the observability flags: ``--trace`` (print a span summary),
@@ -177,6 +187,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", "--chunks", type=int, default=8, help="parallel chunks (default 8)")
     p.add_argument("--learn", action="append", default=[], metavar="FILE",
                    help="prior document(s) to learn a partial grammar from (speculative mode)")
+    p.add_argument("--sample", action="store_true",
+                   help="run the stack-sampling profiler during execution; "
+                        "print collapsed (folded) stacks and a per-stage "
+                        "attribution table")
+    p.add_argument("--sample-hz", type=float, default=50.0, metavar="HZ",
+                   help="sampling rate for --sample (default 50)")
+    p.add_argument("--flame", metavar="FILE",
+                   help="write the sampled profile as a self-contained HTML "
+                        "flame view (implies --sample)")
     _add_kernel_arg(p)
     _add_obs_args(p)
     _add_resilience_args(p)
@@ -306,7 +325,29 @@ def _build_parser() -> argparse.ArgumentParser:
     v.add_argument("--artifact-store", metavar="DIR",
                    help="persistent artifact store for warm starts: compiled "
                         "tables write through, document splits/token caches "
-                        "are cached aside (see docs/PERFORMANCE.md)")
+                        "are cached aside (see docs/PERFORMANCE.md); also "
+                        "persists the telemetry history across restarts")
+    v.add_argument("--collect-interval", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="telemetry collector tick interval (default 2.0)")
+    v.add_argument("--history", type=int, default=600, metavar="N",
+                   help="telemetry points kept per series (default 600; the "
+                        "history window is N x collect-interval)")
+    v.add_argument("--alert-rule", action="append", default=[], metavar="SPEC",
+                   help="SLO alert rule, e.g. 'queue_fraction>0.8:for=30' or "
+                        "'burn:requests_deadline>0.5:short=60:long=600'; "
+                        "'default' expands the built-in rule pack "
+                        "(repeatable; see docs/OBSERVABILITY.md)")
+    v.add_argument("--no-collector", action="store_true",
+                   help="disable the background telemetry collector (no "
+                        "history, no alert evaluation)")
+    v.add_argument("--sample", action="store_true",
+                   help="continuous stack-sampling profiler: serve the live "
+                        "profile at /profilez (on the process backend, pool "
+                        "workers are sampled per chunk)")
+    v.add_argument("--sample-hz", type=float, default=50.0, metavar="HZ",
+                   help="sampling rate for --sample and /profilez?seconds= "
+                        "captures (default 50)")
     v.add_argument("--document", action="append", default=[], metavar="FILE",
                    help="ingest FILE at startup (repeatable)")
     v.add_argument("-g", "--grammar", metavar="FILE",
@@ -331,6 +372,23 @@ def _build_parser() -> argparse.ArgumentParser:
     t.add_argument("--slow", type=int, default=5, metavar="N",
                    help="slow-log entries shown (default 5)")
     t.set_defaults(func=_cmd_top)
+
+    m = sub.add_parser(
+        "monitor",
+        help="live telemetry view of a running service (polls /varz?history=)",
+    )
+    m.add_argument("--host", default="127.0.0.1", help="service address (default 127.0.0.1)")
+    m.add_argument("--port", type=int, default=8077, help="service port (default 8077)")
+    m.add_argument("-i", "--interval", type=float, default=2.0, metavar="SECONDS",
+                   help="polling interval (default 2.0)")
+    m.add_argument("--once", action="store_true",
+                   help="print one frame and exit (no screen clearing)")
+    m.add_argument("--count", type=int, default=0, metavar="N",
+                   help="stop after N refreshes (default: until Ctrl-C)")
+    m.add_argument("--history", type=int, default=60, metavar="N",
+                   help="telemetry points requested per series (default 60; "
+                        "also the sparkline width)")
+    m.set_defaults(func=_cmd_monitor)
 
     st = sub.add_parser(
         "store",
@@ -487,7 +545,7 @@ def _obs_emit(args: argparse.Namespace, tracer, registry: MetricsRegistry | None
 
 
 def _build_query_engine(args: argparse.Namespace, content: str, as_json: bool, tracer,
-                        journal=None):
+                        journal=None, sample: float = 0.0, profile=None):
     """Construct the engine the query/profile/report commands share."""
     resilience, faults = _resilience_from_args(args)
     if args.engine == "seq":
@@ -496,7 +554,7 @@ def _build_query_engine(args: argparse.Namespace, content: str, as_json: bool, t
         return PPTransducerEngine(
             args.queries, n_chunks=args.chunks, backend=args.backend, tracer=tracer,
             resilience=resilience, faults=faults, kernel=args.kernel,
-            memo=args.memo, journal=journal,
+            memo=args.memo, journal=journal, sample=sample, profile=profile,
         )
     grammar = None
     if args.grammar:
@@ -507,7 +565,7 @@ def _build_query_engine(args: argparse.Namespace, content: str, as_json: bool, t
         args.queries, grammar=grammar, n_chunks=args.chunks,
         backend=args.backend, tracer=tracer,
         resilience=resilience, faults=faults, kernel=args.kernel,
-        memo=args.memo, journal=journal,
+        memo=args.memo, journal=journal, sample=sample, profile=profile,
     )
     for prior in args.learn:
         prior_text = _read(prior)
@@ -723,8 +781,29 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             tokens = tokenize_json(content)
             sp.args["tokens"] = len(tokens)
 
-    with _build_query_engine(args, content, as_json, tracer, journal) as engine:
-        result = _execute(engine, args, content, tokens)
+    if args.flame:
+        args.sample = True
+    profile = None
+    if args.sample:
+        if args.sample_hz <= 0:
+            raise ValueError("--sample-hz must be > 0")
+        from .obs.sampler import SampleProfile
+
+        profile = SampleProfile()
+
+    with _build_query_engine(
+            args, content, as_json, tracer, journal,
+            sample=args.sample_hz if args.sample else 0.0,
+            profile=profile) as engine:
+        if profile is not None and args.engine == "seq":
+            # the sequential engine has no chunk workers to sample
+            # themselves; sample the evaluating thread from outside
+            from .obs.sampler import StackSampler
+
+            with StackSampler(profile=profile, interval=1.0 / args.sample_hz):
+                result = _execute(engine, args, content, tokens)
+        else:
+            result = _execute(engine, args, content, tokens)
 
     mode = f"gap ({engine.mode})" if args.engine == "gap" else args.engine
     wall = 0.0
@@ -735,6 +814,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(f"# matches: {result.total_matches} across {len(args.queries)} query(ies); "
           f"wall {wall * 1e3:.2f} ms")
     print(format_timeline(tracer.spans))
+    if profile is not None:
+        _print_sample_profile(args, profile)
 
     registry = None
     if args.metrics_out:
@@ -743,6 +824,41 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         )
     _obs_emit(args, tracer, registry, journal)
     return 0
+
+
+def _print_sample_profile(args: argparse.Namespace, profile) -> None:
+    """``repro profile --sample`` output: stage table, folded stacks, flame."""
+    from .bench.reporting import format_table
+
+    print(f"# stack samples: {profile.total} at {args.sample_hz:g} Hz "
+          f"({len(profile)} distinct stack(s))")
+    if profile.total:
+        total = profile.total
+        stage_rows = [
+            [stage, count, f"{count / total:.0%}"]
+            for stage, count in sorted(
+                profile.stages().items(), key=lambda kv: (-kv[1], kv[0]))
+            if count
+        ]
+        print(format_table(["stage", "samples", "share"], stage_rows,
+                           title="samples by pipeline stage"))
+        top_rows = [[label, count] for label, count in profile.top(10)]
+        print(format_table(["frame", "samples"], top_rows,
+                           title="hottest frames (leaf)"))
+        print("# collapsed stacks (flamegraph folded format)")
+        print(profile.collapsed(), end="")
+    if args.flame:
+        from .obs.report import render_flame
+
+        html = render_flame(
+            profile.to_dict(),
+            title=f"repro profile — {args.file}",
+            meta={"file": args.file, "engine": args.engine,
+                  "hz": f"{args.sample_hz:g}"},
+        )
+        with open(args.flame, "w", encoding="utf-8") as fh:
+            fh.write(html)
+        print(f"# flame view written to {args.flame}")
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -879,6 +995,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slow_threshold=args.slow_threshold,
         slow_log_size=args.slow_log_size,
         artifact_store=args.artifact_store,
+        collector=not args.no_collector,
+        collect_interval=args.collect_interval,
+        history=args.history,
+        alert_rules=tuple(args.alert_rule),
+        sample=args.sample,
+        sample_hz=args.sample_hz,
     )
     service = QueryService(config)
     grammar = _read(args.grammar) if args.grammar else None
@@ -888,27 +1010,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"({record.n_bytes} bytes, {record.kind})")
     server = serve(args.host, args.port, service)
     host, port = server.server_address[:2]
+    extras = []
+    if config.collector:
+        extras.append(f"collector {config.collect_interval:g}s")
+        if len(service.alerts):
+            extras.append(f"{len(service.alerts)} alert rule(s)")
+    if config.sample:
+        extras.append(f"sampler {config.sample_hz:g} Hz")
     print(f"# repro serve on http://{host}:{port} "
           f"(backend {config.backend}, queue {config.max_queue}, "
-          f"batch {config.max_batch}); POST /shutdown or Ctrl-C to stop",
+          f"batch {config.max_batch}"
+          + (", " + ", ".join(extras) if extras else "")
+          + "); POST /shutdown or Ctrl-C to stop",
           flush=True)
     server.run()
     print("# repro serve: shut down cleanly")
     return 0
 
 
-def _top_rates(curr: dict, prev: dict | None, dt: float) -> dict[str, float]:
-    """Per-second deltas between two /varz snapshots."""
+def _top_rates(curr: dict, prev: dict | None,
+               dt: float) -> tuple[dict[str, float], bool]:
+    """Per-second deltas between two /varz snapshots.
+
+    Returns ``(rates, reset_seen)``.  A counter that went *backwards*
+    (the service restarted between polls) would otherwise render as a
+    huge negative rate — such deltas are clamped to 0 and the sample
+    is flagged so the frame can say ``[reset]`` instead of lying.
+    ``dt <= 0`` (first poll, or a clock that did not advance) yields
+    no rates at all rather than a division by zero.
+    """
     if prev is None or dt <= 0:
-        return {}
+        return {}, False
+    reset = False
     rates: dict[str, float] = {}
+
+    def delta(value: float, before: float) -> float:
+        nonlocal reset
+        d = value - before
+        if d < 0:
+            reset = True
+            return 0.0
+        return d
+
     for status, value in curr.get("requests", {}).items():
         before = prev.get("requests", {}).get(status, 0)
-        rates[f"req {status}/s"] = (value - before) / dt
-    rates["batches/s"] = (
-        curr.get("batches_total", 0) - prev.get("batches_total", 0)
-    ) / dt
-    return rates
+        rates[f"req {status}/s"] = delta(value, before) / dt
+    rates["batches/s"] = delta(
+        curr.get("batches_total", 0), prev.get("batches_total", 0)) / dt
+    return rates, reset
 
 
 def _render_top(varz: dict, prev: dict | None, dt: float, slow_n: int) -> str:
@@ -929,9 +1078,12 @@ def _render_top(varz: dict, prev: dict | None, dt: float, slow_n: int) -> str:
         f"engines {varz.get('engines', 0)} · "
         f"batches {varz.get('batches_total', 0):.0f}"
     )
-    rates = _top_rates(varz, prev, dt)
+    rates, reset = _top_rates(varz, prev, dt)
     if rates:
-        lines.append(" · ".join(f"{k} {v:.1f}" for k, v in sorted(rates.items())))
+        line = " · ".join(f"{k} {v:.1f}" for k, v in sorted(rates.items()))
+        if reset:
+            line += " · [reset]"
+        lines.append(line)
     requests = varz.get("requests", {})
     if requests:
         lines.append(format_table(
@@ -1001,6 +1153,110 @@ def _cmd_top(args: argparse.Namespace) -> int:
             prev, prev_t = varz, now
             time.sleep(args.interval)
             varz = client.varz(n=args.slow)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        print()
+        return 0
+    except (OSError, ServiceError) as exc:
+        print(f"\nerror: lost the service at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+
+
+def _render_monitor(varz: dict, prev: dict | None, dt: float) -> str:
+    """One terminal frame of ``repro monitor`` (pure function of snapshots)."""
+    from .bench.reporting import banner, format_table
+    from .obs.report import sparkline
+
+    cfg = varz.get("config", {})
+    telemetry = varz.get("telemetry") or {}
+    collector = telemetry.get("collector", {})
+    lines = [banner("repro monitor")]
+    lines.append(
+        f"uptime {varz.get('uptime_seconds', 0):.0f}s · "
+        f"backend {cfg.get('backend', '?')} · "
+        f"collector {'on' if collector.get('enabled') else 'off'} "
+        f"(every {collector.get('interval', '?')}s · "
+        f"{collector.get('ticks', 0)} tick(s) · "
+        f"{collector.get('errors', 0)} error(s)) · "
+        f"counter resets {telemetry.get('resets', 0)}"
+    )
+    lines.append(
+        f"queue {varz.get('queue_depth', 0)}/{cfg.get('max_queue', '?')} · "
+        f"in-flight {varz.get('in_flight', 0)} · "
+        f"documents {varz.get('documents', 0)} · "
+        f"batches {varz.get('batches_total', 0):.0f}"
+    )
+    rates, reset = _top_rates(varz, prev, dt)
+    if rates:
+        line = " · ".join(f"{k} {v:.1f}" for k, v in sorted(rates.items()))
+        if reset:
+            line += " · [reset]"
+        lines.append(line)
+    alerts = varz.get("alerts")
+    if alerts:
+        firing = alerts.get("firing", [])
+        title = f"alerts (firing: {len(firing)}"
+        title += f" — {', '.join(firing)})" if firing else ")"
+        rows = [
+            [r.get("name"), r.get("state"), r.get("series"),
+             f"{r.get('op', '')}{r.get('threshold')}", r.get("value"),
+             r.get("fired_count"), r.get("resolved_count")]
+            for r in alerts.get("rules", [])
+        ]
+        lines.append(format_table(
+            ["rule", "state", "series", "condition", "value",
+             "fired", "resolved"], rows, title=title))
+    series = telemetry.get("series", {})
+    if series:
+        rows = []
+        for name in sorted(series):
+            entry = series[name]
+            values = [p[1] for p in entry.get("points", [])]
+            last = values[-1] if values else None
+            rows.append([
+                name, entry.get("kind"), len(values),
+                None if last is None else round(float(last), 3),
+                sparkline(values),
+            ])
+        lines.append(format_table(
+            ["series", "kind", "points", "last", "history"], rows,
+            title="telemetry"))
+    else:
+        lines.append("(no telemetry history yet — the collector is off or "
+                     "has not ticked; see repro serve --collect-interval)")
+    return "\n".join(lines) + "\n"
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import time
+
+    from .service.client import QueryClient, ServiceError
+
+    client = QueryClient(args.host, args.port)
+    try:
+        varz = client.varz(history=args.history)
+    except (OSError, ServiceError) as exc:
+        print(f"error: no service at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    if args.once:
+        print(_render_monitor(varz, None, 0.0), end="")
+        return 0
+    prev, prev_t = None, 0.0
+    frames = 0
+    try:
+        while True:
+            now = time.monotonic()
+            frame = _render_monitor(varz, prev, now - prev_t if prev else 0.0)
+            # clear + home keeps the view in place like top(1)
+            sys.stdout.write("\x1b[2J\x1b[H" + frame)
+            sys.stdout.flush()
+            frames += 1
+            if args.count and frames >= args.count:
+                return 0
+            prev, prev_t = varz, now
+            time.sleep(args.interval)
+            varz = client.varz(history=args.history)
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
         print()
         return 0

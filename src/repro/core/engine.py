@@ -154,6 +154,14 @@ class _EngineBase:
     a shared memo instead of re-running the token loop, with matches,
     segments and counters observationally identical to ``memo=False``
     — see :mod:`repro.xpath.subseq`.
+
+    ``sample`` turns on the stack-sampling profiler at the given rate
+    in Hz (0, the default, is off): each chunk worker samples its own
+    execution and the collapsed profiles accumulate on
+    :attr:`profile` (a :class:`~repro.obs.sampler.SampleProfile`)
+    across runs — ``repro profile --sample`` and the service's
+    process-backend profiling ride this.  The sequential engine has no
+    chunk phase and ignores the knob.
     """
 
     def __init__(
@@ -167,6 +175,8 @@ class _EngineBase:
         kernel: str = "dense",
         journal: Journal | None = None,
         memo: bool = True,
+        sample: float = 0.0,
+        profile=None,
     ) -> None:
         if not queries:
             raise EngineError("at least one query is required")
@@ -184,6 +194,14 @@ class _EngineBase:
         self.resilience = resilience
         self.faults = parse_fault_spec(faults) if isinstance(faults, str) else faults
         self.journal = journal if journal is not None else NULL_JOURNAL
+        self.sample = float(sample)
+        #: accumulated stack-sampling profile; caller-owned when passed
+        #: in (the service shares one across its warm engines)
+        self.profile = profile
+        if self.sample > 0 and self.profile is None:
+            from ..obs.sampler import SampleProfile
+
+            self.profile = SampleProfile()
 
     def close(self) -> None:
         """Release the engine's backend pool, if the engine owns one.
@@ -347,16 +365,20 @@ class PPTransducerEngine(_EngineBase):
         kernel: str = "dense",
         journal: Journal | None = None,
         memo: bool = True,
+        sample: float = 0.0,
+        profile=None,
     ) -> None:
         super().__init__(queries, backend, minimize=minimize, tracer=tracer,
                          resilience=resilience, faults=faults, kernel=kernel,
-                         journal=journal, memo=memo)
+                         journal=journal, memo=memo, sample=sample,
+                         profile=profile)
         self.n_chunks = n_chunks
         self.policy = BaselinePolicy(self.automaton)
         self._pipeline = ParallelPipeline(
             self.automaton, self.policy, self.anchor_sids, self.backend, self.tracer,
             resilience=self.resilience, faults=self.faults, kernel=self.kernel,
             journal=self.journal, memo=self.memo,
+            sample=self.sample, profile=self.profile,
         )
 
     def run(
@@ -425,10 +447,13 @@ class GapEngine(_EngineBase):
         kernel: str = "dense",
         journal: Journal | None = None,
         memo: bool = True,
+        sample: float = 0.0,
+        profile=None,
     ) -> None:
         super().__init__(queries, backend, minimize=minimize, tracer=tracer,
                          resilience=resilience, faults=faults, kernel=kernel,
-                         journal=journal, memo=memo)
+                         journal=journal, memo=memo, sample=sample,
+                         profile=profile)
         if mode not in ("auto", "nonspec", "spec"):
             raise EngineError(f"unknown mode {mode!r} (expected auto/nonspec/spec)")
         self.n_chunks = n_chunks
@@ -512,7 +537,7 @@ class GapEngine(_EngineBase):
             tracer if tracer is not None else self.tracer,
             resilience=self.resilience, faults=self.faults, kernel=self.kernel,
             journal=journal if journal is not None else self.journal,
-            memo=self.memo,
+            memo=self.memo, sample=self.sample, profile=self.profile,
         )
 
     def run(

@@ -28,7 +28,18 @@ this package gives every run a measurable shape:
   **slow-request log** behind ``/varz`` and ``/statusz``;
 * :mod:`repro.obs.logsetup` — stdlib :mod:`logging` wiring for the
   ``repro`` logger hierarchy (package ``NullHandler`` by default,
-  ``configure_logging`` for CLI ``--log-level``).
+  ``configure_logging`` for CLI ``--log-level``);
+* :mod:`repro.obs.timeseries` — the bounded **telemetry history**: a
+  collector thread snapshots metrics + scheduler on an interval into
+  monotonic-clocked series with counter→rate derivation, windowed
+  rollups and optional JSONL persistence;
+* :mod:`repro.obs.alerts` — declarative **SLO/alert rules** (threshold
+  and two-window burn-rate) with firing/resolved state machines behind
+  ``/alertz`` and the ``alert`` journal kind;
+* :mod:`repro.obs.sampler` — the continuous **stack-sampling
+  profiler** (``sys._current_frames()`` at ~50 Hz) aggregating into
+  deterministic collapsed-stack profiles and the ``/profilez`` flame
+  view.
 
 Quick start::
 
@@ -41,8 +52,18 @@ Quick start::
         print(span.name, f"{span.duration * 1e3:.2f} ms", span.args)
 """
 
+from .alerts import (
+    DEFAULT_RULES,
+    AlertManager,
+    AlertRule,
+    AlertState,
+    parse_alert_rule,
+    parse_alert_rules,
+)
 from .journal import NULL_JOURNAL, Event, Journal, NullJournal
 from .logsetup import configure_logging, get_logger
+from .sampler import SampleProfile, StackSampler
+from .timeseries import Collector, TimeSeries, TimeSeriesStore
 from .metrics import (
     Counter,
     Gauge,
@@ -63,9 +84,11 @@ from .report import (
     explain_chunk,
     format_explain,
     format_request,
+    render_flame,
     render_html,
     render_statusz,
     render_terminal,
+    sparkline,
 )
 from .reqtrace import (
     NULL_REQUEST_TRACE,
@@ -77,7 +100,12 @@ from .slowlog import SlowEntry, SlowLog
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "AlertManager",
+    "AlertRule",
+    "AlertState",
+    "Collector",
     "Counter",
+    "DEFAULT_RULES",
     "Event",
     "Gauge",
     "Histogram",
@@ -92,9 +120,13 @@ __all__ = [
     "RequestTrace",
     "RunReport",
     "STAGES",
+    "SampleProfile",
     "SlowEntry",
     "SlowLog",
     "Span",
+    "StackSampler",
+    "TimeSeries",
+    "TimeSeriesStore",
     "Tracer",
     "build_report",
     "chrome_trace",
@@ -106,9 +138,13 @@ __all__ = [
     "format_request",
     "format_timeline",
     "get_logger",
+    "parse_alert_rule",
+    "parse_alert_rules",
+    "render_flame",
     "render_html",
     "render_statusz",
     "render_terminal",
+    "sparkline",
     "table_registry",
     "write_chrome_trace",
 ]

@@ -1,0 +1,322 @@
+"""Declarative SLO/alert rules over the telemetry time-series store.
+
+A rule is a compact colon-separated spec string (same shape as the
+fault-injection specs in :mod:`repro.parallel.faults`), evaluated
+against the :class:`~repro.obs.timeseries.TimeSeriesStore` on every
+collector tick:
+
+**Threshold rules** — ``SERIES OP VALUE[:opt=...]``::
+
+    queue_fraction>0.8:for=10:resolve=30
+    request_p99_ms>250:for=5:window=60
+    requests_error>0.1:window=120          # counter → rate/s over 120 s
+
+**Burn-rate rules** — ``burn:SERIES OP VALUE:short=S:long=S`` fire only
+when the rate exceeds the threshold over *both* windows (the classic
+two-window burn alert: the short window makes it fast, the long window
+makes it ignore blips)::
+
+    burn:requests_expired>0.05:short=60:long=600
+
+Options (all seconds): ``for`` — condition must hold this long before
+firing (0 = immediately); ``resolve`` — condition must be clear this
+long before a firing alert resolves (hysteresis, default 60);
+``window`` — evaluation window (counters derive a rate/s over it,
+default 60; gauges average over it, 0 = latest point); ``name`` — a
+display name (defaults to the spec).
+
+The comparison quantity follows the series kind (see
+:meth:`~repro.obs.timeseries.TimeSeriesStore.value_over`): counters are
+compared as **rates per second**, gauges as windowed averages.
+
+Each rule runs a firing/resolved state machine (``ok`` → ``pending`` →
+``firing`` → ``ok``); transitions are what the service journals as
+``alert`` events and counts in the ``repro_alerts_firing`` gauge.  The
+whole module is clock-injectable — the state machines take explicit
+``now`` values, so hysteresis is testable with a fake clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .timeseries import TimeSeriesStore
+
+__all__ = [
+    "AlertRule",
+    "AlertState",
+    "AlertManager",
+    "parse_alert_rule",
+    "parse_alert_rules",
+    "DEFAULT_RULES",
+]
+
+#: alert states (the state machine's vocabulary)
+STATES = ("ok", "pending", "firing")
+
+#: comparison operators a rule condition may use
+_OPS = (">", "<")
+
+#: the built-in SLO pack ``repro serve --alert-rule default`` expands to
+DEFAULT_RULES = (
+    "queue_fraction>0.9:for=5:resolve=30:name=queue-saturation",
+    "request_p99_ms>1000:for=10:resolve=60:name=latency-slo",
+    "requests_error>0.5:window=60:for=5:resolve=60:name=error-rate",
+    "burn:requests_expired>0.1:short=60:long=600:name=expiry-burn",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class AlertRule:
+    """One parsed rule: the condition plus its timing envelope."""
+
+    series: str
+    op: str                      # ">" or "<"
+    threshold: float
+    kind: str = "threshold"      # "threshold" | "burn"
+    for_seconds: float = 0.0
+    resolve_seconds: float = 60.0
+    window: float = 60.0         # threshold rules
+    short: float = 60.0          # burn rules
+    long: float = 600.0          # burn rules
+    name: str = ""
+    spec: str = ""
+
+    def breached(self, value: float) -> bool:
+        return value > self.threshold if self.op == ">" else value < self.threshold
+
+    def evaluate(self, store: TimeSeriesStore, now: float) -> tuple[bool, float | None]:
+        """``(condition_true, observed_value)`` against the store."""
+        if self.kind == "burn":
+            short = store.rate(self.series, self.short, now=now)
+            long = store.rate(self.series, self.long, now=now)
+            if short is None or long is None:
+                return False, short
+            return self.breached(short) and self.breached(long), short
+        value = store.value_over(self.series, self.window, now=now)
+        if value is None:
+            return False, None
+        return self.breached(value), value
+
+    def describe(self) -> dict:
+        out = {
+            "name": self.name,
+            "spec": self.spec,
+            "series": self.series,
+            "op": self.op,
+            "threshold": self.threshold,
+            "kind": self.kind,
+            "for_seconds": self.for_seconds,
+            "resolve_seconds": self.resolve_seconds,
+        }
+        if self.kind == "burn":
+            out["short"] = self.short
+            out["long"] = self.long
+        else:
+            out["window"] = self.window
+        return out
+
+
+def _parse_condition(text: str) -> tuple[str, str, float]:
+    for op in _OPS:
+        if op in text:
+            series, _, raw = text.partition(op)
+            series = series.strip()
+            if not series:
+                raise ValueError(f"alert rule {text!r}: missing series name")
+            try:
+                return series, op, float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"alert rule {text!r}: threshold {raw!r} is not a number"
+                ) from None
+    raise ValueError(
+        f"alert rule {text!r}: expected 'series>value' or 'series<value'"
+    )
+
+
+def parse_alert_rule(spec: str) -> AlertRule:
+    """Parse one spec string into an :class:`AlertRule` (raises ValueError)."""
+    spec = spec.strip()
+    if not spec:
+        raise ValueError("empty alert rule")
+    parts = spec.split(":")
+    kind = "threshold"
+    if parts[0] == "burn":
+        kind = "burn"
+        parts = parts[1:]
+        if not parts:
+            raise ValueError(f"alert rule {spec!r}: burn rule needs a condition")
+    series, op, threshold = _parse_condition(parts[0])
+    opts: dict[str, float] = {}
+    name = ""
+    for part in parts[1:]:
+        key, sep, raw = part.partition("=")
+        key = key.strip()
+        if not sep:
+            raise ValueError(f"alert rule {spec!r}: bad option {part!r} "
+                             f"(expected key=value)")
+        if key == "name":
+            name = raw.strip()
+            continue
+        if key not in ("for", "resolve", "window", "short", "long"):
+            raise ValueError(f"alert rule {spec!r}: unknown option {key!r}")
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"alert rule {spec!r}: option {key}={raw!r} is not a number"
+            ) from None
+        if value < 0:
+            raise ValueError(f"alert rule {spec!r}: option {key} must be >= 0")
+        opts[key] = value
+    if kind == "burn" and "window" in opts:
+        raise ValueError(f"alert rule {spec!r}: burn rules take short=/long=, "
+                         f"not window=")
+    if kind == "threshold" and ("short" in opts or "long" in opts):
+        raise ValueError(f"alert rule {spec!r}: short=/long= are burn-rule "
+                         f"options (prefix with 'burn:')")
+    short = opts.get("short", 60.0)
+    long = opts.get("long", 600.0)
+    if kind == "burn" and short >= long:
+        raise ValueError(f"alert rule {spec!r}: short window ({short}) must "
+                         f"be smaller than long ({long})")
+    return AlertRule(
+        series=series, op=op, threshold=threshold, kind=kind,
+        for_seconds=opts.get("for", 0.0),
+        resolve_seconds=opts.get("resolve", 60.0),
+        window=opts.get("window", 60.0),
+        short=short, long=long,
+        name=name or spec, spec=spec,
+    )
+
+
+def parse_alert_rules(specs) -> list[AlertRule]:
+    """Parse a spec sequence, expanding the literal ``default`` pack."""
+    rules: list[AlertRule] = []
+    for spec in specs:
+        if spec.strip() == "default":
+            rules.extend(parse_alert_rule(s) for s in DEFAULT_RULES)
+        else:
+            rules.append(parse_alert_rule(spec))
+    return rules
+
+
+@dataclass(slots=True)
+class AlertState:
+    """One rule's live state machine."""
+
+    rule: AlertRule
+    state: str = "ok"
+    #: when the current state was entered (monotonic)
+    since: float = 0.0
+    #: when the condition was last observed true / false (monotonic)
+    last_true: float | None = None
+    last_false: float | None = None
+    value: float | None = None
+    fired_count: int = 0
+    resolved_count: int = 0
+
+    def step(self, condition: bool, value: float | None,
+             now: float) -> str | None:
+        """Advance one tick; returns ``"firing"``/``"resolved"`` on a
+        transition, ``None`` otherwise."""
+        self.value = value
+        if condition:
+            self.last_true = now
+        else:
+            self.last_false = now
+        if self.state == "ok":
+            if condition:
+                self.state, self.since = "pending", now
+                if self.rule.for_seconds <= 0:
+                    self.state = "firing"
+                    self.fired_count += 1
+                    return "firing"
+            return None
+        if self.state == "pending":
+            if not condition:
+                self.state, self.since = "ok", now
+                return None
+            if now - self.since >= self.rule.for_seconds:
+                self.state, self.since = "firing", now
+                self.fired_count += 1
+                return "firing"
+            return None
+        # firing: resolve only after the condition has been continuously
+        # clear for resolve_seconds (hysteresis against flapping)
+        if condition:
+            return None
+        clear_since = self.last_true
+        if clear_since is None or (self.last_false is not None
+                                   and now - clear_since >= self.rule.resolve_seconds):
+            self.state, self.since = "ok", now
+            self.resolved_count += 1
+            return "resolved"
+        return None
+
+    def to_dict(self) -> dict:
+        out = self.rule.describe()
+        out.update(
+            state=self.state,
+            since=round(self.since, 3),
+            value=self.value,
+            fired_count=self.fired_count,
+            resolved_count=self.resolved_count,
+        )
+        return out
+
+
+class AlertManager:
+    """Evaluates a rule set each tick and tracks firing state.
+
+    Stateless about time: every entry point takes an explicit ``now``
+    so the whole engine runs under a fake clock in tests.  Not
+    internally locked — the service serialises calls through its
+    collector tick (one evaluation at a time) and snapshots under its
+    observability lock.
+    """
+
+    #: transition-history ring bound (newest kept)
+    HISTORY = 64
+
+    def __init__(self, rules) -> None:
+        self.states = [AlertState(rule=r) for r in rules]
+        #: newest transitions, each ``{rule, state, value, threshold, ts}``
+        self.transitions: list[dict] = []
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def evaluate(self, store: TimeSeriesStore, now: float,
+                 wall_ts: float | None = None) -> list[dict]:
+        """One evaluation pass; returns this tick's transitions."""
+        out: list[dict] = []
+        for st in self.states:
+            condition, value = st.rule.evaluate(store, now)
+            transition = st.step(condition, value, now)
+            if transition is not None:
+                record = {
+                    "rule": st.rule.name,
+                    "series": st.rule.series,
+                    "state": transition,
+                    "value": value,
+                    "threshold": st.rule.threshold,
+                    "wall_ts": wall_ts,
+                }
+                out.append(record)
+                self.transitions.append(record)
+        if len(self.transitions) > self.HISTORY:
+            del self.transitions[: len(self.transitions) - self.HISTORY]
+        return out
+
+    def firing(self) -> list[str]:
+        return [st.rule.name for st in self.states if st.state == "firing"]
+
+    def to_dict(self) -> dict:
+        """The ``/alertz`` payload (also embedded in ``/varz``)."""
+        return {
+            "rules": [st.to_dict() for st in self.states],
+            "firing": self.firing(),
+            "transitions": list(self.transitions),
+        }

@@ -41,6 +41,9 @@ full schema):
                    ``bytes``)
 ``store_invalid``  an artifact rejected as corrupt, truncated or stale
                    (``artifact``, ``reason``)
+``alert``          an SLO alert rule transitioned (``rule``, ``state``:
+                   ``firing`` / ``resolved``; ``series``, ``value``,
+                   ``threshold``)
 =================  ========================================================
 
 Design contract (mirrors the tracer exactly):
@@ -91,6 +94,7 @@ EVENT_KINDS = (
     "memo_hit",
     "memo_miss",
     "memo_reject",
+    "alert",
 )
 
 #: default event-count bound per journal

@@ -40,6 +40,8 @@ __all__ = [
     "render_terminal",
     "render_html",
     "render_statusz",
+    "render_flame",
+    "sparkline",
 ]
 
 
@@ -657,8 +659,199 @@ def render_statusz(varz: dict) -> str:
     else:
         parts.append('<p class="meta">none over threshold</p>')
 
+    alerts = varz.get("alerts")
+    if alerts:
+        parts.append("<h2>Alerts</h2>")
+        firing = alerts.get("firing", [])
+        parts.append(
+            f'<p class="meta">firing: {_esc(len(firing))}'
+            + (f" ({_esc(', '.join(firing))})" if firing else "")
+            + "</p>"
+        )
+        rule_rows = [
+            [r.get("name"), r.get("state"), r.get("series"),
+             f"{r.get('op', '')}{_fmt_cell(r.get('threshold'))}",
+             r.get("value"), r.get("fired_count"), r.get("resolved_count")]
+            for r in alerts.get("rules", [])
+        ]
+        if rule_rows:
+            parts.append(_html_table(
+                ["rule", "state", "series", "condition", "value",
+                 "fired", "resolved"],
+                rule_rows,
+            ))
+
+    telemetry = varz.get("telemetry")
+    if telemetry and telemetry.get("series"):
+        parts.append("<h2>Telemetry</h2>")
+        parts.append(
+            f'<p class="meta">collector ticks: '
+            f"{_esc(telemetry.get('ticks', 0))} · counter resets: "
+            f"{_esc(telemetry.get('resets', 0))}</p>"
+        )
+        series = telemetry["series"]
+        tele_rows = []
+        for name in sorted(series):
+            entry = series[name]
+            values = [p[1] for p in entry.get("points", [])]
+            tele_rows.append([
+                name, entry.get("kind"), len(values),
+                values[-1] if values else None, sparkline(values),
+            ])
+        parts.append(_html_table(
+            ["series", "kind", "points", "last", "history"], tele_rows))
+
     parts.append('<p class="footer">Served at <code>/statusz</code> — '
                  "self-contained, no external assets; data from "
                  "<code>/varz</code>.</p>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# sparklines + the flame view (repro monitor / /profilez?format=flame)
+
+#: eight block glyphs, lowest to highest
+_SPARK_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[object], width: int = 30) -> str:
+    """A unicode sparkline of the last ``width`` numeric values.
+
+    Min/max scaled per call; a flat series renders the lowest bar.
+    Pure and deterministic — used by ``repro monitor`` panels and the
+    ``/statusz`` telemetry table alike.
+    """
+    nums = [float(v) for v in values if isinstance(v, (int, float))]
+    if not nums:
+        return ""
+    nums = nums[-max(1, width):]
+    lo, hi = min(nums), max(nums)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_BARS[0] * len(nums)
+    top = len(_SPARK_BARS) - 1
+    return "".join(
+        _SPARK_BARS[min(top, int((v - lo) / span * len(_SPARK_BARS)))]
+        for v in nums
+    )
+
+
+_FLAME_CSS = """\
+.viz-root .flame { position: relative; font-size: 11px; }
+.viz-root .flame-box {
+  position: absolute;
+  height: 16px;
+  line-height: 16px;
+  overflow: hidden;
+  white-space: nowrap;
+  box-sizing: border-box;
+  border-right: 1px solid var(--surface-1);
+  border-bottom: 1px solid var(--surface-1);
+  padding: 0 3px;
+  color: #0b0b0b;
+  background: var(--gridline);
+}
+.viz-root .flame-lex { background: #7fb9e8; }
+.viz-root .flame-kernel { background: #e8a87f; }
+.viz-root .flame-transduce { background: #9fd49a; }
+.viz-root .flame-compile { background: #d4c27a; }
+.viz-root .flame-service { background: #c9a6dd; }
+.viz-root .flame-store { background: #8fd0c9; }
+.viz-root .flame-other { background: #cfcec6; }
+"""
+
+
+def _flame_tree(counts: dict[str, int]) -> dict:
+    """Fold collapsed-stack counts into a root-down weighted tree."""
+    root: dict = {"label": "all", "count": 0, "children": {}}
+    for key in sorted(counts):
+        n = counts[key]
+        root["count"] += n
+        node = root
+        for label in key.split(";"):
+            child = node["children"].get(label)
+            if child is None:
+                child = {"label": label, "count": 0, "children": {}}
+                node["children"][label] = child
+            child["count"] += n
+            node = child
+    return root
+
+
+def _flame_boxes(node: dict, left: float, width: float, depth: int,
+                 total: int, out: list[str], max_depth: list[int]) -> None:
+    from .sampler import stage_of_label  # lazy: sampler imports nothing back
+
+    max_depth[0] = max(max_depth[0], depth)
+    stage = stage_of_label(node["label"]) if depth > 0 else None
+    cls = f"flame-box flame-{stage}" if stage else "flame-box"
+    share = 100.0 * node["count"] / total
+    out.append(
+        f'<div class="{cls}" '
+        f'style="left:{left:.4f}%;top:{depth * 16}px;width:{width:.4f}%" '
+        f'title="{_esc(node["label"])} — {node["count"]} samples '
+        f'({share:.1f}%)">{_esc(node["label"])}</div>'
+    )
+    child_left = left
+    for label in sorted(node["children"]):
+        child = node["children"][label]
+        child_width = width * child["count"] / node["count"]
+        _flame_boxes(child, child_left, child_width, depth + 1, total,
+                     out, max_depth)
+        child_left += child_width
+
+
+def render_flame(counts: dict[str, int], title: str = "repro flame view",
+                 meta: dict[str, object] | None = None) -> str:
+    """A collapsed-stack profile as one self-contained HTML flamegraph.
+
+    Same contract as :func:`render_html`: pure function of its input
+    (``"frame;frame" -> samples``, a
+    :meth:`~repro.obs.sampler.SampleProfile.to_dict`), inline CSS only,
+    no scripts, no external assets, byte-identical for identical input
+    (children are laid out in sorted label order).  Boxes are colored
+    by pipeline stage.
+    """
+    from .sampler import STAGES, SampleProfile
+
+    profile = SampleProfile()
+    if counts:
+        profile.merge(counts)
+    parts: list[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>\n{_CSS}{_FLAME_CSS}</style>",
+        '</head><body class="viz-root">',
+        f"<h1>{_esc(title)}</h1>",
+    ]
+    meta_bits = [f"samples: {profile.total}", f"stacks: {len(profile)}"]
+    for key, value in (meta or {}).items():
+        meta_bits.append(f"{_esc(key)}: {_esc(value)}")
+    parts.append(f'<p class="meta">{" · ".join(meta_bits)}</p>')
+    if profile.total:
+        stages = profile.stages()
+        parts.append("<h2>By pipeline stage</h2>")
+        parts.append(_html_table(
+            ["stage", "samples", "share"],
+            [[stage, stages[stage], stages[stage] / profile.total]
+             for stage in STAGES if stages[stage]],
+        ))
+        parts.append("<h2>Hottest frames</h2>")
+        parts.append(_html_table(
+            ["frame", "samples"], [list(kv) for kv in profile.top(10)]))
+        parts.append("<h2>Flame</h2>")
+        boxes: list[str] = []
+        max_depth = [0]
+        _flame_boxes(_flame_tree(profile.to_dict()), 0.0, 100.0, 0,
+                     profile.total, boxes, max_depth)
+        height = (max_depth[0] + 1) * 16
+        parts.append(f'<div class="flame" style="height:{height}px">'
+                     + "".join(boxes) + "</div>")
+    else:
+        parts.append('<p class="meta">no samples captured</p>')
+    parts.append('<p class="footer">Collapsed-stack sampling profile — '
+                 "self-contained, no external assets.</p>")
     parts.append("</body></html>")
     return "\n".join(parts) + "\n"

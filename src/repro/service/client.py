@@ -88,21 +88,46 @@ class QueryClient:
         """
         return self._request("GET", self._with_params("/journal", n, since))
 
-    def varz(self, n: int | None = None, since: int | None = None) -> dict:
-        """The operator snapshot (``n``/``since`` bound the slow log)."""
-        return self._request("GET", self._with_params("/varz", n, since))
+    def varz(self, n: int | None = None, since: int | None = None,
+             history: int | None = None) -> dict:
+        """The operator snapshot (``n``/``since`` bound the slow log;
+        ``history`` includes that many telemetry points per series)."""
+        return self._request(
+            "GET", self._with_params("/varz", n, since, history=history))
 
     def statusz(self) -> str:
         """The self-contained HTML dashboard."""
         return self._request("GET", "/statusz")
 
+    def alertz(self) -> dict:
+        """Alert rule states, the firing set and recent transitions."""
+        return self._request("GET", "/alertz")
+
+    def profilez(self, seconds: int | None = None,
+                 fmt: str | None = None) -> str:
+        """A collapsed-stack profile (``fmt="flame"`` → HTML flame view).
+
+        ``seconds`` runs an on-demand capture for that long; ``None``
+        asks for the daemon's continuous ``--sample`` profile.
+        """
+        params = []
+        if seconds is not None:
+            params.append(f"seconds={seconds}")
+        if fmt is not None:
+            params.append(f"format={fmt}")
+        path = "/profilez" + ("?" + "&".join(params) if params else "")
+        return self._request("GET", path)
+
     @staticmethod
-    def _with_params(path: str, n: int | None, since: int | None) -> str:
+    def _with_params(path: str, n: int | None, since: int | None,
+                     history: int | None = None) -> str:
         params = []
         if n is not None:
             params.append(f"n={n}")
         if since is not None:
             params.append(f"since={since}")
+        if history is not None:
+            params.append(f"history={history}")
         return path + ("?" + "&".join(params) if params else "")
 
     def documents(self) -> list[dict]:

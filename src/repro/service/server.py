@@ -14,9 +14,19 @@ service's bounded queue, not the socket layer):
 ``GET  /varz``        one JSON snapshot of the operator surface
                       (gauges, counters, latency percentiles, slow
                       log; ``?n=``/``?since=`` bound the slow-log
-                      entries) — what ``repro top`` polls
+                      entries, ``?history=`` includes that many
+                      telemetry points per series) — what ``repro
+                      top`` and ``repro monitor`` poll
 ``GET  /statusz``     the same snapshot as a self-contained HTML
                       dashboard (no scripts, no external assets)
+``GET  /alertz``      SLO/alert rule states, firing set and recent
+                      transitions (JSON)
+``GET  /profilez``    collapsed-stack profile; ``?seconds=N`` runs an
+                      on-demand capture (clamped to 30 s), no
+                      ``seconds`` returns the continuous ``--sample``
+                      profile (400 when sampling is off);
+                      ``?format=flame`` renders the self-contained
+                      HTML flame view instead of collapsed text
 ``GET  /documents``   registered documents and their preparation summary
 ``POST /documents``   ingest: ``{"content": ..., "name"?, "grammar"?,
                       "n_chunks"?}`` (or ``{"path": ...}`` to read a
@@ -127,6 +137,9 @@ class _Handler(BaseHTTPRequestHandler):
                               strict_parsing=bool(parts.query))
             n = self._int_param(params, "n")
             since = self._int_param(params, "since")
+            history = self._int_param(params, "history")
+            seconds = self._int_param(params, "seconds")
+            fmt = self._str_param(params, "format", ("collapsed", "flame"))
         except ValueError as exc:
             self._error(400, f"bad query string: {exc}")
             return
@@ -140,14 +153,57 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(200, self.service.journal_jsonl(n=n, since=since),
                        content_type="application/jsonl")
         elif route == "/varz":
-            self._send(200, self.service.varz(slow_n=n, slow_since=since))
+            self._send(200, self.service.varz(slow_n=n, slow_since=since,
+                                              history=history or 0))
         elif route == "/statusz":
             self._send(200, self.service.statusz_html(),
                        content_type="text/html; charset=utf-8")
+        elif route == "/alertz":
+            self._send(200, self.service.alerts.to_dict())
+        elif route == "/profilez":
+            self._get_profilez(seconds, fmt)
         elif route == "/documents":
             self._send(200, {"documents": self.service.registry.list()})
         else:
             self._error(404, f"no route {self.path}")
+
+    @staticmethod
+    def _str_param(params: dict, key: str,
+                   allowed: tuple[str, ...]) -> str | None:
+        """Parse one optional enumerated string query parameter."""
+        values = params.get(key)
+        if values is None:
+            return None
+        if len(values) != 1:
+            raise ValueError(f"'{key}' given more than once")
+        raw = values[0]
+        if raw not in allowed:
+            raise ValueError(f"'{key}' must be one of {allowed}, got {raw!r}")
+        return raw
+
+    def _get_profilez(self, seconds: int | None, fmt: str | None) -> None:
+        try:
+            counts = self.service.profile_capture(seconds)
+        except ValueError as exc:
+            self._error(400, str(exc))
+            return
+        if fmt == "flame":
+            from ..obs.report import render_flame
+
+            meta = {"source": "continuous" if seconds is None else "capture"}
+            if seconds is not None:
+                meta["seconds"] = seconds
+            self._send(200, render_flame(counts, title="repro service profile",
+                                         meta=meta),
+                       content_type="text/html; charset=utf-8")
+            return
+        from ..obs.sampler import SampleProfile
+
+        profile = SampleProfile()
+        if counts:
+            profile.merge(counts)
+        self._send(200, profile.collapsed(),
+                   content_type="text/plain; charset=utf-8")
 
     def do_POST(self) -> None:  # noqa: N802
         try:

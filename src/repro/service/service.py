@@ -39,6 +39,7 @@ ladder the CLI flags engage.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -46,10 +47,13 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..core.engine import GapEngine
+from ..obs.alerts import AlertManager, parse_alert_rules
 from ..obs.journal import Journal
 from ..obs.metrics import MetricsRegistry
 from ..obs.reqtrace import STAGES
+from ..obs.sampler import SampleProfile, StackSampler
 from ..obs.slowlog import SlowEntry, SlowLog
+from ..obs.timeseries import Collector, TimeSeriesStore
 from ..obs.tracer import Tracer
 from ..parallel.backend import get_backend
 from ..parallel.resilience import RetryPolicy
@@ -118,6 +122,22 @@ class ServiceConfig:
     #: compiled tables write through, document splits/token caches are
     #: cache-aside, so a restarted service warm-starts from disk
     artifact_store: str | None = None
+    #: telemetry collector: background thread snapshotting metrics +
+    #: scheduler into the time-series store every ``collect_interval``
+    #: seconds; ``collector=False`` disables the thread (the store and
+    #: alert engine stay constructed, drivable by hand in tests)
+    collector: bool = True
+    collect_interval: float = 2.0
+    #: points kept per telemetry series (history window = this × interval)
+    history: int = 600
+    #: SLO/alert rule spec strings (see :mod:`repro.obs.alerts`; the
+    #: literal ``"default"`` expands the built-in pack)
+    alert_rules: tuple[str, ...] = ()
+    #: continuous stack-sampling profiler (``/profilez``): an in-process
+    #: sampler thread at ``sample_hz``; with the process backend the
+    #: engines additionally sample their pool workers per chunk
+    sample: bool = False
+    sample_hz: float = 50.0
 
     def resilience(self) -> RetryPolicy | None:
         if self.chunk_timeout is None and self.max_retries is None:
@@ -197,13 +217,54 @@ class QueryService:
             )
             for stage in STAGES
         }
+        # continuous-observability plane: telemetry history + alerts +
+        # the sampling profiler.  History persists under the artifact
+        # store root (best-effort) so it survives restarts.
+        persist = None
+        if self.config.artifact_store is not None:
+            persist = os.path.join(self.config.artifact_store,
+                                   "telemetry", "history.jsonl")
+        self.telemetry = TimeSeriesStore(
+            capacity=self.config.history, persist_path=persist,
+        )
+        self.alerts = AlertManager(parse_alert_rules(self.config.alert_rules))
+        self._g_alerts_firing = self.metrics.gauge(
+            "repro_alerts_firing", "Alert rules currently in the firing state"
+        )
+        self._collector: Collector | None = None
+        if self.config.collector:
+            self._collector = Collector(
+                self._collect_samples, self.telemetry,
+                interval=self.config.collect_interval,
+                listeners=(self._alert_listener,),
+            )
+        # one shared profile: the continuous in-process sampler and (on
+        # the process backend, whose pool workers an in-process sampler
+        # cannot see) every warm engine's per-chunk samplers feed it
+        self.profile: SampleProfile | None = None
+        self._sampler: StackSampler | None = None
+        self._engine_sample = 0.0
+        if self.config.sample:
+            self.profile = SampleProfile()
+            self._sampler = StackSampler(profile=self.profile,
+                                         interval=1.0 / self.config.sample_hz)
+            if self.config.backend == "process":
+                self._engine_sample = self.config.sample_hz
         self._closed = False
-        self.started_at = time.time()
+        # monotonic anchor for uptime (NTP-step safe); the wall-clock
+        # start instant is kept separately for display
+        self._started_mono = _clock()
+        self.started_at_unix = time.time()
+        self.started_at = self.started_at_unix
 
     # -- lifecycle -----------------------------------------------------
 
     def start(self) -> "QueryService":
         self._scheduler.start()
+        if self._collector is not None:
+            self._collector.start()
+        if self._sampler is not None:
+            self._sampler.start()
         return self
 
     def close(self) -> None:
@@ -211,6 +272,10 @@ class QueryService:
         if self._closed:
             return
         self._closed = True
+        if self._collector is not None:
+            self._collector.stop()
+        if self._sampler is not None:
+            self._sampler.stop()
         self._scheduler.close()
         with self._engine_lock:
             self._engines.clear()
@@ -476,6 +541,8 @@ class QueryService:
             kernel=self.config.kernel,
             memo=self.config.memo,
             resilience=self._resilience,
+            sample=self._engine_sample,
+            profile=self.profile if self._engine_sample > 0 else None,
         )
         with self._engine_lock:
             engine = self._engines.get(key)
@@ -490,6 +557,80 @@ class QueryService:
         return built
 
     # -- observability -------------------------------------------------
+
+    def _collect_samples(self) -> tuple[dict[str, float], dict[str, str]]:
+        """The collector's source: one ``(values, kinds)`` snapshot.
+
+        Counters keep their cumulative values (the store derives rates
+        with reset detection); gauges are instantaneous levels.  The
+        scheduler pair comes from ONE snapshot call — same consistency
+        argument as :meth:`metrics_text`.
+        """
+        sched = self._scheduler.snapshot()
+        values: dict[str, float] = {
+            "queue_depth": sched["queue_depth"],
+            "in_flight": sched["in_flight"],
+            "queue_fraction": sched["queue_depth"] / max(1, self.config.max_queue),
+            "documents": len(self.registry),
+        }
+        kinds: dict[str, str] = {}
+        with self._engine_lock:
+            values["engines"] = len(self._engines)
+        with self._obs_lock:
+            for metric in self.metrics:
+                if metric.name == "repro_service_requests_total":
+                    name = f"requests_{metric.labels.get('status', '')}"
+                    values[name] = metric.value
+                    kinds[name] = "counter"
+                elif metric.name == "repro_service_batches_total":
+                    values["batches_total"] = metric.value
+                    kinds["batches_total"] = "counter"
+            summary = self._h_request_seconds.summary(_QUANTILES)
+            values["request_count"] = summary["count"]
+            kinds["request_count"] = "counter"
+            for level in ("p50", "p95", "p99"):
+                p = summary.get(level)
+                if p is not None:
+                    values[f"request_{level}_ms"] = p * 1e3
+        return values, kinds
+
+    def _alert_listener(self, store, now: float, wall_ts: float) -> None:
+        """Post-tick hook: evaluate rules, journal transitions, set gauge."""
+        transitions = self.alerts.evaluate(store, now, wall_ts=wall_ts)
+        firing = len(self.alerts.firing())
+        with self._obs_lock:
+            self._g_alerts_firing.set(firing)
+            if self.journal.enabled:
+                for tr in transitions:
+                    self.journal.record(
+                        "alert", rule=tr["rule"], state=tr["state"],
+                        series=tr["series"], value=tr["value"],
+                        threshold=tr["threshold"],
+                    )
+
+    def profile_capture(self, seconds: float | None = None) -> dict[str, int]:
+        """A collapsed-stack profile for ``/profilez``.
+
+        ``seconds`` runs a fresh on-demand capture for that long
+        (clamped to 30 s; one immediate sample is always taken, so
+        ``seconds=0`` still returns the current stacks).  ``None``
+        returns the continuous profile and requires ``--sample``.
+        """
+        if seconds is None:
+            if self.profile is None:
+                raise ValueError(
+                    "continuous profiling is off (start with --sample) — "
+                    "pass seconds=N for an on-demand capture"
+                )
+            return self.profile.to_dict()
+        seconds = min(max(float(seconds), 0.0), 30.0)
+        sampler = StackSampler(interval=1.0 / self.config.sample_hz)
+        sampler.sample_once()
+        if seconds > 0:
+            sampler.start()
+            time.sleep(seconds)
+            sampler.stop()
+        return sampler.profile.to_dict()
 
     def _count_request(self, status: str, amount: int = 1) -> None:
         self.metrics.counter(
@@ -535,7 +676,7 @@ class QueryService:
             ).set(n_engines)
             self.metrics.gauge(
                 "repro_service_uptime_seconds", "Seconds since service start"
-            ).set(time.time() - self.started_at)
+            ).set(_clock() - self._started_mono)
             self.metrics.gauge(
                 "repro_service_compile_cache_hits",
                 "Dense-table compile cache hits (process-wide)",
@@ -582,12 +723,16 @@ class QueryService:
         ]
         return "\n".join(lines) + ("\n" if lines else "")
 
-    def varz(self, slow_n: int | None = None, slow_since: int | None = None) -> dict:
+    def varz(self, slow_n: int | None = None, slow_since: int | None = None,
+             history: int = 0) -> dict:
         """One JSON snapshot of the whole operator surface (``/varz``).
 
         Everything ``/statusz`` renders comes from this dict, so the
         two surfaces can never disagree; ``repro top`` polls it and
-        derives rates from successive snapshots.
+        derives rates from successive snapshots.  ``history`` bounds
+        the points per telemetry series in the ``telemetry`` section
+        (0 keeps only its tick/reset meta — ``repro monitor`` asks for
+        ranges via ``/varz?history=N``).
         """
         sched = self._scheduler.snapshot()
         with self._engine_lock:
@@ -618,8 +763,20 @@ class QueryService:
             batch_size = self._h_batch_size.summary(_QUANTILES)
             journal_len = len(self.journal)
             journal_dropped = self.journal.dropped
+        if history > 0:
+            telemetry = self.telemetry.to_dict(max_points=history)
+        else:
+            telemetry = {"ticks": self.telemetry.ticks,
+                         "resets": self.telemetry.resets, "series": {}}
+        telemetry["collector"] = {
+            "enabled": self._collector is not None,
+            "interval": self.config.collect_interval,
+            "ticks": self._collector.ticks if self._collector else 0,
+            "errors": self._collector.errors if self._collector else 0,
+        }
         return {
-            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "uptime_seconds": round(_clock() - self._started_mono, 3),
+            "started_at_unix": round(self.started_at_unix, 3),
             "queue_depth": sched["queue_depth"],
             "in_flight": sched["in_flight"],
             "documents": len(self.registry),
@@ -639,6 +796,8 @@ class QueryService:
                 "entries": self.slow_log.to_dicts(n=slow_n, since=slow_since),
             },
             "journal": {"events": journal_len, "dropped": journal_dropped},
+            "alerts": self.alerts.to_dict() if len(self.alerts) else None,
+            "telemetry": telemetry,
             "config": {
                 "backend": self.config.backend,
                 "max_queue": self.config.max_queue,
@@ -653,4 +812,4 @@ class QueryService:
         """The ``/statusz`` operator dashboard (rendered from :meth:`varz`)."""
         from ..obs.report import render_statusz
 
-        return render_statusz(self.varz())
+        return render_statusz(self.varz(history=30))

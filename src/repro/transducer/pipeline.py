@@ -99,6 +99,10 @@ class _Ctx:
     #: cache (the document registry lexes once per document); ``None``
     #: keeps the lex-in-worker path
     pretokens: tuple | None = None
+    #: stack-sampling rate in Hz (0 = off): each worker samples its own
+    #: thread while it executes the chunk and ships the collapsed-stack
+    #: profile back in ``ChunkResult.samples`` (same transport as spans)
+    sample: float = 0.0
 
 
 def _skip_leading_end(tokens, begin: int):
@@ -127,7 +131,31 @@ def _make_runner(automaton, policy, anchor_sids, tables, memo=False):
 
 
 def _run_one_chunk(ctx: _Ctx, chunk: Chunk, attempt: int = 0) -> ChunkResult:
-    """Worker body: lex and execute one chunk (module-level: picklable)."""
+    """Worker body: lex and execute one chunk (module-level: picklable).
+
+    With ``ctx.sample`` set, a per-chunk stack sampler watches *this*
+    worker thread for the duration and the collapsed profile rides back
+    in ``ChunkResult.samples`` — the only profiler transport that
+    crosses a process-pool boundary.
+    """
+    if ctx.sample > 0:
+        import threading
+
+        from ..obs.sampler import StackSampler
+
+        sampler = StackSampler(interval=1.0 / ctx.sample,
+                               only_ident=threading.get_ident())
+        sampler.start()
+        try:
+            result = _run_one_chunk_body(ctx, chunk, attempt)
+        finally:
+            sampler.stop()
+        result.samples = sampler.profile.to_dict()
+        return result
+    return _run_one_chunk_body(ctx, chunk, attempt)
+
+
+def _run_one_chunk_body(ctx: _Ctx, chunk: Chunk, attempt: int = 0) -> ChunkResult:
     corrupt = apply_faults(ctx.faults, chunk.index, attempt)
     runner = _make_runner(ctx.automaton, ctx.policy, ctx.anchor_sids, ctx.tables,
                           memo=ctx.memo)
@@ -248,9 +276,13 @@ class ParallelPipeline:
         kernel: str = "dense",
         journal: Journal | None = None,
         memo: bool = True,
+        sample: float = 0.0,
+        profile=None,
     ) -> None:
         if kernel not in KERNELS:
             raise ValueError(f"unknown kernel {kernel!r} (choose from {KERNELS})")
+        if sample < 0:
+            raise ValueError(f"sample rate must be >= 0 Hz, got {sample}")
         self.automaton = automaton
         self.policy = policy
         self.anchor_sids = anchor_sids
@@ -260,6 +292,15 @@ class ParallelPipeline:
         self.faults = parse_fault_spec(faults) if isinstance(faults, str) else faults
         self.kernel = kernel
         self.journal = journal if journal is not None else NULL_JOURNAL
+        # stack-sampling rate (Hz); the accumulated profile may be
+        # caller-owned (engines construct a GAP pipeline per run and
+        # share one profile across them) — repeated runs aggregate
+        self.sample = float(sample)
+        self.profile = profile
+        if self.sample > 0 and self.profile is None:
+            from ..obs.sampler import SampleProfile
+
+            self.profile = SampleProfile()
         self._tables = None
         if kernel == "dense":
             # compile once per pipeline through the structural cache; a
@@ -321,18 +362,33 @@ class ParallelPipeline:
         journal = self.journal
         runner = _make_runner(self.automaton, self.policy, self.anchor_sids,
                               self._tables, memo=self.memo)
+        sampler = None
+        if self.sample > 0:
+            # token-mode execution is serial in this thread, so one
+            # sampler over the whole chunk loop covers it
+            import threading
+
+            from ..obs.sampler import StackSampler
+
+            sampler = StackSampler(profile=self.profile,
+                                   interval=1.0 / self.sample,
+                                   only_ident=threading.get_ident()).start()
         results: list[ChunkResult] = []
-        for ci, (i0, i1) in enumerate(zip(edges, edges[1:])):
-            begin = offsets[i0]
-            end = offsets[i1] if i1 < len(tokens) else end_sentinel
-            start = frozenset((self.automaton.initial,)) if ci == 0 else None
-            with tracer.span(f"chunk[{ci}]", cat="chunk") as sp:
-                r = runner.run_chunk(
-                    tokens[i0:i1], ci, begin, end, start_states=start, journal=journal
-                )
-                if tracer.enabled:
-                    _snapshot_chunk_counters(sp, r.counters, kernel=self.kernel)
-            results.append(r)
+        try:
+            for ci, (i0, i1) in enumerate(zip(edges, edges[1:])):
+                begin = offsets[i0]
+                end = offsets[i1] if i1 < len(tokens) else end_sentinel
+                start = frozenset((self.automaton.initial,)) if ci == 0 else None
+                with tracer.span(f"chunk[{ci}]", cat="chunk") as sp:
+                    r = runner.run_chunk(
+                        tokens[i0:i1], ci, begin, end, start_states=start, journal=journal
+                    )
+                    if tracer.enabled:
+                        _snapshot_chunk_counters(sp, r.counters, kernel=self.kernel)
+                results.append(r)
+        finally:
+            if sampler is not None:
+                sampler.stop()
 
         totals = WorkCounters()
         per_chunk: list[WorkCounters] = []
@@ -407,7 +463,8 @@ class ParallelPipeline:
         ctx = _Ctx(text, self.automaton, self.policy, self.anchor_sids,
                    trace=tracer.enabled, journal=journal.enabled,
                    faults=self.faults, tables=self._tables,
-                   pretokens=chunk_tokens, memo=self.memo)
+                   pretokens=chunk_tokens, memo=self.memo,
+                   sample=self.sample)
         report: ResilienceReport | None = None
         with tracer.span("parallel", cat="phase"):
             if self.resilience is not None:
@@ -434,6 +491,8 @@ class ParallelPipeline:
                 tracer.extend(r.spans)
             if r.journal:
                 journal.adopt(r.journal)
+            if r.samples and self.profile is not None:
+                self.profile.merge(r.samples)
         if report is not None:
             totals.retries += report.retries
             totals.timeouts += report.timeouts

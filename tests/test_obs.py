@@ -420,13 +420,13 @@ class TestJournal:
         assert line["tag"] == "b" and line["args"]["killed"] == 2
 
     def test_event_kinds_pinned(self):
-        assert len(EVENT_KINDS) == 19
+        assert len(EVENT_KINDS) == 20
         assert {"path_spawn", "path_killed", "converge", "switch",
                 "misspeculation", "reprocess", "retry", "timeout",
                 "invalid", "fallback", "cache_hit", "cache_miss",
                 "store_hit", "store_miss", "store_write",
                 "store_invalid", "memo_hit", "memo_miss",
-                "memo_reject"} == set(EVENT_KINDS)
+                "memo_reject", "alert"} == set(EVENT_KINDS)
 
     def test_event_pickles(self):
         ev = Event("path_spawn", chunk=1, offset=5, tag="a", seq=3,
