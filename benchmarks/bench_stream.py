@@ -1,0 +1,59 @@
+"""Streaming-ingest throughput artifact: stream vs batch on one doc.
+
+Not a paper figure — the engineering artifact behind the
+``BENCH_10.json`` CI regression gate.  Reuses the exact methodology of
+:mod:`repro.bench.stream_bench` (piecewise feed, sealed-partition
+batch replay, warmed sides, interleaved repeats, min-of-R,
+full-pipeline correctness cross-check) so the emitted table and the
+gated baseline are directly comparable, and emits one row per workload
+via :func:`conftest.emit` for the perf trajectory.
+
+Run with ``pytest benchmarks/bench_stream.py -s`` (no pytest-benchmark
+needed; the measurement loop is self-timing).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.stream_bench import measure_stream_ingest
+
+from benchmarks.conftest import emit
+
+
+@pytest.fixture(scope="module")
+def record():
+    return measure_stream_ingest()
+
+
+@pytest.mark.bench
+def test_stream_ingest(record):
+    headers = ["dataset", "bytes", "stream MB/s", "batch MB/s",
+               "efficiency", "chunks", "deltas"]
+    rows = [
+        [
+            d["dataset"],
+            d["bytes"],
+            round(d["stream_mb_per_s"], 2),
+            round(d["batch_mb_per_s"], 2),
+            round(d["stream_efficiency"], 2),
+            d["chunks"],
+            d["deltas"],
+        ]
+        for d in record["datasets"]
+    ]
+    rows.append(["combined", "", "", "",
+                 round(record["stream_efficiency"], 2), "", ""])
+    width = [12, 8, 13, 13, 12, 8, 8]
+    lines = ["".join(str(h).ljust(w) for h, w in zip(headers, width))]
+    lines += ["".join(str(c).ljust(w) for c, w in zip(row, width))
+              for row in rows]
+    emit("stream_ingest", "\n".join(lines), headers=headers, rows=rows)
+
+    # streaming must deliver every chunk's deltas and stay within
+    # striking distance of batch; the 0.5x floor is gated via
+    # BENCH_10.json
+    for d in record["datasets"]:
+        assert d["deltas"] > 0 and d["chunks"] > 0
+        assert d["stream_efficiency"] > 0.4
+    assert record["stream_efficiency"] > 0.4

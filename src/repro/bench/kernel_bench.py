@@ -191,6 +191,10 @@ def _gate_one(record_by_kind: dict, baseline: dict, path: str,
         from .memo_bench import memo_gate_failures
 
         return memo_gate_failures(current, baseline, threshold)
+    if kind == "stream_ingest":
+        from .stream_bench import stream_gate_failures
+
+        return stream_gate_failures(current, baseline, threshold)
     return gate_failures(current, baseline, threshold)
 
 
@@ -369,6 +373,14 @@ def run_bench(
 
                 measured[kind] = measure_memo_speedup(repeats=repeats)
                 print(format_memo_report(measured[kind]))
+            if kind == "stream_ingest" and kind not in measured:
+                from .stream_bench import (
+                    format_stream_report,
+                    measure_stream_ingest,
+                )
+
+                measured[kind] = measure_stream_ingest(repeats=repeats)
+                print(format_stream_report(measured[kind]))
             failures = _gate_one(measured, baseline, path, threshold)
             if failures:
                 for failure in failures:
@@ -376,10 +388,15 @@ def run_bench(
                 failed = True
             else:
                 current = measured[kind]
-                headline = ("dense/object "
-                            f"{current['dense_over_object']:.2f}x"
-                            if kind == "kernel_throughput" else
-                            f"memo/plain {current['memo_over_plain']:.2f}x")
+                if kind == "kernel_throughput":
+                    headline = (
+                        f"dense/object {current['dense_over_object']:.2f}x")
+                elif kind == "memo_speedup":
+                    headline = (
+                        f"memo/plain {current['memo_over_plain']:.2f}x")
+                else:
+                    headline = (f"stream efficiency "
+                                f"{current['stream_efficiency']:.2f}x")
                 print(f"gate OK [{path}]: {headline} "
                       f"(threshold {threshold:.0%})")
         if failed:

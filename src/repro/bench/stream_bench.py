@@ -1,0 +1,202 @@
+"""Streaming-ingest benchmark + regression gate (``BENCH_10.json``).
+
+Measures :class:`repro.stream.StreamSession` end-to-end ingest (feed in
+fixed-size pieces, incremental lexing, chunk sealing, continuous
+evaluation, delta production) against the one-shot batch engine run on
+the same document — replaying the stream's exact sealed partition so
+the two sides do identical transduction work — and gates CI on the
+combined batch/stream time ratio: the *stream efficiency*, how much of
+batch throughput the streaming path retains.
+
+Methodology mirrors :mod:`repro.bench.memo_bench`: a full correctness
+cross-check (matches AND counters, stream vs batch) runs before
+anything is timed; both sides are warmed once; repeats are interleaved
+so clock drift hits both; the best wall-clock time per side is kept.
+The timed stream session runs with ``track_matches=False`` — the
+production posture, where matches leave through deltas and are never
+accumulated.
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+
+from ..core.engine import GapEngine
+from ..datasets import dataset_by_name, generate_query_set
+from ..stream import StreamSession
+from ..xmlstream.chunking import Chunk
+from .kernel_bench import DEFAULT_THRESHOLD
+
+__all__ = [
+    "DEFAULT_WORKLOADS",
+    "measure_stream_ingest",
+    "stream_gate_failures",
+    "format_stream_report",
+]
+
+#: (dataset, scale) pairs the gate runs — Dblp is the paper's irregular
+#: workload (deep, text-heavy), Lineitem the repetitive one; together
+#: they bracket the sealing/flush behaviour of real feeds
+DEFAULT_WORKLOADS = (("dblp", 4.0), ("lineitem", 8.0))
+
+
+def _measure_one(
+    dataset: str, scale: float, chunk_bytes: int, piece_bytes: int,
+    n_queries: int, repeats: int, seed: int,
+) -> dict:
+    ds = dataset_by_name(dataset)
+    text = ds.generate(scale=scale, seed=seed)
+    queries = generate_query_set(ds, n_queries)
+    pieces = [text[i:i + piece_bytes]
+              for i in range(0, len(text), piece_bytes)]
+
+    # correctness cross-check before timing: the stream must reproduce
+    # the batch run byte-for-byte on its own sealed partition
+    checked = StreamSession(queries, grammar=ds.grammar,
+                            chunk_bytes=chunk_bytes)
+    checked.sealed_log = []
+    deltas = []
+    for piece in pieces:
+        deltas.extend(checked.feed(piece))
+    deltas.extend(checked.finalize())
+    chunks = [Chunk(i, begin, end)
+              for i, (begin, end, _) in enumerate(checked.sealed_log)]
+    engine = GapEngine(queries, grammar=ds.grammar)
+    batch = engine.run(text, chunks=chunks)
+    streamed: dict[str, list[int]] = {}
+    for delta in deltas:
+        for q, offs in delta.matches.items():
+            streamed.setdefault(q, []).extend(offs)
+    expected = {q: list(v) for q, v in batch.matches.items() if v}
+    if streamed != expected:
+        raise RuntimeError(f"stream mismatch on {dataset}: matches diverged")
+    if checked.totals.as_dict() != batch.stats.counters.as_dict():
+        raise RuntimeError(f"stream mismatch on {dataset}: counters diverged")
+
+    def run_stream() -> float:
+        session = StreamSession(queries, grammar=ds.grammar,
+                                chunk_bytes=chunk_bytes,
+                                track_matches=False)
+        t0 = perf_counter()
+        for piece in pieces:
+            session.feed(piece)
+        session.finalize()
+        return perf_counter() - t0
+
+    def run_batch() -> float:
+        t0 = perf_counter()
+        engine.run(text, chunks=chunks)
+        return perf_counter() - t0
+
+    run_stream()  # warm: tables compiled, caches primed
+    run_batch()
+    stream_times: list[float] = []
+    batch_times: list[float] = []
+    for _ in range(repeats):  # interleaved so drift hits both sides
+        stream_times.append(run_stream())
+        batch_times.append(run_batch())
+    t_stream = min(stream_times)
+    t_batch = min(batch_times)
+
+    return {
+        "dataset": dataset,
+        "scale": scale,
+        "bytes": len(text),
+        "pieces": len(pieces),
+        "chunks": len(chunks),
+        "deltas": len(deltas),
+        "matches": sum(len(v) for v in streamed.values()),
+        "stream_seconds": t_stream,
+        "batch_seconds": t_batch,
+        "stream_mb_per_s": len(text) / t_stream / 1e6,
+        "batch_mb_per_s": len(text) / t_batch / 1e6,
+        "stream_efficiency": t_batch / t_stream,
+    }
+
+
+def measure_stream_ingest(
+    workloads=DEFAULT_WORKLOADS,
+    chunk_bytes: int = 4096,
+    piece_bytes: int = 1024,
+    n_queries: int = 4,
+    repeats: int = 5,
+    seed: int = 0,
+) -> dict:
+    """Time streaming ingest vs the batch run; return the record."""
+    datasets = [
+        _measure_one(name, scale, chunk_bytes, piece_bytes, n_queries,
+                     repeats, seed)
+        for name, scale in workloads
+    ]
+    t_stream = sum(d["stream_seconds"] for d in datasets)
+    t_batch = sum(d["batch_seconds"] for d in datasets)
+    return {
+        "benchmark": "stream_ingest",
+        "chunk_bytes": chunk_bytes,
+        "piece_bytes": piece_bytes,
+        "n_queries": n_queries,
+        "repeats": repeats,
+        "datasets": datasets,
+        "stream_seconds": t_stream,
+        "batch_seconds": t_batch,
+        "stream_efficiency": t_batch / t_stream,
+    }
+
+
+def stream_gate_failures(
+    current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Regression checks of ``current`` against ``baseline`` (empty = pass)."""
+    failures: list[str] = []
+    ratio = current["stream_efficiency"]
+    base_ratio = baseline.get("stream_efficiency")
+    if base_ratio is not None:
+        floor = base_ratio * (1.0 - threshold)
+        if ratio < floor:
+            failures.append(
+                f"stream/batch efficiency regressed: {ratio:.2f}x < "
+                f"{floor:.2f}x (baseline {base_ratio:.2f}x - {threshold:.0%})"
+            )
+    min_ratio = baseline.get("min_ratio")
+    if min_ratio is not None and ratio < min_ratio:
+        failures.append(
+            f"stream/batch efficiency {ratio:.2f}x below the recorded "
+            f"floor {min_ratio:.2f}x"
+        )
+    return failures
+
+
+def format_stream_report(record: dict) -> str:
+    lines = [
+        f"streaming ingest — {record['piece_bytes']}-byte pieces, "
+        f"{record['chunk_bytes']}-byte chunks, {record['n_queries']} queries"
+    ]
+    for d in record["datasets"]:
+        lines.append(
+            f"  {d['dataset']:9s} scale {d['scale']:<4g} "
+            f"{d['bytes']:8d} bytes: stream {d['stream_seconds'] * 1e3:7.2f} ms "
+            f"({d['stream_mb_per_s']:6.1f} MB/s), batch "
+            f"{d['batch_seconds'] * 1e3:7.2f} ms -> "
+            f"{d['stream_efficiency']:.2f}x "
+            f"({d['chunks']} chunks, {d['deltas']} deltas)"
+        )
+    lines.append(
+        f"  combined stream efficiency: {record['stream_efficiency']:.2f}x")
+    return "\n".join(lines)
+
+
+def main(out: str | None = None) -> dict:  # pragma: no cover - driver
+    record = measure_stream_ingest()
+    print(format_stream_report(record))
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+    return record
+
+
+if __name__ == "__main__":  # pragma: no cover - driver
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

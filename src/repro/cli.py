@@ -66,6 +66,14 @@ The commands mirror the library's workflow:
     fire/resolve counts).  Shares ``top``'s polling plumbing;
     ``--once`` prints one frame and exits.
 
+``tail``
+    Continuously query a growing file: bytes feed the incremental
+    lexer, tag-aligned chunks seal and evaluate as they fill, and
+    completed matches print as JSONL deltas — ``tail -f`` for XPath.
+    In-process by default; ``--connect HOST:PORT`` runs the stream on
+    a daemon instead (offset-idempotent appends, checkpointed resume
+    across daemon restarts; see ``docs/STREAMING.md``).
+
 ``profile``
     Run a query with tracing on and print the per-chunk timeline
     (duration, tokens, mode switches per chunk); optionally write
@@ -348,6 +356,15 @@ def _build_parser() -> argparse.ArgumentParser:
     v.add_argument("--sample-hz", type=float, default=50.0, metavar="HZ",
                    help="sampling rate for --sample and /profilez?seconds= "
                         "captures (default 50)")
+    v.add_argument("--stream-chunk-bytes", type=int, default=1 << 16,
+                   metavar="N",
+                   help="sealed-chunk target size for continuous queries "
+                        "(default 65536)")
+    v.add_argument("--stream-delta-buffer", type=int, default=256, metavar="N",
+                   help="per-stream delta ring capacity; slow subscribers "
+                        "past it get a counted gap (default 256)")
+    v.add_argument("--max-streams", type=int, default=16, metavar="N",
+                   help="open-stream bound (default 16)")
     v.add_argument("--document", action="append", default=[], metavar="FILE",
                    help="ingest FILE at startup (repeatable)")
     v.add_argument("-g", "--grammar", metavar="FILE",
@@ -389,6 +406,36 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="telemetry points requested per series (default 60; "
                         "also the sparkline width)")
     m.set_defaults(func=_cmd_monitor)
+
+    ta = sub.add_parser(
+        "tail",
+        help="continuously query a growing file; print match deltas (JSONL)",
+    )
+    ta.add_argument("file", help="document to tail (use '-' for stdin)")
+    ta.add_argument("-q", "--query", action="append", required=True,
+                    dest="queries", help="XPath query (repeatable)")
+    ta.add_argument("-g", "--grammar", metavar="FILE",
+                    help="DTD or XSD file (feasible-path mid-stream entry; "
+                         "omit for speculative mode)")
+    ta.add_argument("-f", "--follow", action="store_true",
+                    help="keep watching for appended bytes (like tail -f); "
+                         "Ctrl-C stops without finalizing")
+    ta.add_argument("--json", action="store_true", dest="json_kind",
+                    help="the input is JSON (default: XML)")
+    ta.add_argument("--root", default="json", metavar="NAME",
+                    help="virtual root element for JSON input (default 'json')")
+    ta.add_argument("--chunk-bytes", type=int, default=1 << 16, metavar="N",
+                    help="sealed-chunk target size (default 65536)")
+    ta.add_argument("--connect", metavar="HOST:PORT",
+                    help="run the stream on a daemon instead of in-process")
+    ta.add_argument("--name", default="", metavar="NAME",
+                    help="stream name with --connect (part of the stream's "
+                         "identity: the same name + queries resumes a "
+                         "checkpointed stream after a daemon restart)")
+    ta.add_argument("--stats", action="store_true",
+                    help="print work counters to stderr when the stream ends")
+    _add_kernel_arg(ta)
+    ta.set_defaults(func=_cmd_tail)
 
     st = sub.add_parser(
         "store",
@@ -1001,6 +1048,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         alert_rules=tuple(args.alert_rule),
         sample=args.sample,
         sample_hz=args.sample_hz,
+        stream_chunk_bytes=args.stream_chunk_bytes,
+        stream_delta_buffer=args.stream_delta_buffer,
+        max_streams=args.max_streams,
     )
     service = QueryService(config)
     grammar = _read(args.grammar) if args.grammar else None
@@ -1264,6 +1314,155 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         print(f"\nerror: lost the service at {args.host}:{args.port}: {exc}",
               file=sys.stderr)
         return 1
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    """Continuous querying over a growing file (local or via a daemon)."""
+    grammar = _read(args.grammar) if args.grammar else None
+    kind = "json" if args.json_kind else "xml"
+    if args.connect:
+        return _tail_remote(args, grammar, kind)
+    from .stream import StreamSession
+
+    session = StreamSession(
+        args.queries, grammar=grammar, kind=kind, root_name=args.root,
+        chunk_bytes=args.chunk_bytes, kernel=args.kernel, memo=args.memo,
+        track_matches=False,
+    )
+    seq = 0
+
+    def emit(deltas) -> int:
+        nonlocal seq
+        for delta in deltas:
+            seq += 1
+            delta.seq = seq
+            print(json.dumps(delta.to_dict(), separators=(",", ":")),
+                  flush=True)
+        return len(deltas)
+
+    interrupted = False
+    try:
+        for piece in _tail_pieces(args.file, follow=args.follow):
+            emit(session.feed(piece))
+    except KeyboardInterrupt:
+        interrupted = True
+    if not interrupted:
+        emit(session.finalize())
+    if args.stats or interrupted:
+        status = "interrupted" if interrupted else "end of stream"
+        print(f"# {status}: {session.offset} bytes, "
+              f"{session.chunks_sealed} chunks, {seq} deltas",
+              file=sys.stderr)
+    if args.stats:
+        for key, value in sorted(session.totals.as_dict().items()):
+            print(f"# {key}: {value}", file=sys.stderr)
+    return 0
+
+
+def _tail_pieces(path: str, follow: bool, block: int = 1 << 16):
+    """Yield chunks of a (possibly growing) file; ``-`` reads stdin."""
+    import time
+
+    if path == "-":
+        while True:
+            piece = sys.stdin.read(block)
+            if not piece:
+                return
+            yield piece
+    with open(path, encoding="utf-8") as fh:
+        while True:
+            piece = fh.read(block)
+            if piece:
+                yield piece
+            elif follow:
+                time.sleep(0.2)  # tail -f: wait for the file to grow
+            else:
+                return
+
+
+def _tail_remote(args: argparse.Namespace, grammar: str | None,
+                 kind: str) -> int:
+    """Run the stream on a daemon: idempotent appends + delta long-poll.
+
+    The subscriber runs in a thread so slow evaluation never stalls
+    ingest; deltas print as they arrive.  On resume (the daemon
+    restarted with a checkpoint) the file is re-read from the server's
+    committed offset — the offset protocol makes re-sent bytes a no-op.
+    """
+    import threading
+
+    from .service.client import QueryClient, ServiceError
+
+    host, _, port = args.connect.rpartition(":")
+    client = QueryClient(host or "127.0.0.1", int(port))
+    state = client.stream_create(
+        args.name or args.file, args.queries, grammar=grammar, kind=kind,
+        root=args.root, chunk_bytes=args.chunk_bytes,
+    )
+    sid = state["stream_id"]
+    offset = int(state["offset"])
+    if state.get("resumed"):
+        print(f"# resumed stream {sid} at offset {offset}", file=sys.stderr)
+
+    stop = threading.Event()
+
+    def subscribe() -> None:
+        since = 0
+        while not stop.is_set():
+            try:
+                out = client.stream_deltas(sid, since=since, timeout=5)
+            except (OSError, ServiceError):
+                if stop.is_set():
+                    return
+                raise
+            if out["gap"]:
+                print(f"# gap: {out['gap']} delta(s) dropped", file=sys.stderr)
+                since += out["gap"]
+            for delta in out["deltas"]:
+                print(json.dumps(delta, separators=(",", ":")), flush=True)
+                since = delta["seq"]
+            if out["closed"] and not out["deltas"]:
+                return
+
+    reader = threading.Thread(target=subscribe, daemon=True)
+    reader.start()
+    interrupted = False
+    try:
+        if args.file == "-":
+            while True:
+                piece = sys.stdin.read(1 << 16)
+                if not piece:
+                    break
+                client.stream_append(sid, piece, offset=offset)
+                offset += len(piece)
+        else:
+            import time
+
+            with open(args.file, encoding="utf-8") as fh:
+                fh.seek(offset)
+                while True:
+                    piece = fh.read(1 << 16)
+                    if piece:
+                        client.stream_append(sid, piece, offset=offset)
+                        offset += len(piece)
+                    elif args.follow:
+                        time.sleep(0.2)
+                    else:
+                        break
+    except KeyboardInterrupt:
+        # leave the stream open: the daemon's checkpoint lets a later
+        # `repro tail --connect` with the same name/queries resume it
+        interrupted = True
+    if not interrupted:
+        result = client.stream_finalize(sid)
+        reader.join(timeout=30)
+        if args.stats:
+            print(f"# end of stream: {result['offset']} bytes, "
+                  f"{result['chunks']} chunks", file=sys.stderr)
+            for key, value in sorted(result["counters"].items()):
+                print(f"# {key}: {value}", file=sys.stderr)
+    stop.set()
+    return 0
 
 
 def _cmd_store(args: argparse.Namespace) -> int:

@@ -584,11 +584,16 @@ class GapEngine(_EngineBase):
         learn: bool = False,
         tracer: Tracer | None = None,
         journal: Journal | None = None,
+        edges: list[int] | None = None,
     ) -> QueryResult:
-        """Parallel GAP evaluation over a pre-tokenised stream (e.g. JSON)."""
+        """Parallel GAP evaluation over a pre-tokenised stream (e.g. JSON).
+
+        ``edges`` replays explicit chunk boundaries (token indices) —
+        see :meth:`ParallelPipeline.run_tokens`.
+        """
         result = self._result(
             self._pipeline(tracer, journal).run_tokens(
-                tokens, n_chunks or self.n_chunks),
+                tokens, n_chunks or self.n_chunks, edges=edges),
             decoder=self._token_decoder(tokens),
         )
         if learn:

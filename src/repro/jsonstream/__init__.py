@@ -19,11 +19,13 @@ Convenience entry point::
 """
 
 from ..core.engine import GapEngine
+from .incremental import IncrementalJSONTokenizer
 from .schema import JSONSchemaError, json_schema_to_grammar
 from .tokenizer import DEFAULT_ROOT, JSONError, json_value_at, tokenize_json
 
 __all__ = [
     "DEFAULT_ROOT",
+    "IncrementalJSONTokenizer",
     "JSONError",
     "JSONSchemaError",
     "json_schema_to_grammar",

@@ -63,6 +63,7 @@ DEFAULT_RULES = (
     "request_p99_ms>1000:for=10:resolve=60:name=latency-slo",
     "requests_error>0.5:window=60:for=5:resolve=60:name=error-rate",
     "burn:requests_expired>0.1:short=60:long=600:name=expiry-burn",
+    "stream_lag_bytes>8388608:for=10:resolve=30:name=stream-lag",
 )
 
 

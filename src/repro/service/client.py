@@ -170,6 +170,115 @@ class QueryClient:
             body["deadline"] = deadline
         return self._request("POST", "/query", body)
 
+    # -- streaming -----------------------------------------------------
+
+    def streams(self) -> list[dict]:
+        return self._request("GET", "/streams")["streams"]
+
+    def stream_create(
+        self,
+        name: str,
+        queries: list[str],
+        grammar: str | None = None,
+        kind: str = "xml",
+        root: str | None = None,
+        chunk_bytes: int | None = None,
+    ) -> dict:
+        """Open (or resume) a continuous query; the response carries
+        ``stream_id``, ``resumed`` and the server's current ``offset``
+        (where a resuming writer continues appending from)."""
+        body: dict = {"name": name, "queries": list(queries), "kind": kind}
+        if grammar is not None:
+            body["grammar"] = grammar
+        if root is not None:
+            body["root"] = root
+        if chunk_bytes is not None:
+            body["chunk_bytes"] = chunk_bytes
+        return self._request("POST", "/streams", body)
+
+    def stream_status(self, stream_id: str) -> dict:
+        return self._request("GET", f"/streams/{stream_id}")
+
+    def stream_append(self, stream_id: str, data: str,
+                      offset: int | None = None) -> dict:
+        """Append bytes; ``offset`` makes the call idempotent (overlap
+        is trimmed server-side, holes are a 409 :class:`ServiceError`)."""
+        body: dict = {"data": data}
+        if offset is not None:
+            body["offset"] = offset
+        return self._request("POST", f"/streams/{stream_id}/append", body)
+
+    def stream_finalize(self, stream_id: str) -> dict:
+        return self._request("POST", f"/streams/{stream_id}/finalize")
+
+    def stream_delete(self, stream_id: str) -> dict:
+        return self._request("DELETE", f"/streams/{stream_id}")
+
+    def stream_deltas(self, stream_id: str, since: int = 0,
+                      n: int | None = None,
+                      timeout: int | None = None) -> dict:
+        """Long-poll for match deltas after sequence ``since``.
+
+        Returns ``{"deltas": [...], "gap": missed, "closed": bool,
+        "next_seq": N}``; ``timeout`` (whole seconds) holds the poll
+        open server-side until something arrives.
+        """
+        params = [f"since={since}"]
+        if n is not None:
+            params.append(f"n={n}")
+        if timeout is not None:
+            params.append(f"timeout={timeout}")
+        return self._request(
+            "GET", f"/streams/{stream_id}/deltas?" + "&".join(params))
+
+    def stream_events(self, stream_id: str, since: int = 0):
+        """Subscribe over SSE; yields ``(event, seq, data)`` tuples.
+
+        ``event`` is ``"delta"`` (data = the delta dict, seq = its
+        sequence number), ``"gap"`` (data = count of deltas dropped
+        before this cursor reached them) or ``"end"`` (stream
+        finalized; the generator returns after yielding it).  The
+        connection is dedicated (SSE holds it open); abandoning the
+        generator closes it.
+        """
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", f"/streams/{stream_id}/sse?since={since}")
+            resp = conn.getresponse()
+            if resp.status != 200:
+                raw = resp.read().decode("utf-8")
+                try:
+                    message = json.loads(raw).get("error", raw)
+                except (ValueError, AttributeError):
+                    message = raw
+                raise ServiceError(resp.status, str(message))
+            event, seq, data = "delta", 0, None
+            for raw_line in resp:
+                line = raw_line.decode("utf-8").rstrip("\n\r")
+                if not line:  # frame boundary
+                    if data is not None:
+                        yield event, seq, data
+                        if event == "end":
+                            return
+                    event, data = "delta", None
+                elif line.startswith(":"):
+                    continue  # keep-alive comment
+                elif line.startswith("event:"):
+                    event = line[len("event:"):].strip()
+                elif line.startswith("id:"):
+                    seq = int(line[len("id:"):].strip())
+                elif line.startswith("data:"):
+                    payload = line[len("data:"):].strip()
+                    if event == "delta":
+                        data = json.loads(payload)
+                        seq = data.get("seq", seq)
+                    elif event == "gap":
+                        data = int(payload)
+                    else:
+                        data = payload
+        finally:
+            conn.close()
+
     def shutdown(self) -> dict:
         """Ask the daemon to stop gracefully."""
         return self._request("POST", "/shutdown")

@@ -35,11 +35,28 @@ service's bounded queue, not the socket layer):
 ``POST /query``       ``{"doc": ID, "queries": [...], "deadline"?: s}``
                       → ``200`` response (matches/counts/batch/stats)
 ``POST /shutdown``    graceful stop: ack, then the server loop exits
+``GET  /streams``     open streams and their ingest/delivery status
+``POST /streams``     open (or resume) a continuous query:
+                      ``{"name", "queries": [...], "grammar"?, "kind"?,
+                      "root"?, "chunk_bytes"?}`` → ``201`` status with
+                      ``resumed`` and the server's ``offset`` (the
+                      byte position a resuming writer continues from)
+``GET  /streams/ID``  one stream's status
+``POST /streams/ID/append``    ``{"data": ..., "offset"?: N}`` —
+                      offset-idempotent ingest: overlap is trimmed,
+                      a hole → 409 with the server's offset
+``POST /streams/ID/finalize``  end of stream: flush + final deltas
+``DELETE /streams/ID``         drop the stream and its checkpoint
+``GET  /streams/ID/deltas``    long-poll: ``?since=SEQ&n=&timeout=`` →
+                      deltas after ``since`` plus a counted ``gap``
+``GET  /streams/ID/sse``       the same cursor as server-sent events
+                      (``id:`` = seq; ``gap``/``end`` event frames)
 ====================  =====================================================
 
-Error mapping: unknown document → 404, full queue or registry → 429,
-expired deadline → 504, bad request body → 400, engine errors → 500.
-Every response is JSON with an ``error`` field on failure.
+Error mapping: unknown document/stream → 404, full queue or registry →
+429, append holes → 409, expired deadline → 504, bad request body →
+400, engine errors → 500.  Every response is JSON with an ``error``
+field on failure (SSE excepted — it is an event stream).
 """
 
 from __future__ import annotations
@@ -51,6 +68,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from ..core.engine import EngineError
 from ..obs.logsetup import get_logger
+from ..stream import StreamConflict, StreamError, UnknownStream
 from .batching import DeadlineExceeded, QueueFull, ServiceClosed
 from .registry import RegistryFull, UnknownDocument
 from .service import QueryService
@@ -164,6 +182,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._get_profilez(seconds, fmt)
         elif route == "/documents":
             self._send(200, {"documents": self.service.registry.list()})
+        elif route == "/streams":
+            self._send(200, {"streams": self.service.streams.list()})
+        elif route.startswith("/streams/"):
+            self._get_stream(route, params, n, since)
         else:
             self._error(404, f"no route {self.path}")
 
@@ -205,12 +227,90 @@ class _Handler(BaseHTTPRequestHandler):
         self._send(200, profile.collapsed(),
                    content_type="text/plain; charset=utf-8")
 
+    # -- streaming routes ----------------------------------------------
+
+    #: long-poll/SSE wait bound: one blocking read never pins a handler
+    #: thread longer than this (clients just poll again)
+    MAX_POLL_SECONDS = 30
+
+    def _get_stream(self, route: str, params: dict, n: int | None,
+                    since: int | None) -> None:
+        rest = route[len("/streams/"):]
+        stream_id, _, sub = rest.partition("/")
+        try:
+            timeout = self._int_param(params, "timeout")
+        except ValueError as exc:
+            self._error(400, f"bad query string: {exc}")
+            return
+        try:
+            if not sub:
+                self._send(200, self.service.streams.get(stream_id).status())
+            elif sub == "deltas":
+                wait = min(timeout or 0, self.MAX_POLL_SECONDS)
+                self._send(200, self.service.streams.read_deltas(
+                    stream_id, since=since or 0, max_n=n or 64,
+                    timeout=float(wait)))
+            elif sub == "sse":
+                self._stream_sse(stream_id, since or 0)
+            else:
+                self._error(404, f"no route {self.path}")
+        except UnknownStream as exc:
+            self._error(404, str(exc))
+
+    def _stream_sse(self, stream_id: str, since: int) -> None:
+        """Server-sent events: hand-rolled chunkless streaming writes.
+
+        ``_send`` always sets Content-Length, which a push channel
+        cannot know — so this route writes its own headers, marks the
+        connection ``close`` (the stdlib handler then refuses keep-alive
+        reuse of the half-streamed socket), and flushes one frame per
+        delta: ``id:`` carries the sequence number, ``gap`` events carry
+        the counted drop marker, ``end`` announces a finalized stream.
+        """
+        streams = self.service.streams
+        streams.get(stream_id)  # 404 before headers go out
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        cursor = since
+        try:
+            while True:
+                out = streams.read_deltas(stream_id, since=cursor, max_n=64,
+                                          timeout=float(self.MAX_POLL_SECONDS))
+                if out["gap"]:
+                    self.wfile.write(
+                        f"event: gap\ndata: {out['gap']}\n\n".encode("utf-8"))
+                    cursor += out["gap"]
+                for delta in out["deltas"]:
+                    data = json.dumps(delta, separators=(",", ":"))
+                    self.wfile.write(
+                        f"id: {delta['seq']}\ndata: {data}\n\n".encode("utf-8"))
+                    cursor = delta["seq"]
+                if out["closed"] and not out["deltas"]:
+                    self.wfile.write(b"event: end\ndata: {}\n\n")
+                    self.wfile.flush()
+                    return
+                if not out["deltas"]:
+                    self.wfile.write(b": keep-alive\n\n")
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):  # subscriber left
+            pass
+        except UnknownStream:  # deleted mid-subscription
+            pass
+
     def do_POST(self) -> None:  # noqa: N802
         try:
             if self.path == "/documents":
                 self._post_documents()
             elif self.path == "/query":
                 self._post_query()
+            elif self.path == "/streams":
+                self._post_streams()
+            elif self.path.startswith("/streams/"):
+                self._post_stream_op()
             elif self.path == "/shutdown":
                 self._send(200, {"status": "shutting down"})
                 self.server.initiate_shutdown()  # type: ignore[attr-defined]
@@ -220,6 +320,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, f"bad request: {exc}")
 
     def do_DELETE(self) -> None:  # noqa: N802
+        if self.path.startswith("/streams/"):
+            stream_id = self.path[len("/streams/"):]
+            try:
+                self._send(200, self.service.streams.delete(stream_id))
+            except UnknownStream as exc:
+                self._error(404, str(exc))
+            return
         if not self.path.startswith("/documents/"):
             self._error(404, f"no route {self.path}")
             return
@@ -265,6 +372,62 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, f"ingestion failed: {exc}")
             return
         self._send(201, record.describe())
+
+    def _post_streams(self) -> None:
+        data = self._body()
+        queries = data.get("queries")
+        if (not isinstance(queries, list) or not queries
+                or not all(isinstance(q, str) for q in queries)):
+            raise ValueError("'queries' must be a non-empty list of strings")
+        grammar = data.get("grammar")
+        if grammar is not None and not isinstance(grammar, str):
+            raise ValueError("'grammar' must be a string")
+        kwargs = {}
+        if "root" in data:
+            kwargs["root_name"] = str(data["root"])
+        if data.get("chunk_bytes") is not None:
+            kwargs["chunk_bytes"] = int(data["chunk_bytes"])
+        try:
+            state, resumed = self.service.streams.create(
+                str(data.get("name", "")), [str(q) for q in queries],
+                grammar=grammar, kind=str(data.get("kind", "xml")), **kwargs)
+        except StreamError as exc:
+            self._send(429 if "registry full" in str(exc) else 400,
+                       {"error": str(exc)})
+            return
+        except (EngineError, ValueError, RuntimeError) as exc:
+            self._error(400, f"stream open failed: {exc}")
+            return
+        status = state.status()
+        status["resumed"] = resumed
+        self._send(201, status)
+
+    def _post_stream_op(self) -> None:
+        rest = self.path[len("/streams/"):]
+        stream_id, _, op = rest.partition("/")
+        try:
+            if op == "append":
+                data = self._body()
+                piece = data.get("data")
+                if not isinstance(piece, str):
+                    raise ValueError("'data' (a string) is required")
+                offset = data.get("offset")
+                if offset is not None:
+                    offset = int(offset)
+                self._send(200, self.service.streams.append(
+                    stream_id, piece, offset=offset))
+            elif op == "finalize":
+                self._send(200, self.service.streams.finalize(stream_id))
+            else:
+                self._error(404, f"no route {self.path}")
+        except UnknownStream as exc:
+            self._error(404, str(exc))
+        except StreamConflict as exc:
+            self._error(409, str(exc))
+        except StreamError as exc:
+            self._error(400, str(exc))
+        except (EngineError, RuntimeError) as exc:
+            self._error(500, f"stream operation failed: {exc}")
 
     def _post_query(self) -> None:
         data = self._body()

@@ -138,6 +138,12 @@ class ServiceConfig:
     #: engines additionally sample their pool workers per chunk
     sample: bool = False
     sample_hz: float = 50.0
+    #: streaming subsystem: sealed-chunk target size for continuous
+    #: queries, per-stream delta ring capacity (slow subscribers past
+    #: this window get a counted gap), and the open-stream cap
+    stream_chunk_bytes: int = 1 << 16
+    stream_delta_buffer: int = 256
+    max_streams: int = 16
 
     def resilience(self) -> RetryPolicy | None:
         if self.chunk_timeout is None and self.max_retries is None:
@@ -250,6 +256,21 @@ class QueryService:
                                          interval=1.0 / self.config.sample_hz)
             if self.config.backend == "process":
                 self._engine_sample = self.config.sample_hz
+        # continuous queries over unbounded input: the stream registry
+        # shares the service's store (checkpoints), metrics and journal
+        from ..stream import StreamManager
+
+        self.streams = StreamManager(
+            store=self.store,
+            metrics=self.metrics,
+            journal=self.journal,
+            obs_lock=self._obs_lock,
+            chunk_bytes=self.config.stream_chunk_bytes,
+            delta_buffer=self.config.stream_delta_buffer,
+            max_streams=self.config.max_streams,
+            kernel=self.config.kernel,
+            memo=self.config.memo,
+        )
         self._closed = False
         # monotonic anchor for uptime (NTP-step safe); the wall-clock
         # start instant is kept separately for display
@@ -272,6 +293,9 @@ class QueryService:
         if self._closed:
             return
         self._closed = True
+        # streams first: checkpoint live tails while the store is still
+        # installed, and wake every blocked delta reader
+        self.streams.close()
         if self._collector is not None:
             self._collector.stop()
         if self._sampler is not None:
@@ -574,6 +598,9 @@ class QueryService:
             "documents": len(self.registry),
         }
         kinds: dict[str, str] = {}
+        for name, (value, kind) in self.streams.series().items():
+            values[name] = value
+            kinds[name] = kind
         with self._engine_lock:
             values["engines"] = len(self._engines)
         with self._obs_lock:
@@ -735,6 +762,7 @@ class QueryService:
         ranges via ``/varz?history=N``).
         """
         sched = self._scheduler.snapshot()
+        streams = self.streams.stats()
         with self._engine_lock:
             n_engines = len(self._engines)
         from ..xpath.compile_tables import compile_cache_info
@@ -788,6 +816,7 @@ class QueryService:
             "compile_cache": dict(cache),
             "memo": dict(memo),
             "store": self.store.counters() if self.store is not None else None,
+            "streams": streams,
             "latency": latency,
             "slow_log": {
                 "threshold_seconds": self.slow_log.threshold,

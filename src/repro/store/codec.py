@@ -34,6 +34,7 @@ path: stale artifacts are dropped and rewritten, never misread.
 
 from __future__ import annotations
 
+import json
 import struct
 import sys
 from array import array
@@ -58,6 +59,8 @@ __all__ = [
     "decode_tokens",
     "encode_memo_table",
     "decode_memo_table",
+    "encode_checkpoint",
+    "decode_checkpoint",
 ]
 
 
@@ -74,6 +77,7 @@ SCHEMAS = {
     "split": 1,      # chunk lists (document registry)
     "tokens": 1,     # pre-lexed token caches (document registry)
     "subseq": 1,     # interned-subsequence memo snapshots (dense kernel)
+    "checkpoint": 1, # stream checkpoints (restart/resume state)
 }
 
 _BYTEORDER = 0 if sys.byteorder == "little" else 1
@@ -604,3 +608,36 @@ def decode_tokens(payload: bytes) -> list[Token]:
     if len(runs) != 1:
         raise CodecError(f"flat token payload holds {len(runs)} runs")
     return runs[0]
+
+
+def encode_checkpoint(record: dict) -> bytes:
+    """A stream checkpoint (:mod:`repro.stream.checkpoint`).
+
+    Unlike the other artifact kinds — regular columnar structures — a
+    checkpoint is an irregular, deeply nested snapshot (lexer tail,
+    frame stack, pending events, a delta outbox), so the payload is a
+    canonical JSON document inside the usual length-prefixed binary
+    framing: the framing and schema stamp give the same fail-loud
+    bounds checking, ``json.loads`` validates the interior, and the
+    store's checksums cover corruption as for every other kind.
+    """
+    w = _Writer()
+    w.u32(SCHEMAS["checkpoint"])
+    w.string(json.dumps(record, separators=(",", ":"), sort_keys=True))
+    return w.done()
+
+
+def decode_checkpoint(payload: bytes) -> dict:
+    r = _Reader(payload)
+    version = r.u32()
+    if version != SCHEMAS["checkpoint"]:
+        raise CodecError(f"checkpoint schema v{version}, expected "
+                         f"v{SCHEMAS['checkpoint']}")
+    try:
+        record = json.loads(r.string())
+    except ValueError as exc:
+        raise CodecError(f"checkpoint interior is not valid JSON: {exc}") from None
+    r.expect_end()
+    if not isinstance(record, dict):
+        raise CodecError("checkpoint interior is not an object")
+    return record

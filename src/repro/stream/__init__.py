@@ -1,0 +1,38 @@
+"""Streaming subsystem: unbounded ingest and continuous queries.
+
+Everything else in the library queries *finite* documents; this
+package opens the workload family the ROADMAP calls "unbounded streams
+and continuous queries" — logs, feeds, telemetry — by running the
+grammar-aware parallel machinery *incrementally*:
+
+* bytes arrive in arbitrary pieces and go through the incremental
+  lexers (:class:`repro.xmlstream.incremental.IncrementalLexer`,
+  :class:`repro.jsonstream.incremental.IncrementalJSONTokenizer`);
+* tag-aligned chunks are **sealed** as soon as enough bytes accumulate
+  and evaluated immediately — chunk 0 from the automaton's initial
+  configuration, every later chunk entered *mid-stream* through the
+  grammar's feasible-path table (the paper's core trick: no history
+  replay), then joined onto the carried (state, stack) exactly the way
+  the batch join links chunk mappings;
+* completed matches are emitted as **deltas** after each seal (the
+  filter phase runs per anchor-balanced segment, so no unbounded event
+  retention), pushed to subscribers via
+  :class:`~repro.stream.hub.DeltaHub` (bounded ring, drop-oldest with
+  a counted gap marker) and persisted as restart **checkpoints**
+  (:mod:`repro.stream.checkpoint`) through the artifact store.
+
+A finalized stream is *byte-identical* to a batch run of the
+concatenated document — matches and work counters — which the
+differential battery pins across backends and both input kinds.
+
+Entry points: :class:`~repro.stream.session.StreamSession` (library,
+in-process tailing), :class:`~repro.stream.manager.StreamManager`
+(the service's stream registry, wired into ``repro serve``).
+"""
+
+from .hub import DeltaHub
+from .manager import StreamConflict, StreamManager, StreamState, UnknownStream
+from .session import StreamDelta, StreamError, StreamSession
+
+__all__ = ["DeltaHub", "StreamConflict", "StreamDelta", "StreamError",
+           "StreamManager", "StreamSession", "StreamState", "UnknownStream"]

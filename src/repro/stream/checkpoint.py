@@ -1,0 +1,97 @@
+"""Stream checkpoints: crash-safe resume through the artifact store.
+
+A checkpoint is written after every append that seals at least one
+chunk (and on graceful shutdown), under a **stable identity key** —
+the hash of everything that defines the stream (name, kind, root,
+queries, grammar, chunk size) — so a restarted daemon that sees the
+same ``create`` call finds the checkpoint and resumes in place.
+
+Exactly-once delta delivery across a crash rides the **outbox**
+pattern: the deltas produced by the appends since the previous
+checkpoint are stored *inside* the checkpoint, and the checkpoint is
+published **before** those deltas enter the delivery hub.  Whatever
+the crash timing:
+
+* crash before the checkpoint write — the bytes since the previous
+  checkpoint were never acknowledged as sealed; the tail client asks
+  the restarted server for its offset and re-sends them, regenerating
+  the same deltas (evaluation is deterministic);
+* crash after the write but before (or during) delivery — the restart
+  preloads the outbox into the hub with its original sequence numbers;
+  a subscriber reconnecting with ``since=last_seen`` receives each
+  delta exactly once, whether or not the dead process managed to push
+  it.
+
+Everything persisted is bounded: the session snapshot (lexer tail,
+unsealed tokens, pending filter events, stack) plus one append round's
+deltas.
+"""
+
+from __future__ import annotations
+
+from hashlib import sha256
+
+from ..store import ArtifactStore, CodecError
+from ..store.codec import decode_checkpoint, encode_checkpoint
+from .session import StreamDelta, StreamSession
+
+__all__ = ["stream_key", "save_checkpoint", "load_checkpoint",
+           "drop_checkpoint", "outbox_deltas"]
+
+
+def stream_key(name: str, kind: str, root_name: str, queries: list[str],
+               grammar: str | None, chunk_bytes: int) -> str:
+    """The stream's stable identity — the checkpoint's artifact key."""
+    h = sha256()
+    for part in (name, kind, root_name, str(chunk_bytes), grammar or "",
+                 *queries):
+        h.update(part.encode("utf-8", "surrogatepass"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def save_checkpoint(store: ArtifactStore, key: str, *,
+                    session: StreamSession, name: str,
+                    grammar: str | None, next_seq: int, dropped: int,
+                    outbox: list[StreamDelta]) -> bool:
+    """Persist the stream's bounded state; True when published."""
+    record = {
+        "name": name,
+        "kind": session.kind,
+        "root": session.root_name,
+        "queries": session.queries,
+        "grammar": grammar,
+        "chunk_bytes": session.chunk_bytes,
+        "next_seq": next_seq,
+        "dropped": dropped,
+        "session": session.snapshot(),
+        "outbox": [d.to_dict() for d in outbox],
+    }
+    return store.put("checkpoint", key, encode_checkpoint(record))
+
+
+def load_checkpoint(store: ArtifactStore, key: str) -> dict | None:
+    """Read and decode a checkpoint; any defect is a clean miss."""
+    payload = store.get("checkpoint", key)
+    if payload is None:
+        return None
+    try:
+        return decode_checkpoint(payload)
+    except CodecError:
+        store.invalidate("checkpoint", key, "decode")
+        return None
+
+
+def drop_checkpoint(store: ArtifactStore, key: str) -> None:
+    """Remove a finalized/deleted stream's checkpoint."""
+    store.invalidate("checkpoint", key, "finalized")
+
+
+def outbox_deltas(record: dict) -> list[StreamDelta]:
+    """Rebuild the outbox :class:`StreamDelta` list from a record."""
+    return [
+        StreamDelta(chunk=d["chunk"], begin=d["begin"], end=d["end"],
+                    matches={q: list(hits) for q, hits in d["matches"].items()},
+                    seq=d["seq"])
+        for d in record["outbox"]
+    ]

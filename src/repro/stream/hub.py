@@ -1,0 +1,128 @@
+"""Bounded delta delivery: one ring per stream, cursors per subscriber.
+
+Published deltas get consecutive sequence numbers and land in a
+bounded ring; long-poll and SSE subscribers are *cursors* into that
+ring (``read(since=last_seen)``), so a slow consumer never makes the
+server buffer grow — the ring drops oldest, and a cursor that has
+fallen off the window receives a **counted gap marker** (how many
+deltas it missed) before the survivors.  This is the slow-consumer
+policy the ISSUE pins: drop-oldest with a counted gap, never unbounded
+growth.
+
+Wakeups ride one :class:`threading.Condition` per stream; ``read``
+blocks up to a timeout, returning early on publish or close.  Closing
+(stream finalized or deleted) wakes every waiter; subsequent reads
+drain whatever the ring still holds and report ``closed``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["DeltaHub"]
+
+
+class DeltaHub:
+    """Per-stream bounded delta ring with blocking cursor reads."""
+
+    def __init__(self, capacity: int = 256, next_seq: int = 1,
+                 dropped: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buf: deque = deque()          # StreamDelta, seq ascending
+        self._next_seq = next_seq
+        self._dropped_total = dropped
+        self._delivered_total = 0
+        self._cond = threading.Condition()
+        self._closed = False
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next published delta will get."""
+        with self._cond:
+            return self._next_seq
+
+    @property
+    def dropped_total(self) -> int:
+        with self._cond:
+            return self._dropped_total
+
+    @property
+    def delivered_total(self) -> int:
+        with self._cond:
+            return self._delivered_total
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def publish(self, delta) -> int:
+        """Assign the next seq, append (drop-oldest), wake readers."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("publish() on a closed hub")
+            delta.seq = self._next_seq
+            self._next_seq += 1
+            self._buf.append(delta)
+            if len(self._buf) > self.capacity:
+                self._buf.popleft()
+                self._dropped_total += 1
+            self._cond.notify_all()
+            return delta.seq
+
+    def preload(self, deltas) -> None:
+        """Re-seed the ring from a checkpoint outbox (seqs already set).
+
+        Used on daemon restart: deltas the crashed process checkpointed
+        but may never have delivered re-enter the window, so a
+        reconnecting subscriber (``since=last_seen``) gets exactly-once
+        delivery across the restart.
+        """
+        with self._cond:
+            for delta in deltas:
+                self._buf.append(delta)
+                self._next_seq = max(self._next_seq, delta.seq + 1)
+            while len(self._buf) > self.capacity:
+                self._buf.popleft()
+                self._dropped_total += 1
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """No more publishes (finalized/deleted); wake every waiter."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def read(self, since: int = 0, max_n: int = 64,
+             timeout: float | None = None) -> tuple[list, int, bool]:
+        """Deltas with ``seq > since`` → ``(deltas, gap, closed)``.
+
+        ``gap`` counts deltas that fell off the ring before this cursor
+        reached them (0 = none missed).  Blocks up to ``timeout``
+        seconds when nothing is available yet; a closed hub returns
+        immediately.
+        """
+        deadline = None
+        with self._cond:
+            while True:
+                first_kept = self._next_seq - len(self._buf)
+                if self._buf and self._buf[-1].seq > since:
+                    gap = max(0, first_kept - 1 - since)
+                    out = [d for d in self._buf if d.seq > since][:max_n]
+                    self._delivered_total += len(out)
+                    return out, gap, self._closed
+                if self._closed or timeout is not None and timeout <= 0:
+                    return [], max(0, first_kept - 1 - since), self._closed
+                if timeout is None:
+                    self._cond.wait()
+                    continue
+                if deadline is None:
+                    deadline = time.monotonic() + timeout
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return [], max(0, first_kept - 1 - since), self._closed
+                self._cond.wait(remaining)

@@ -323,7 +323,19 @@ class ParallelPipeline:
 
             maybe_persist_memo(self._tables)
 
-    def run_tokens(self, tokens: list, n_chunks: int) -> ParallelRunResult:
+    def chunk_runner(self):
+        """The chunk executor this pipeline's kernel/memo config selects.
+
+        Exposed for callers that drive chunks one at a time instead of
+        through :meth:`run`/:meth:`run_tokens` — the streaming
+        subsystem evaluates each sealed chunk with exactly this runner
+        so its counters stay byte-identical to a batch run.
+        """
+        return _make_runner(self.automaton, self.policy, self.anchor_sids,
+                            self._tables, memo=self.memo)
+
+    def run_tokens(self, tokens: list, n_chunks: int,
+                   edges: list[int] | None = None) -> ParallelRunResult:
         """Execute the three phases over a materialised token list.
 
         The token-mode pipeline serves inputs that are not
@@ -334,6 +346,11 @@ class ParallelPipeline:
         list by offset.  Tokenisation itself is a sequential
         preprocessing step in this mode (parallel JSON lexing is its
         own research problem and out of scope).
+
+        ``edges`` overrides the boundary computation with an explicit
+        sorted edge list (``[0, …, len(tokens)]``, interior cuts on
+        strictly-increasing offsets) — the stream-vs-batch differential
+        uses it to replay a stream's sealed chunk boundaries.
         """
         if not tokens:
             return ParallelRunResult(
@@ -345,23 +362,32 @@ class ParallelPipeline:
                 "token-mode execution requires non-decreasing offsets"
             )
         end_sentinel = offsets[-1] + 1
-        # chunk boundaries must fall on strictly-increasing offsets so
-        # that offset-based reprocess slicing is unambiguous (a wrapper
-        # START and its scalar TEXT may share an offset)
-        cuts_set = set()
-        for k in range(1, n_chunks):
-            cut = len(tokens) * k // n_chunks
-            while 0 < cut < len(tokens) and offsets[cut] == offsets[cut - 1]:
-                cut += 1
-            if 0 < cut < len(tokens):
-                cuts_set.add(cut)
-        cuts = sorted(cuts_set)
-        edges = [0, *cuts, len(tokens)]
+        if edges is None:
+            # chunk boundaries must fall on strictly-increasing offsets
+            # so that offset-based reprocess slicing is unambiguous (a
+            # wrapper START and its scalar TEXT may share an offset)
+            cuts_set = set()
+            for k in range(1, n_chunks):
+                cut = len(tokens) * k // n_chunks
+                while 0 < cut < len(tokens) and offsets[cut] == offsets[cut - 1]:
+                    cut += 1
+                if 0 < cut < len(tokens):
+                    cuts_set.add(cut)
+            cuts = sorted(cuts_set)
+            edges = [0, *cuts, len(tokens)]
+        else:
+            if edges[0] != 0 or edges[-1] != len(tokens) or \
+                    any(b <= a for a, b in zip(edges, edges[1:])):
+                raise ValueError("edges must be sorted, 0-led and end at len(tokens)")
+            for cut in edges[1:-1]:
+                if offsets[cut] == offsets[cut - 1]:
+                    raise ValueError(
+                        f"edge {cut} does not fall on a strictly-increasing offset"
+                    )
 
         tracer = self.tracer
         journal = self.journal
-        runner = _make_runner(self.automaton, self.policy, self.anchor_sids,
-                              self._tables, memo=self.memo)
+        runner = self.chunk_runner()
         sampler = None
         if self.sample > 0:
             # token-mode execution is serial in this thread, so one

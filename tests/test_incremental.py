@@ -43,6 +43,54 @@ class TestEquivalenceWithBatchLexer:
         assert stream_lex(doc, piece) == list(lex(doc))
 
 
+class TestByteSplitFuzz:
+    """The byte-split battery: the incremental lexer must be oblivious
+    to *where* the byte stream is cut — every possible 2-piece split of
+    every corpus document, plus random multi-piece splits over the
+    generated seed corpus, produce exactly the batch token stream."""
+
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_every_byte_position(self, doc):
+        batch = list(lex(doc))
+        for i in range(len(doc) + 1):
+            lexer = IncrementalLexer()
+            toks = lexer.feed(doc[:i])
+            toks += lexer.feed(doc[i:])
+            toks += lexer.close()
+            assert toks == batch, f"split at byte {i}"
+
+    def test_every_byte_position_generated(self, small_documents):
+        # the smallest generated dataset document, end to end: every
+        # cut point crosses real markup (attributes, comments, text)
+        doc = min(small_documents.values(), key=len)
+        batch = list(lex(doc))
+        for i in range(len(doc) + 1):
+            lexer = IncrementalLexer()
+            toks = lexer.feed(doc[:i])
+            toks += lexer.feed(doc[i:])
+            toks += lexer.close()
+            assert toks == batch, f"split at byte {i}"
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_random_multi_piece_splits(self, small_documents, data):
+        name = data.draw(st.sampled_from(sorted(small_documents)))
+        doc = small_documents[name]
+        n_cuts = data.draw(st.integers(min_value=1, max_value=24))
+        cuts = sorted(data.draw(st.sets(
+            st.integers(min_value=1, max_value=len(doc) - 1),
+            min_size=n_cuts, max_size=n_cuts,
+        )))
+        edges = [0, *cuts, len(doc)]
+        lexer = IncrementalLexer()
+        toks = []
+        for lo, hi in zip(edges, edges[1:]):
+            toks.extend(lexer.feed(doc[lo:hi]))
+        toks.extend(lexer.close())
+        assert toks == list(lex(doc))
+
+
 class TestBufferBehaviour:
     def test_buffer_stays_bounded(self):
         lexer = IncrementalLexer()
